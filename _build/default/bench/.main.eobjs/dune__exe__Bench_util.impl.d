@@ -1,0 +1,1 @@
+bench/bench_util.ml: Filename List Printf Sedna_core Sedna_db Sedna_util Sys Unix

@@ -1,0 +1,71 @@
+(* Timing and reporting helpers shared by all experiments.
+
+   Wall-clock measurements use repeated runs with a warmup and report
+   the median; counter-based measurements (disk reads, buffer faults,
+   fields updated) come from Sedna_util.Counters and are exact. *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0, r)
+
+(* median wall time over [runs] executions (after one warmup) *)
+let time_median ?(runs = 5) f =
+  ignore (f ());
+  let samples =
+    List.init runs (fun _ ->
+        let d, _ = time_once f in
+        d)
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (runs / 2)
+
+let ms t = t *. 1000.0
+
+let pf = Printf.printf
+
+let header title claim =
+  pf "\n==============================================================\n";
+  pf "%s\n" title;
+  pf "  claim: %s\n" claim;
+  pf "--------------------------------------------------------------\n"
+
+let row3 a b c = pf "  %-34s %14s %14s\n" a b c
+let row4 a b c d = pf "  %-26s %12s %12s %14s\n" a b c d
+
+let fresh_db ?(buffer_frames = 1024) () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sedna-bench-%d-%f" (Unix.getpid ()) (Unix.gettimeofday ()))
+  in
+  if Sys.file_exists dir then ignore (Sys.command ("rm -rf " ^ Filename.quote dir));
+  Sedna_core.Database.create ~buffer_frames dir
+
+let load_events db name events =
+  Sedna_core.Database.with_txn db (fun txn st ->
+      Sedna_core.Database.lock_exn db txn ~doc:name
+        ~mode:Sedna_core.Lock_mgr.Exclusive;
+      Sedna_core.Loader.load_events st ~doc_name:name events)
+
+let session ?opts db =
+  let s = Sedna_db.Session.connect db in
+  (match opts with
+   | Some o -> Sedna_db.Session.set_rewriter_options s o
+   | None -> ());
+  s
+
+let exec s q = Sedna_db.Session.execute_string s q
+
+(* run under a cold buffer: drop every frame first, count disk reads *)
+let cold_reads db f =
+  Sedna_core.Buffer_mgr.flush_all (Sedna_core.Database.buffer db);
+  Sedna_core.Buffer_mgr.drop_all (Sedna_core.Database.buffer db);
+  Sedna_util.Counters.reset Sedna_util.Counters.page_reads;
+  let r = f () in
+  (Sedna_util.Counters.get Sedna_util.Counters.page_reads, r)
+
+let counter_during name f =
+  Sedna_util.Counters.reset name;
+  let r = f () in
+  (Sedna_util.Counters.get name, r)

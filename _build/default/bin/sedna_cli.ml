@@ -1,0 +1,116 @@
+(* An interactive shell against a Sedna database directory: XQuery
+   queries, XUpdate statements and DDL, plus a few \-commands for
+   transaction control and inspection.
+
+     sedna_cli --db /path/to/dbdir [--create] [--exec STMT]...
+
+   Statements are terminated by '&' on its own line or end-of-input
+   (so multi-line queries work), like Sedna's own terminal. *)
+
+open Sedna_core
+
+let run_statement session text =
+  match String.trim text with
+  | "" -> ()
+  | "\\begin" ->
+    Sedna_db.Session.begin_txn session;
+    print_endline "transaction started"
+  | "\\begin-ro" ->
+    Sedna_db.Session.begin_txn ~read_only:true session;
+    print_endline "read-only transaction started"
+  | "\\commit" ->
+    Sedna_db.Session.commit session;
+    print_endline "committed"
+  | "\\rollback" ->
+    Sedna_db.Session.rollback session;
+    print_endline "rolled back"
+  | "\\documents" ->
+    let db = Sedna_db.Session.database session in
+    List.iter print_endline (Catalog.document_names (Database.catalog db))
+  | "\\counters" ->
+    List.iter
+      (fun (k, v) -> Printf.printf "%-24s %d\n" k v)
+      (Sedna_util.Counters.snapshot ())
+  | "\\checkpoint" ->
+    Database.checkpoint (Sedna_db.Session.database session);
+    print_endline "checkpoint complete"
+  | "\\check" -> (
+    let db = Sedna_db.Session.database session in
+    match Integrity.check_all (Database.store db) with
+    | [] -> print_endline "all documents structurally consistent"
+    | problems ->
+      List.iter
+        (fun (doc, errs) ->
+          Printf.printf "document %S:\n" doc;
+          List.iter (fun e -> Printf.printf "  %s\n" e) errs)
+        problems)
+  | "\\quit" | "\\q" -> raise Exit
+  | text when String.length text > 9 && String.sub text 0 9 = "\\explain " -> (
+    let q = String.sub text 9 (String.length text - 9) in
+    try print_endline (Sedna_xquery.Xq_pp.explain q)
+    with e -> Printf.printf "error: %s\n" (Sedna_util.Error.to_string e))
+  | text -> (
+    try print_endline (Sedna_db.Session.execute_string session text)
+    with e -> Printf.printf "error: %s\n" (Sedna_util.Error.to_string e))
+
+let interactive session =
+  print_endline
+    "Sedna shell. Statements end with '&' on its own line; \\q quits.\n\
+     Commands: \\begin \\begin-ro \\commit \\rollback \\documents \\counters\n\
+     \\checkpoint \\check (integrity) \\explain <query>";
+  let buf = Buffer.create 256 in
+  try
+    while true do
+      print_string (if Buffer.length buf = 0 then "sedna> " else "     > ");
+      flush stdout;
+      match input_line stdin with
+      | exception End_of_file ->
+        if Buffer.length buf > 0 then run_statement session (Buffer.contents buf);
+        raise Exit
+      | "&" ->
+        run_statement session (Buffer.contents buf);
+        Buffer.clear buf
+      | line when Buffer.length buf = 0 && String.length line > 0 && line.[0] = '\\'
+        -> run_statement session line
+      | line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n'
+    done
+  with Exit -> ()
+
+let main db_dir create stmts =
+  let db =
+    if create || not (Sys.file_exists (Filename.concat db_dir "data.sdb")) then
+      Database.create db_dir
+    else Database.open_existing db_dir
+  in
+  let session = Sedna_db.Session.connect db in
+  (match stmts with
+   | [] -> interactive session
+   | stmts -> List.iter (run_statement session) stmts);
+  Database.close db
+
+open Cmdliner
+
+let db_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "db" ] ~docv:"DIR" ~doc:"Database directory (created if missing).")
+
+let create_arg =
+  Arg.(value & flag & info [ "create" ] ~doc:"Force creation of a fresh database.")
+
+let exec_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "exec"; "e" ] ~docv:"STMT"
+        ~doc:"Execute a statement and exit (repeatable).")
+
+let cmd =
+  let doc = "Sedna XML database shell" in
+  Cmd.v
+    (Cmd.info "sedna_cli" ~doc)
+    Term.(const main $ db_arg $ create_arg $ exec_arg)
+
+let () = exit (Cmd.eval cmd)

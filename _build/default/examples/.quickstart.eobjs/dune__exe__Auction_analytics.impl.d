@@ -1,0 +1,1 @@
+examples/auction_analytics.ml: Database Filename Loader Lock_mgr Printf Sedna_core Sedna_db Sedna_workloads Sys

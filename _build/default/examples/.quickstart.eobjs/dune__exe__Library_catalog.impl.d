@@ -1,0 +1,1 @@
+examples/library_catalog.ml: Catalog Database Filename List Loader Lock_mgr Printf Sedna_core Sedna_db Sedna_workloads Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Database Filename Printf Sedna_core Sedna_db Sys

@@ -1,0 +1,1 @@
+examples/storage_tour.ml: Catalog Database Filename Integrity List Loader Lock_mgr Printf Sedna_core Sedna_db Sedna_util Sedna_workloads Sedna_xquery String Sys

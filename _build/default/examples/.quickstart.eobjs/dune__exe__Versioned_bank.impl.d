@@ -1,0 +1,1 @@
+examples/versioned_bank.ml: Backup Database Filename List Printf Sedna_core Sedna_db Sedna_engine Sedna_xquery Sys

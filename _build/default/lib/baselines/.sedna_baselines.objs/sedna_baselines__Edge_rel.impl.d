@@ -1,0 +1,1 @@
+lib/baselines/edge_rel.ml: Array Buffer Hashtbl List Sedna_core Sedna_util Sedna_xml Xname

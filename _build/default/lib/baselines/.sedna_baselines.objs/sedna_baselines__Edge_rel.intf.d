@@ -1,0 +1,1 @@
+lib/baselines/edge_rel.mli: Sedna_xml

@@ -1,0 +1,1 @@
+lib/baselines/subtree_store.ml: Array Buffer Hashtbl List Obj Sedna_core Sedna_util Sedna_xml Xname

@@ -1,0 +1,1 @@
+lib/baselines/subtree_store.mli: Sedna_xml

@@ -1,0 +1,1 @@
+lib/baselines/swizzle.ml: Array Hashtbl Int64 Random

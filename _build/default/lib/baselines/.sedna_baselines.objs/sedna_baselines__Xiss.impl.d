@@ -1,0 +1,1 @@
+lib/baselines/xiss.ml: Array

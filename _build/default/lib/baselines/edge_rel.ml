@@ -1,0 +1,251 @@
+(* Baseline for E3: the relational approach of paper §2 — nodes in an
+   edge table, containment decided by structural joins over interval
+   labels (à la Al-Khalifa et al.).  Path steps are evaluated with
+   joins rather than pointer traversal. *)
+
+open Sedna_util
+
+type row = {
+  r_id : int;
+  r_parent : int;
+  r_kind : Sedna_core.Catalog.kind;
+  r_name : string; (* local name; "" for unnamed kinds *)
+  r_value : string;
+  r_start : int; (* interval label: start *)
+  r_end : int; (* interval label: end *)
+  r_level : int;
+}
+
+type t = {
+  mutable rows : row array; (* ordered by r_start = document order *)
+  mutable count : int;
+  by_name : (string, int list ref) Hashtbl.t; (* name -> row indexes, doc order *)
+  by_parent : (int, int list ref) Hashtbl.t; (* parent id -> children indexes *)
+  touched : (int, unit) Hashtbl.t; (* page-touch accounting (~64 rows/page) *)
+}
+
+let rows_per_page = Sedna_core.Page.page_size / 64
+
+let create () =
+  {
+    rows = [||];
+    count = 0;
+    by_name = Hashtbl.create 64;
+    by_parent = Hashtbl.create 256;
+    touched = Hashtbl.create 64;
+  }
+
+(* reading a row's fields touches the page holding it; rows are packed
+   in document order, as a clustered relational table would be *)
+let touch t i = Hashtbl.replace t.touched (i / rows_per_page) ()
+let reset_touches t = Hashtbl.reset t.touched
+let touches t = Hashtbl.length t.touched
+
+let of_events (events : Sedna_xml.Xml_event.t list) : t =
+  let rows = ref [] in
+  let counter = ref 0 in
+  let next_id = ref 0 in
+  let fresh_pre () =
+    incr counter;
+    !counter
+  in
+  let rec build parent level (evs : Sedna_xml.Xml_event.t list) :
+      Sedna_xml.Xml_event.t list =
+    match evs with
+    | [] -> []
+    | Sedna_xml.Xml_event.Start_document :: rest
+    | Sedna_xml.Xml_event.End_document :: rest -> build parent level rest
+    | Sedna_xml.Xml_event.Start_element (name, atts) :: rest ->
+      let id = !next_id in
+      incr next_id;
+      let start = fresh_pre () in
+      List.iter
+        (fun { Sedna_xml.Xml_event.name = an; value } ->
+          let aid = !next_id in
+          incr next_id;
+          let s = fresh_pre () in
+          rows :=
+            {
+              r_id = aid;
+              r_parent = id;
+              r_kind = Sedna_core.Catalog.Attribute;
+              r_name = Xname.local an;
+              r_value = value;
+              r_start = s;
+              r_end = s;
+              r_level = level + 1;
+            }
+            :: !rows)
+        atts;
+      let rest = build id (level + 1) rest in
+      let stop = fresh_pre () in
+      rows :=
+        {
+          r_id = id;
+          r_parent = parent;
+          r_kind = Sedna_core.Catalog.Element;
+          r_name = Xname.local name;
+          r_value = "";
+          r_start = start;
+          r_end = stop;
+          r_level = level;
+        }
+        :: !rows;
+      build parent level rest
+    | Sedna_xml.Xml_event.End_element :: rest -> rest
+    | Sedna_xml.Xml_event.Text s :: rest ->
+      let id = !next_id in
+      incr next_id;
+      let p = fresh_pre () in
+      rows :=
+        {
+          r_id = id;
+          r_parent = parent;
+          r_kind = Sedna_core.Catalog.Text;
+          r_name = "";
+          r_value = s;
+          r_start = p;
+          r_end = p;
+          r_level = level;
+        }
+        :: !rows;
+      build parent level rest
+    | Sedna_xml.Xml_event.Comment _ :: rest
+    | Sedna_xml.Xml_event.Processing_instruction _ :: rest ->
+      build parent level rest
+  in
+  let leftover = build (-1) 0 events in
+  ignore leftover;
+  let t = create () in
+  let arr = Array.of_list !rows in
+  Array.sort (fun a b -> compare a.r_start b.r_start) arr;
+  t.rows <- arr;
+  t.count <- Array.length arr;
+  Array.iteri
+    (fun i r ->
+      if r.r_kind = Sedna_core.Catalog.Element then begin
+        let cell =
+          match Hashtbl.find_opt t.by_name r.r_name with
+          | Some c -> c
+          | None ->
+            let c = ref [] in
+            Hashtbl.add t.by_name r.r_name c;
+            c
+        in
+        cell := i :: !cell
+      end;
+      let pc =
+        match Hashtbl.find_opt t.by_parent r.r_parent with
+        | Some c -> c
+        | None ->
+          let c = ref [] in
+          Hashtbl.add t.by_parent r.r_parent c;
+          c
+      in
+      pc := i :: !pc)
+    arr;
+  Hashtbl.iter (fun _ c -> c := List.rev !c) t.by_name;
+  Hashtbl.iter (fun _ c -> c := List.rev !c) t.by_parent;
+  t
+
+let rows_named t name : int list =
+  match Hashtbl.find_opt t.by_name name with Some c -> !c | None -> []
+
+(* Structural containment join: ancestors x descendants, both lists in
+   document (r_start) order; stack-based merge (the ICDE'02 stack-tree
+   join).  Returns descendant row indexes with an ancestor above them. *)
+let containment_join t (ancs : int list) (descs : int list) : int list =
+  let result = ref [] in
+  let stack = ref [] in
+  let rec go ancs descs =
+    match (ancs, descs) with
+    | [], [] -> ()
+    | a :: arest, d :: drest ->
+      touch t a;
+      touch t d;
+      let ra = t.rows.(a) and rd = t.rows.(d) in
+      if ra.r_start < rd.r_start then begin
+        (* push ancestor after popping finished ones *)
+        stack := List.filter (fun s -> t.rows.(s).r_end > ra.r_start) !stack;
+        stack := a :: !stack;
+        go arest descs
+      end
+      else begin
+        stack := List.filter (fun s -> t.rows.(s).r_end > rd.r_start) !stack;
+        if !stack <> [] then result := d :: !result;
+        go ancs drest
+      end
+    | [], d :: drest ->
+      touch t d;
+      let rd = t.rows.(d) in
+      stack := List.filter (fun s -> t.rows.(s).r_end > rd.r_start) !stack;
+      if !stack <> [] then result := d :: !result;
+      go [] drest
+    | _ :: _, [] -> ()
+  in
+  go ancs descs;
+  List.rev !result
+
+(* child step via parent-id join *)
+let child_join t (parents : int list) (name : string) : int list =
+  let wanted = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      touch t i;
+      Hashtbl.replace wanted t.rows.(i).r_id ())
+    parents;
+  rows_named t name
+  |> List.filter (fun i ->
+         touch t i;
+         Hashtbl.mem wanted t.rows.(i).r_parent)
+
+(* evaluate a path of (axis, name) steps from the document root *)
+type step = Child_step of string | Desc_step of string
+
+let eval_path t (steps : step list) : int list =
+  let root_ids = [] in
+  ignore root_ids;
+  let rec go current steps =
+    match steps with
+    | [] -> current
+    | Child_step n :: rest ->
+      let next =
+        match current with
+        | None -> (* from root: elements at level 0 *)
+          rows_named t n
+          |> List.filter (fun i ->
+                 touch t i;
+                 t.rows.(i).r_level = 0)
+        | Some cur -> child_join t cur n
+      in
+      go (Some next) rest
+    | Desc_step n :: rest ->
+      let cands = rows_named t n in
+      let next =
+        match current with
+        | None ->
+          List.iter (fun i -> touch t i) cands;
+          cands
+        | Some cur -> containment_join t cur cands
+      in
+      go (Some next) rest
+  in
+  match go None steps with None -> [] | Some r -> r
+
+let string_value t i =
+  let r = t.rows.(i) in
+  if r.r_kind <> Sedna_core.Catalog.Element then r.r_value
+  else begin
+    (* concatenate text rows within the interval *)
+    let b = Buffer.create 32 in
+    Array.iter
+      (fun row ->
+        if
+          row.r_kind = Sedna_core.Catalog.Text
+          && row.r_start > r.r_start && row.r_end < r.r_end
+        then Buffer.add_string b row.r_value)
+      t.rows;
+    Buffer.contents b
+  end
+
+let row_count t = t.count

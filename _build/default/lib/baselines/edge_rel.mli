@@ -1,0 +1,33 @@
+(** Baseline for bench E3: the relational strategy of paper §2 — an
+    edge table with (pre, post) interval labels; path steps evaluate as
+    joins (hash join on parent ids for child steps, a stack-based
+    structural containment join for descendant steps).
+
+    Rows pack into pages in document order; reading a row's fields
+    touches its page, giving the page-I/O comparison the bench
+    reports. *)
+
+type t
+
+val of_events : Sedna_xml.Xml_event.t list -> t
+
+type step = Child_step of string | Desc_step of string
+
+val eval_path : t -> step list -> int list
+(** Evaluate a path of steps from the document root; returns row
+    indexes of the result nodes in document order. *)
+
+val rows_named : t -> string -> int list
+(** The element-name index (doc-order row list). *)
+
+val containment_join : t -> int list -> int list -> int list
+(** Stack-tree structural join: descendants (2nd list) having an
+    ancestor in the 1st; both inputs in document order. *)
+
+val child_join : t -> int list -> string -> int list
+
+val string_value : t -> int -> string
+
+val reset_touches : t -> unit
+val touches : t -> int
+val row_count : t -> int

@@ -1,0 +1,254 @@
+(* Baseline for E2: a subtree-based clustering storage (the strategy of
+   Natix/TIMBER discussed in paper §2): nodes are packed into pages in
+   depth-first subtree order, so an element and its sub-elements sit
+   together.
+
+   The store is an in-memory simulation that counts page touches — the
+   quantity the clustering argument is about.  Record size matches the
+   Sedna descriptor scale so page capacities are comparable. *)
+
+open Sedna_util
+
+type node = {
+  id : int;
+  kind : Sedna_core.Catalog.kind;
+  name : Xname.t option;
+  value : string;
+  mutable parent : int; (* -1 = none *)
+  mutable first_child : int;
+  mutable next_sibling : int;
+  mutable page : int; (* page this node's record lives in *)
+}
+
+type t = {
+  mutable nodes : node array;
+  mutable count : int;
+  record_size : int;
+  page_size : int;
+  mutable page_count : int;
+  mutable touched : (int, unit) Hashtbl.t; (* page-touch tracking *)
+}
+
+let create ?(record_size = 80) ?(page_size = Sedna_core.Page.page_size) () =
+  {
+    nodes = Array.make 1024 (Obj.magic None);
+    count = 0;
+    record_size;
+    page_size;
+    page_count = 0;
+    touched = Hashtbl.create 64;
+  }
+
+let node t id = t.nodes.(id)
+
+let touch t page = Hashtbl.replace t.touched page ()
+
+let reset_touches t = Hashtbl.reset t.touched
+
+let touches t = Hashtbl.length t.touched
+
+let add_node t ~kind ~name ~value ~parent =
+  if t.count = Array.length t.nodes then begin
+    let bigger = Array.make (2 * Array.length t.nodes) t.nodes.(0) in
+    Array.blit t.nodes 0 bigger 0 t.count;
+    t.nodes <- bigger
+  end;
+  let id = t.count in
+  t.count <- id + 1;
+  t.nodes.(id) <-
+    {
+      id;
+      kind;
+      name;
+      value;
+      parent;
+      first_child = -1;
+      next_sibling = -1;
+      page = -1;
+    };
+  (* link into the parent *)
+  if parent >= 0 then begin
+    let p = t.nodes.(parent) in
+    if p.first_child < 0 then p.first_child <- id
+    else begin
+      let rec last c =
+        if t.nodes.(c).next_sibling < 0 then c else last t.nodes.(c).next_sibling
+      in
+      t.nodes.(last p.first_child).next_sibling <- id
+    end
+  end;
+  id
+
+(* Pack records into pages in depth-first order: subtree clustering. *)
+let assign_pages t =
+  let per_page = t.page_size / t.record_size in
+  let next = ref 0 in
+  let used = ref 0 in
+  let place n =
+    if !used = per_page then begin
+      incr next;
+      used := 0
+    end;
+    n.page <- !next;
+    incr used
+  in
+  let rec dfs id =
+    if id >= 0 then begin
+      place t.nodes.(id);
+      let rec kids c =
+        if c >= 0 then begin
+          dfs c;
+          kids t.nodes.(c).next_sibling
+        end
+      in
+      kids t.nodes.(id).first_child
+    end
+  in
+  if t.count > 0 then dfs 0;
+  t.page_count <- !next + 1
+
+(* Build from an XML event stream. *)
+let of_events (events : Sedna_xml.Xml_event.t list) : t =
+  let t = create () in
+  let root = add_node t ~kind:Sedna_core.Catalog.Document ~name:None ~value:"" ~parent:(-1) in
+  let stack = ref [ root ] in
+  List.iter
+    (fun (e : Sedna_xml.Xml_event.t) ->
+      match e with
+      | Sedna_xml.Xml_event.Start_document | Sedna_xml.Xml_event.End_document ->
+        ()
+      | Sedna_xml.Xml_event.Start_element (name, atts) ->
+        let parent = List.hd !stack in
+        let id =
+          add_node t ~kind:Sedna_core.Catalog.Element ~name:(Some name)
+            ~value:"" ~parent
+        in
+        List.iter
+          (fun { Sedna_xml.Xml_event.name = an; value } ->
+            ignore
+              (add_node t ~kind:Sedna_core.Catalog.Attribute ~name:(Some an)
+                 ~value ~parent:id))
+          atts;
+        stack := id :: !stack
+      | Sedna_xml.Xml_event.End_element -> stack := List.tl !stack
+      | Sedna_xml.Xml_event.Text s ->
+        ignore
+          (add_node t ~kind:Sedna_core.Catalog.Text ~name:None ~value:s
+             ~parent:(List.hd !stack))
+      | Sedna_xml.Xml_event.Comment s ->
+        ignore
+          (add_node t ~kind:Sedna_core.Catalog.Comment ~name:None ~value:s
+             ~parent:(List.hd !stack))
+      | Sedna_xml.Xml_event.Processing_instruction (target, data) ->
+        ignore
+          (add_node t ~kind:Sedna_core.Catalog.Pi ~name:(Some (Xname.make target))
+             ~value:data ~parent:(List.hd !stack)))
+    events;
+  assign_pages t;
+  t
+
+(* ---- operations (each touch counts the containing page) ---------------- *)
+
+let children t id =
+  touch t (node t id).page;
+  let rec go acc c =
+    if c < 0 then List.rev acc
+    else begin
+      touch t (node t c).page;
+      go (c :: acc) (node t c).next_sibling
+    end
+  in
+  go [] (node t id).first_child
+
+(* all descendants with a given element name, document order *)
+let scan_descendants_named t id (name : string) : int list =
+  let acc = ref [] in
+  let rec dfs c =
+    if c >= 0 then begin
+      touch t (node t c).page;
+      let n = node t c in
+      (match (n.kind, n.name) with
+       | Sedna_core.Catalog.Element, Some nm when Xname.local nm = name ->
+         acc := c :: !acc
+       | _ -> ());
+      let rec kids k =
+        if k >= 0 then begin
+          dfs k;
+          kids (node t k).next_sibling
+        end
+      in
+      kids n.first_child
+    end
+  in
+  let rec kids k =
+    if k >= 0 then begin
+      dfs k;
+      kids (node t k).next_sibling
+    end
+  in
+  touch t (node t id).page;
+  kids (node t id).first_child;
+  List.rev !acc
+
+(* reconstruct a whole element (serialize its subtree) *)
+let rec subtree_string t id : string =
+  let n = node t id in
+  touch t n.page;
+  match n.kind with
+  | Sedna_core.Catalog.Text -> n.value
+  | Sedna_core.Catalog.Attribute -> ""
+  | _ ->
+    let b = Buffer.create 64 in
+    (match n.name with
+     | Some nm ->
+       Buffer.add_char b '<';
+       Buffer.add_string b (Xname.to_string nm)
+     | None -> ());
+    let rec attrs c =
+      if c >= 0 then begin
+        let cn = node t c in
+        if cn.kind = Sedna_core.Catalog.Attribute then begin
+          touch t cn.page;
+          Buffer.add_char b ' ';
+          (match cn.name with
+           | Some nm -> Buffer.add_string b (Xname.to_string nm)
+           | None -> ());
+          Buffer.add_string b "=\"";
+          Buffer.add_string b cn.value;
+          Buffer.add_char b '"'
+        end;
+        attrs cn.next_sibling
+      end
+    in
+    attrs n.first_child;
+    if n.name <> None then Buffer.add_char b '>';
+    let rec content c =
+      if c >= 0 then begin
+        let cn = node t c in
+        if cn.kind <> Sedna_core.Catalog.Attribute then
+          Buffer.add_string b (subtree_string t c);
+        content cn.next_sibling
+      end
+    in
+    content n.first_child;
+    (match n.name with
+     | Some nm ->
+       Buffer.add_string b "</";
+       Buffer.add_string b (Xname.to_string nm);
+       Buffer.add_char b '>'
+     | None -> ());
+    Buffer.contents b
+
+let find_first_named t name =
+  let rec go i =
+    if i >= t.count then None
+    else
+      let n = node t i in
+      match (n.kind, n.name) with
+      | Sedna_core.Catalog.Element, Some nm when Xname.local nm = name -> Some i
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let page_count t = t.page_count
+let node_count t = t.count

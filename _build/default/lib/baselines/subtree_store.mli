@@ -1,0 +1,30 @@
+(** Baseline for bench E2: subtree-based clustering (the Natix/TIMBER
+    strategy of paper §2) — nodes pack into pages in depth-first order
+    so an element sits with its sub-elements.  An in-memory simulation
+    that counts page touches, the quantity the clustering argument is
+    about; record size matches the Sedna descriptor scale. *)
+
+type t
+
+val create : ?record_size:int -> ?page_size:int -> unit -> t
+
+val of_events : Sedna_xml.Xml_event.t list -> t
+(** Build the store and assign DFS page placement. *)
+
+val reset_touches : t -> unit
+val touches : t -> int
+(** Distinct pages touched since the last reset. *)
+
+val children : t -> int -> int list
+
+val scan_descendants_named : t -> int -> string -> int list
+(** All descendant elements with this name — a full subtree walk, the
+    cost the schema-clustered store avoids. *)
+
+val subtree_string : t -> int -> string
+(** Whole-element reconstruction — the operation subtree clustering is
+    good at. *)
+
+val find_first_named : t -> string -> int option
+val page_count : t -> int
+val node_count : t -> int

@@ -1,0 +1,53 @@
+(* Baseline for E7: pointer dereferencing through a swizzling /
+   translation table (paper §2, "Memory management"): the database
+   pointer representation differs from the in-memory one, so every
+   dereference pays a table lookup to convert.  Sedna's layer-equality
+   mapping makes the two representations identical.
+
+   The experiment: build a linked chain of records spread over pages;
+   chase it N times, dereferencing each hop through (a) a hash-table
+   translation (this module) vs (b) the buffer manager's VAS fast path
+   (Buffer_mgr with use_vas = true) vs (c) the buffer manager's hash
+   table only (use_vas = false). *)
+
+type t = {
+  table : (int64, int) Hashtbl.t; (* DAS pointer -> in-memory index *)
+  memory : int64 array; (* each cell holds the DAS pointer of the next hop *)
+}
+
+(* Build a chain of [n] cells whose DAS addresses are sparse (page-like
+   spacing), linked in a shuffled order. *)
+let build ?(seed = 42) n : t * int64 =
+  let rng = Random.State.make [| seed |] in
+  let order = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  let das_of i = Int64.of_int ((i * 4096) + 64) in
+  let table = Hashtbl.create (2 * n) in
+  let memory = Array.make n 0L in
+  Array.iteri (fun mem_idx i -> Hashtbl.replace table (das_of i) mem_idx) order
+  |> ignore;
+  (* link cell order.(k) -> order.(k+1) *)
+  for k = 0 to n - 1 do
+    let cur = order.(k) in
+    let next = order.((k + 1) mod n) in
+    let mem_idx = Hashtbl.find table (das_of cur) in
+    memory.(mem_idx) <- das_of next
+  done;
+  ({ table; memory }, das_of order.(0))
+
+(* chase [hops] dereferences; returns a checksum so the loop is not
+   optimized away *)
+let chase (t : t) (start : int64) (hops : int) : int64 =
+  let p = ref start in
+  let acc = ref 0L in
+  for _ = 1 to hops do
+    let mem_idx = Hashtbl.find t.table !p in
+    p := t.memory.(mem_idx);
+    acc := Int64.add !acc !p
+  done;
+  !acc

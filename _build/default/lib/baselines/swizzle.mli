@@ -1,0 +1,15 @@
+(** Baseline for bench E7: dereferencing through a swizzling /
+    translation table (paper §2): the database pointer representation
+    differs from the in-memory one, so every dereference pays a table
+    lookup.  Build a shuffled chain of cells and chase it. *)
+
+type t
+
+val build : ?seed:int -> int -> t * int64
+(** [build n] — a chain of [n] cells at sparse page-like DAS
+    addresses; returns the store and the chain's entry pointer. *)
+
+val chase : t -> int64 -> int -> int64
+(** [chase t start hops] — follow the chain [hops] times through the
+    translation table; returns a checksum so the loop is not optimized
+    away. *)

@@ -1,0 +1,105 @@
+(* Baseline for E5: an XISS-style numbering scheme (paper §4.1.1's
+   "main drawback" reference): each node carries an integer pair
+   (order, size); a child fits inside its parent's range, and sibling
+   gaps allow some insertions — but when a gap is exhausted, labels
+   must be reconstructed (relabeling), which is exactly what Sedna's
+   string-based scheme avoids.
+
+   The simulation tracks sibling gap consumption at one level: nodes
+   are (order) integers inside a parent range; inserting between two
+   adjacent nodes with no room left triggers a relabel of the whole
+   level (counted, with its size). *)
+
+type t = {
+  mutable orders : int array; (* sorted orders of current siblings *)
+  mutable count : int;
+  mutable range : int; (* parent's range: orders live in [1, range] *)
+  mutable relabels : int;
+  mutable relabeled_nodes : int;
+}
+
+let create ?(initial_range = 1 lsl 20) () =
+  {
+    orders = Array.make 16 0;
+    count = 0;
+    range = initial_range;
+    relabels = 0;
+    relabeled_nodes = 0;
+  }
+
+let count t = t.count
+let relabels t = t.relabels
+let relabeled_nodes t = t.relabeled_nodes
+
+let ensure_capacity t =
+  if t.count = Array.length t.orders then begin
+    let bigger = Array.make (2 * Array.length t.orders) 0 in
+    Array.blit t.orders 0 bigger 0 t.count;
+    t.orders <- bigger
+  end
+
+(* spread existing nodes uniformly over the (possibly doubled) range *)
+let relabel t =
+  t.relabels <- t.relabels + 1;
+  t.relabeled_nodes <- t.relabeled_nodes + t.count;
+  if t.range / (t.count + 1) < 2 then t.range <- t.range * 2;
+  let gap = t.range / (t.count + 1) in
+  for i = 0 to t.count - 1 do
+    t.orders.(i) <- (i + 1) * gap
+  done
+
+(* append after the current last sibling *)
+let rec append t =
+  ensure_capacity t;
+  let last = if t.count = 0 then 0 else t.orders.(t.count - 1) in
+  let order =
+    if last + 1 > t.range then (
+      relabel t;
+      let last = if t.count = 0 then 0 else t.orders.(t.count - 1) in
+      last + ((t.range - last) / 2))
+    else last + ((t.range - last + 1) / 2)
+  in
+  let order = if order <= last then last + 1 else order in
+  if order > t.range then begin
+    relabel t;
+    append_after_relabel t
+  end
+  else begin
+    t.orders.(t.count) <- order;
+    t.count <- t.count + 1
+  end
+
+and append_after_relabel t =
+  ensure_capacity t;
+  let last = if t.count = 0 then 0 else t.orders.(t.count - 1) in
+  let order = last + ((t.range - last + 1) / 2) in
+  let order = if order <= last then last + 1 else order in
+  t.orders.(t.count) <- order;
+  t.count <- t.count + 1
+
+(* insert between positions i and i+1 (0-based); i = -1 inserts first *)
+let insert_between t i =
+  ensure_capacity t;
+  let lo = if i < 0 then 0 else t.orders.(i) in
+  let hi = if i + 1 >= t.count then t.range + 1 else t.orders.(i + 1) in
+  let order =
+    if hi - lo <= 1 then begin
+      relabel t;
+      (* after relabeling, recompute the spot *)
+      let lo = if i < 0 then 0 else t.orders.(i) in
+      let hi = if i + 1 >= t.count then t.range + 1 else t.orders.(i + 1) in
+      lo + ((hi - lo) / 2)
+    end
+    else lo + ((hi - lo) / 2)
+  in
+  (* shift right *)
+  Array.blit t.orders (i + 1) t.orders (i + 2) (t.count - i - 1);
+  t.orders.(i + 1) <- order;
+  t.count <- t.count + 1
+
+let is_sorted t =
+  let ok = ref true in
+  for i = 1 to t.count - 1 do
+    if t.orders.(i) <= t.orders.(i - 1) then ok := false
+  done;
+  !ok

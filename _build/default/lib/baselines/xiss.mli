@@ -1,0 +1,24 @@
+(** Baseline for bench E5: an XISS-style integer numbering scheme —
+    the "main drawback" reference of paper §4.1.1.  Sibling orders are
+    integers in a parent range; when the gap between two adjacent
+    siblings is exhausted, the whole level is relabeled (counted along
+    with how many labels each relabeling rewrites). *)
+
+type t
+
+val create : ?initial_range:int -> unit -> t
+
+val append : t -> unit
+(** Add a sibling after the current last one. *)
+
+val insert_between : t -> int -> unit
+(** Insert between positions i and i+1 (0-based; -1 = before the
+    first); relabels the level when the gap is gone. *)
+
+val count : t -> int
+val relabels : t -> int
+val relabeled_nodes : t -> int
+(** Total labels rewritten across all relabelings — the work Sedna's
+    string scheme never does. *)
+
+val is_sorted : t -> bool

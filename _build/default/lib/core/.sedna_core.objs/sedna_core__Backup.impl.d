@@ -1,0 +1,1 @@
+lib/core/backup.ml: Bytes Database Error Filename Printf Sedna_util Sys Unix

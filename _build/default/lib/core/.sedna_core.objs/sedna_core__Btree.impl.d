@@ -1,0 +1,1 @@
+lib/core/btree.ml: Buffer_mgr Bytes Bytes_util Int64 List Page Sedna_util String Xptr

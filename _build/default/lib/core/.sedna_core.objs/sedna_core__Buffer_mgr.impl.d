@@ -1,0 +1,1 @@
+lib/core/buffer_mgr.ml: Array Bytes Bytes_util Counters File_store Fun Hashtbl Page Sedna_util Xptr

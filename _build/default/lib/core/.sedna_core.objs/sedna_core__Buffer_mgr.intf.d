@@ -1,0 +1,1 @@
+lib/core/buffer_mgr.mli: Bytes File_store Xptr

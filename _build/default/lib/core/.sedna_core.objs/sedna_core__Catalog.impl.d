@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Error Hashtbl List Marshal Option Sedna_util Xname Xptr

@@ -1,0 +1,1 @@
+lib/core/catalog.mli: Hashtbl Sedna_util Xptr

@@ -1,0 +1,1 @@
+lib/core/database.ml: Buffer_mgr Bytes Catalog Error File_store Filename Fun Hashtbl List Lock_mgr Logs Sedna_util Store Sys Txn Unix Versions Wal

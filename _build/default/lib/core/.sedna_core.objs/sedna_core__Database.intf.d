@@ -1,0 +1,1 @@
+lib/core/database.mli: Buffer_mgr Catalog Lock_mgr Store Txn Versions

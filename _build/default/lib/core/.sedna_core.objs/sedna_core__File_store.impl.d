@@ -1,0 +1,1 @@
+lib/core/file_store.ml: Bytes Counters Error Page Sedna_util Unix

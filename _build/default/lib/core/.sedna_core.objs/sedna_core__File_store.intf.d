@@ -1,0 +1,1 @@
+lib/core/file_store.mli: Bytes

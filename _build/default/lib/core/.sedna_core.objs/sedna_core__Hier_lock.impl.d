@@ -1,0 +1,1 @@
+lib/core/hier_lock.ml: Hashtbl List Option Sedna_nid

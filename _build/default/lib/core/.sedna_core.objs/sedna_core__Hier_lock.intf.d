@@ -1,0 +1,1 @@
+lib/core/hier_lock.mli: Sedna_nid

@@ -1,0 +1,1 @@
+lib/core/index_mgr.ml: Btree Catalog Indirection List Node Node_ser Option Sedna_nid Sedna_util Seq Store String Traverse Xname Xptr

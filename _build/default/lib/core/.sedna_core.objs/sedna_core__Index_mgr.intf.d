@@ -1,0 +1,1 @@
+lib/core/index_mgr.mli: Catalog Node Store Xptr

@@ -1,0 +1,1 @@
+lib/core/indirection.ml: Buffer_mgr Catalog Error Int64 Page Sedna_util Xptr

@@ -1,0 +1,1 @@
+lib/core/integrity.ml: Catalog Format Indirection List Node Node_block Sedna_nid Seq Store Traverse Xptr

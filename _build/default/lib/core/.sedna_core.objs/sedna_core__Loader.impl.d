@@ -1,0 +1,1 @@
+lib/core/loader.ml: Buffer Catalog Error List Node Node_block Sedna_nid Sedna_util Sedna_xml Store String Update_ops Xname Xptr

@@ -1,0 +1,1 @@
+lib/core/node.ml: Catalog Counters Format Indirection List Node_block Sedna_nid Sedna_util Store Text_store Xname Xptr

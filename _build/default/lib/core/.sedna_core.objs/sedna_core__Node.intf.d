@@ -1,0 +1,1 @@
+lib/core/node.mli: Catalog Format Sedna_nid Sedna_util Store Xptr

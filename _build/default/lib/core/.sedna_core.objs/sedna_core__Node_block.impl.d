@@ -1,0 +1,1 @@
+lib/core/node_block.ml: Buffer_mgr Bytes_util Catalog Counters Error Page Sedna_nid Sedna_util String Text_store Xptr

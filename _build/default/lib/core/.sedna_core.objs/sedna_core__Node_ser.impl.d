@@ -1,0 +1,1 @@
+lib/core/node_ser.ml: Catalog List Node Sedna_util Sedna_xml Store String Xname

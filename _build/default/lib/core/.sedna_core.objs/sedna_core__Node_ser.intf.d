@@ -1,0 +1,1 @@
+lib/core/node_ser.mli: Node Sedna_xml Store

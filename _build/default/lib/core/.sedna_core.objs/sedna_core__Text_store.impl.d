@@ -1,0 +1,1 @@
+lib/core/text_store.ml: Buffer Buffer_mgr Bytes Bytes_util Catalog Error List Page Sedna_util String Xptr

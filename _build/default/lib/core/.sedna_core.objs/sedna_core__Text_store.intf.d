@@ -1,0 +1,1 @@
+lib/core/text_store.mli: Buffer_mgr Catalog Xptr

@@ -1,0 +1,1 @@
+lib/core/traverse.ml: Catalog List Node Node_block Sedna_nid Sedna_util Seq Store Xname

@@ -1,0 +1,1 @@
+lib/core/traverse.mli: Catalog Node Sedna_util Seq Store

@@ -1,0 +1,1 @@
+lib/core/txn.mli: Bytes Catalog Hashtbl

@@ -1,0 +1,1 @@
+lib/core/update_ops.ml: Catalog Counters Indirection List Node Node_block Option Sedna_nid Sedna_util Store String Text_store Xname Xptr

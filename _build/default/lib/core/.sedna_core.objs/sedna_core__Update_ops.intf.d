@@ -1,0 +1,1 @@
+lib/core/update_ops.mli: Catalog Node Sedna_nid Sedna_util Store Xptr

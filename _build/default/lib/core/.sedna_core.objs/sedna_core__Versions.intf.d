@@ -1,0 +1,1 @@
+lib/core/versions.mli: Bytes

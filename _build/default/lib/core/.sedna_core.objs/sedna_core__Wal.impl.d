@@ -1,0 +1,1 @@
+lib/core/wal.ml: Bytes Bytes_util Char List Option Sedna_util String Sys Unix

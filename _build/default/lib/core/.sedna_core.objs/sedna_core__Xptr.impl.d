@@ -1,0 +1,1 @@
+lib/core/xptr.ml: Format Int64 Page

@@ -1,0 +1,1 @@
+lib/core/xptr.mli: Format

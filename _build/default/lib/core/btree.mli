@@ -1,0 +1,40 @@
+(** B+-trees over node handles, the backing structure of value indexes.
+
+    Index entries refer to nodes by handle (paper §4.1.2) precisely
+    because handles survive descriptor relocation.  Keys are byte
+    strings compared lexicographically; {!encode_number} maps floats to
+    order-preserving byte strings so numeric indexes reuse the same
+    tree.  Duplicate keys are allowed (one entry per (key, value)
+    pair); deletion removes entries without rebalancing (documented
+    simplification). *)
+
+type t = { bm : Buffer_mgr.t; mutable root : Xptr.t }
+
+val create : Buffer_mgr.t -> t
+(** A fresh empty tree (one leaf page). *)
+
+val of_root : Buffer_mgr.t -> Xptr.t -> t
+(** Re-open a tree from its persisted root pointer. *)
+
+val root : t -> Xptr.t
+(** Persist this after inserts: splits can move the root. *)
+
+val insert : t -> key:string -> value:Xptr.t -> unit
+
+val delete : t -> key:string -> value:Xptr.t -> bool
+(** Remove one (key, value) entry; [false] when absent. *)
+
+val lookup : t -> string -> Xptr.t list
+(** All values for a key, crossing leaf boundaries for long runs. *)
+
+val range : t -> ?lo:string -> ?hi:string -> unit -> (string * Xptr.t) list
+(** Inclusive range scan over the leaf chain; open ends by omission. *)
+
+val encode_number : float -> string
+(** Order-preserving 8-byte encoding ([a < b] iff encodings compare
+    the same way, including negatives and infinities). *)
+
+val decode_number : string -> float
+
+val height : t -> Xptr.t -> int
+val entry_count : t -> int

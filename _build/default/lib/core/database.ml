@@ -1,0 +1,364 @@
+(* The database: files, buffer, WAL, versions, locks, catalog and the
+   transaction table — the per-database half of Figure 1's "database
+   manager" (buffer manager + transaction manager).
+
+   On-disk layout in the database directory:
+     data.sdb     pages (master page + node/text/indirection/btree blocks)
+     wal.sdb      write-ahead log since the last checkpoint
+     catalog.sdb  checkpointed catalog (Marshal blob)
+
+   Opening a database runs the two-step recovery of paper §6.4: load
+   the checkpointed (persistent-snapshot) state, then redo the
+   committed transactions found in the WAL. *)
+
+open Sedna_util
+
+type t = {
+  dir : string;
+  fs : File_store.t;
+  bm : Buffer_mgr.t;
+  wal : Wal.t;
+  versions : Versions.t;
+  locks : Lock_mgr.t;
+  mutable cat : Catalog.t;
+  mutable next_txn_id : int;
+  active : (int, Txn.t) Hashtbl.t;
+  mutable current : Txn.t option; (* transaction executing right now *)
+}
+
+let store db : Store.t = Store.create db.bm db.cat
+
+let catalog db = db.cat
+let buffer db = db.bm
+let lock_manager db = db.locks
+let versions db = db.versions
+let directory db = db.dir
+
+(* ---- write / read hooks ------------------------------------------------ *)
+
+(* Every page write is attributed to the current transaction: first
+   write captures the before-image and pins the page (uncommitted
+   pages must not reach the data file). *)
+let install_hooks db =
+  Buffer_mgr.set_write_hook db.bm (fun pid ->
+      match db.current with
+      | Some txn when not txn.Txn.read_only ->
+        if not (Txn.touched txn pid) then begin
+          let img = Buffer_mgr.page_image db.bm pid in
+          Txn.record_write txn ~pid ~image:img;
+          Buffer_mgr.pin_pid db.bm pid
+        end
+      | Some txn when txn.Txn.read_only ->
+        Error.raise_error Error.Txn_read_only
+          "write attempted by read-only transaction %d" txn.Txn.id
+      | _ -> () (* internal maintenance outside any transaction *))
+
+(* Snapshot view for a read-only transaction: pages dirtied by an
+   active updater are served from that updater's before-image; pages
+   with newer committed versions come from the version store. *)
+let overlay_for db (reader : Txn.t) pid : Bytes.t option =
+  let uncommitted_before () =
+    Hashtbl.fold
+      (fun _ (txn : Txn.t) acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if (not txn.Txn.read_only) && Txn.is_active txn then
+            Txn.before_image txn pid
+          else None)
+      db.active None
+  in
+  match Versions.read_for_snapshot db.versions ~snapshot_ts:reader.Txn.snapshot_ts pid with
+  | Some img -> Some img
+  | None -> uncommitted_before ()
+
+(* ---- lifecycle ----------------------------------------------------------- *)
+
+let data_path dir = Filename.concat dir "data.sdb"
+let wal_path dir = Filename.concat dir "wal.sdb"
+let catalog_path dir = Filename.concat dir "catalog.sdb"
+
+let write_catalog_file db =
+  let blob =
+    Catalog.serialize db.cat ~page_count:(File_store.page_count db.fs)
+      ~free_pages:(File_store.free_list db.fs)
+  in
+  let tmp = catalog_path db.dir ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc blob;
+  close_out oc;
+  Sys.rename tmp (catalog_path db.dir)
+
+let read_catalog_file dir =
+  let ic = open_in_bin (catalog_path dir) in
+  let len = in_channel_length ic in
+  let blob = really_input_string ic len in
+  close_in ic;
+  Catalog.deserialize blob
+
+let checkpoint db =
+  (* A checkpoint fixates a transaction-consistent state: all committed
+     pages go to the data file, the catalog is persisted, and the log
+     is truncated (paper §6.4: "a checkpoint may be created to fixate
+     transaction-consistent state... we call such a state a persistent
+     snapshot"). *)
+  if Hashtbl.length db.active > 0 then
+    Error.raise_error Error.Txn_not_active
+      "checkpoint with active transactions is not supported";
+  Buffer_mgr.flush_all db.bm;
+  write_catalog_file db;
+  Wal.reset db.wal;
+  Wal.append db.wal Wal.Checkpoint;
+  Wal.sync db.wal
+
+let create ?(buffer_frames = 256) dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let fs = File_store.create (data_path dir) in
+  let bm = Buffer_mgr.create ~frames:buffer_frames fs in
+  let wal = Wal.create (wal_path dir) in
+  let db =
+    {
+      dir;
+      fs;
+      bm;
+      wal;
+      versions = Versions.create ();
+      locks = Lock_mgr.create ();
+      cat = Catalog.create ();
+      next_txn_id = 1;
+      active = Hashtbl.create 8;
+      current = None;
+    }
+  in
+  install_hooks db;
+  checkpoint db;
+  db
+
+(* Two-step recovery (paper §6.4): step 1 restores the persistent
+   snapshot (data file + checkpointed catalog); step 2 replays the
+   page images of committed transactions from the WAL, in log order,
+   and adopts the last committed catalog. *)
+let recover db =
+  let records = Wal.read_all (wal_path db.dir) in
+  (* find committed transaction ids *)
+  let committed = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Wal.Commit (txn, _) -> Hashtbl.replace committed txn true
+      | _ -> ())
+    records;
+  let replayed = ref 0 in
+  let last_catalog = ref None in
+  List.iter
+    (function
+      | Wal.Image (txn, pid, img) when Hashtbl.mem committed txn ->
+        (* the data file may be shorter than the replayed page set *)
+        while File_store.page_count db.fs <= pid do
+          ignore (File_store.allocate db.fs)
+        done;
+        Buffer_mgr.set_page_image db.bm pid img;
+        incr replayed
+      | Wal.Commit (txn, Some blob) when Hashtbl.mem committed txn ->
+        last_catalog := Some blob
+      | _ -> ())
+    records;
+  (match !last_catalog with
+   | Some blob ->
+     let p = Catalog.deserialize blob in
+     db.cat <- p.Catalog.p_catalog;
+     File_store.set_page_count db.fs p.Catalog.p_page_count;
+     File_store.set_free_list db.fs p.Catalog.p_free_pages
+   | None -> ());
+  !replayed
+
+let open_existing ?(buffer_frames = 256) dir =
+  let fs = File_store.open_existing (data_path dir) in
+  let bm = Buffer_mgr.create ~frames:buffer_frames fs in
+  let wal = Wal.open_existing (wal_path dir) in
+  let p = read_catalog_file dir in
+  File_store.set_page_count fs p.Catalog.p_page_count;
+  File_store.set_free_list fs p.Catalog.p_free_pages;
+  let db =
+    {
+      dir;
+      fs;
+      bm;
+      wal;
+      versions = Versions.create ();
+      locks = Lock_mgr.create ();
+      cat = p.Catalog.p_catalog;
+      next_txn_id = 1;
+      active = Hashtbl.create 8;
+      current = None;
+    }
+  in
+  install_hooks db;
+  let replayed = recover db in
+  if replayed > 0 then Logs.info (fun m -> m "recovery replayed %d page images" replayed);
+  (* make the recovered state the new persistent snapshot *)
+  checkpoint db;
+  db
+
+let close db =
+  checkpoint db;
+  Wal.close db.wal;
+  File_store.close db.fs
+
+(* ---- transactions --------------------------------------------------------- *)
+
+let begin_txn ?(read_only = false) db : Txn.t =
+  let id = db.next_txn_id in
+  db.next_txn_id <- id + 1;
+  let snapshot_ts, reader_catalog =
+    if read_only then
+      let ts = Versions.acquire_snapshot db.versions in
+      (* the reader's catalog is a private copy consistent with its
+         snapshot: schema changes by later commits must stay invisible *)
+      let blob =
+        Catalog.serialize db.cat ~page_count:(File_store.page_count db.fs)
+          ~free_pages:[]
+      in
+      (ts, Some (Catalog.deserialize blob).Catalog.p_catalog)
+    else (0, None)
+  in
+  let txn =
+    {
+      Txn.id;
+      read_only;
+      snapshot_ts;
+      reader_catalog;
+      status = Txn.Active;
+      dirty = Hashtbl.create 16;
+      logical_ops = [];
+      cat_backup =
+        (if read_only then ""
+         else
+           Catalog.serialize db.cat ~page_count:(File_store.page_count db.fs)
+             ~free_pages:(File_store.free_list db.fs));
+      fs_page_count = File_store.page_count db.fs;
+      fs_free = File_store.free_list db.fs;
+    }
+  in
+  Hashtbl.add db.active id txn;
+  Wal.append db.wal (Wal.Begin id);
+  txn
+
+(* Route execution through a transaction: installs the write hook
+   target (updaters) or the snapshot overlay (readers). *)
+let run db (txn : Txn.t) f =
+  if not (Txn.is_active txn) then
+    Error.raise_error Error.Txn_not_active "transaction %d is not active"
+      txn.Txn.id;
+  let prev = db.current in
+  db.current <- Some txn;
+  if txn.Txn.read_only then
+    Buffer_mgr.set_read_overlay db.bm (overlay_for db txn);
+  Fun.protect
+    ~finally:(fun () ->
+      db.current <- prev;
+      if txn.Txn.read_only then Buffer_mgr.clear_read_overlay db.bm)
+    f
+
+(* The store a transaction should execute against: readers get their
+   private catalog. *)
+let txn_store db (txn : Txn.t) : Store.t =
+  match txn.Txn.reader_catalog with
+  | Some cat -> Store.create db.bm cat
+  | None -> store db
+
+let lock db (txn : Txn.t) ~doc ~mode : Lock_mgr.outcome =
+  Lock_mgr.acquire db.locks ~txn:txn.Txn.id ~name:doc ~mode
+
+let lock_exn db txn ~doc ~mode =
+  match lock db txn ~doc ~mode with
+  | Lock_mgr.Granted -> ()
+  | Lock_mgr.Blocked ->
+    Error.raise_error Error.Lock_timeout
+      "transaction %d blocked on document %S" txn.Txn.id doc
+  | Lock_mgr.Deadlock_detected ->
+    Error.raise_error Error.Deadlock
+      "deadlock detected for transaction %d on document %S" txn.Txn.id doc
+
+let commit db (txn : Txn.t) =
+  if not (Txn.is_active txn) then
+    Error.raise_error Error.Txn_not_active "commit of inactive transaction";
+  if txn.Txn.read_only then begin
+    Versions.release_snapshot db.versions txn.Txn.snapshot_ts;
+    txn.Txn.status <- Txn.Committed;
+    Hashtbl.remove db.active txn.Txn.id;
+    Lock_mgr.release_all db.locks ~txn:txn.Txn.id
+  end
+  else begin
+    let pages = Txn.dirty_pages txn in
+    (* WAL protocol: after-images + commit record, then fsync *)
+    List.iter
+      (fun op -> Wal.append db.wal (Wal.Logical (txn.Txn.id, op)))
+      (List.rev txn.Txn.logical_ops);
+    List.iter
+      (fun (pid, _before) ->
+        let after = Buffer_mgr.page_image db.bm pid in
+        Wal.append db.wal (Wal.Image (txn.Txn.id, pid, after)))
+      pages;
+    let cat_blob =
+      if Catalog.is_dirty db.cat then
+        Some
+          (Catalog.serialize db.cat ~page_count:(File_store.page_count db.fs)
+             ~free_pages:(File_store.free_list db.fs))
+      else None
+    in
+    Wal.append db.wal (Wal.Commit (txn.Txn.id, cat_blob));
+    Wal.sync db.wal;
+    Catalog.clear_dirty db.cat;
+    (* versions: displaced images become snapshot versions if needed *)
+    let commit_ts = Versions.last_commit_ts db.versions + 1 in
+    Versions.install_commit db.versions ~commit_ts pages;
+    (* unpin so committed pages become evictable *)
+    List.iter (fun (pid, _) -> Buffer_mgr.unpin_pid db.bm pid) pages;
+    txn.Txn.status <- Txn.Committed;
+    Hashtbl.remove db.active txn.Txn.id;
+    Lock_mgr.release_all db.locks ~txn:txn.Txn.id
+  end
+
+let abort db (txn : Txn.t) =
+  if not (Txn.is_active txn) then
+    Error.raise_error Error.Txn_not_active "abort of inactive transaction";
+  if not txn.Txn.read_only then begin
+    (* restore page before-images *)
+    List.iter
+      (fun (pid, before) ->
+        Buffer_mgr.set_page_image db.bm pid before;
+        Buffer_mgr.unpin_pid db.bm pid)
+      (Txn.dirty_pages txn);
+    (* restore the catalog and the free list; pages allocated by this
+       transaction go back to the free pool *)
+    let p = Catalog.deserialize txn.Txn.cat_backup in
+    db.cat <- p.Catalog.p_catalog;
+    let allocated = ref [] in
+    for pid = txn.Txn.fs_page_count to File_store.page_count db.fs - 1 do
+      allocated := pid :: !allocated
+    done;
+    File_store.set_free_list db.fs (txn.Txn.fs_free @ !allocated);
+    Wal.append db.wal (Wal.Abort txn.Txn.id)
+  end
+  else Versions.release_snapshot db.versions txn.Txn.snapshot_ts;
+  txn.Txn.status <- Txn.Aborted;
+  Hashtbl.remove db.active txn.Txn.id;
+  Lock_mgr.release_all db.locks ~txn:txn.Txn.id
+
+(* Convenience bracket: BEGIN; f; COMMIT (abort on exception). *)
+let with_txn ?read_only db f =
+  let txn = begin_txn ?read_only db in
+  match run db txn (fun () -> f txn (txn_store db txn)) with
+  | v ->
+    commit db txn;
+    v
+  | exception e ->
+    (if Txn.is_active txn then try abort db txn with _ -> ());
+    raise e
+
+(* Crash simulation for recovery tests: drop all volatile state without
+   flushing; the caller then re-opens the directory. *)
+let crash db =
+  Buffer_mgr.drop_all db.bm;
+  Wal.close db.wal;
+  File_store.close db.fs

@@ -1,0 +1,63 @@
+(** The database: files, buffer, WAL, versions, locks, catalog and the
+    transaction table — the "database manager" of the paper's Figure 1.
+
+    Directory layout: [data.sdb] (pages), [wal.sdb] (log since the last
+    checkpoint), [catalog.sdb] (checkpointed catalog).  Opening runs
+    the two-step recovery of §6.4. *)
+
+type t
+
+val create : ?buffer_frames:int -> string -> t
+(** Create a fresh database in (a possibly new) directory. *)
+
+val open_existing : ?buffer_frames:int -> string -> t
+(** Open and recover: load the checkpointed state, then redo the
+    committed transactions found in the WAL. *)
+
+val close : t -> unit
+(** Checkpoint and close the files. *)
+
+val crash : t -> unit
+(** Drop all volatile state without flushing — crash simulation for
+    recovery tests; re-open with {!open_existing}. *)
+
+val checkpoint : t -> unit
+(** Fixate a transaction-consistent persistent state and truncate the
+    log (no active transactions allowed). *)
+
+val store : t -> Store.t
+val catalog : t -> Catalog.t
+val buffer : t -> Buffer_mgr.t
+val lock_manager : t -> Lock_mgr.t
+val versions : t -> Versions.t
+val directory : t -> string
+
+(** {1 Transactions} *)
+
+val begin_txn : ?read_only:bool -> t -> Txn.t
+(** Read-only transactions acquire a snapshot and a private catalog
+    copy; they never lock (paper §6.3). *)
+
+val run : t -> Txn.t -> (unit -> 'a) -> 'a
+(** Route execution through the transaction: installs the write hook
+    (updaters) or the snapshot read overlay (readers). *)
+
+val txn_store : t -> Txn.t -> Store.t
+(** The store a transaction must execute against (readers get their
+    snapshot catalog). *)
+
+val lock : t -> Txn.t -> doc:string -> mode:Lock_mgr.mode -> Lock_mgr.outcome
+val lock_exn : t -> Txn.t -> doc:string -> mode:Lock_mgr.mode -> unit
+(** Raises [Lock_timeout] on block, [Deadlock] on a detected cycle. *)
+
+val commit : t -> Txn.t -> unit
+(** WAL protocol: logical records, page after-images, commit record
+    (with the catalog when changed), fsync; then version installation
+    and lock release. *)
+
+val abort : t -> Txn.t -> unit
+(** Restore before-images, the catalog and the free list; release
+    locks. *)
+
+val with_txn : ?read_only:bool -> t -> (Txn.t -> Store.t -> 'a) -> 'a
+(** BEGIN; run; COMMIT — aborting on exceptions. *)

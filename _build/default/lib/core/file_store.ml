@@ -1,0 +1,96 @@
+(* The database data file: a flat array of pages addressed by global
+   page id.  Page 0 is the master page.  Free pages are tracked in an
+   in-memory free list persisted with the catalog at checkpoint; after
+   a crash the free list is rebuilt conservatively (pages past the last
+   checkpoint may be re-allocated only after recovery has replayed the
+   WAL, which re-establishes their content). *)
+
+open Sedna_util
+
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  mutable page_count : int; (* pages ever allocated, including master *)
+  mutable free : int list; (* recycled page ids *)
+}
+
+let create path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (* materialize the master page *)
+  let zero = Bytes.make Page.page_size '\000' in
+  let n = Unix.write fd zero 0 Page.page_size in
+  if n <> Page.page_size then
+    Error.raise_error Error.Storage_corruption "short write creating %s" path;
+  { fd; path; page_count = 1; free = [] }
+
+let open_existing path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  if size mod Page.page_size <> 0 then
+    Error.raise_error Error.Storage_corruption
+      "data file %s size %d is not page-aligned" path size;
+  { fd; path; page_count = size / Page.page_size; free = [] }
+
+let page_count t = t.page_count
+
+let read_page t pid (dst : Bytes.t) =
+  if pid < 0 || pid >= t.page_count then
+    Error.raise_error Error.Page_out_of_bounds "read of page %d (of %d)" pid
+      t.page_count;
+  ignore (Unix.lseek t.fd (pid * Page.page_size) Unix.SEEK_SET);
+  let rec fill off =
+    if off < Page.page_size then begin
+      let n = Unix.read t.fd dst off (Page.page_size - off) in
+      if n = 0 then
+        Error.raise_error Error.Storage_corruption "short read of page %d" pid;
+      fill (off + n)
+    end
+  in
+  fill 0;
+  Counters.bump Counters.page_reads
+
+let write_page t pid (src : Bytes.t) =
+  if pid < 0 || pid >= t.page_count then
+    Error.raise_error Error.Page_out_of_bounds "write of page %d (of %d)" pid
+      t.page_count;
+  ignore (Unix.lseek t.fd (pid * Page.page_size) Unix.SEEK_SET);
+  let rec drain off =
+    if off < Page.page_size then begin
+      let n = Unix.write t.fd src off (Page.page_size - off) in
+      drain (off + n)
+    end
+  in
+  drain 0;
+  Counters.bump Counters.page_writes
+
+let allocate t =
+  match t.free with
+  | pid :: rest ->
+    t.free <- rest;
+    pid
+  | [] ->
+    let pid = t.page_count in
+    t.page_count <- t.page_count + 1;
+    (* extend the file so reads of the new page are valid *)
+    ignore (Unix.lseek t.fd (pid * Page.page_size) Unix.SEEK_SET);
+    let zero = Bytes.make Page.page_size '\000' in
+    let rec drain off =
+      if off < Page.page_size then
+        drain (off + Unix.write t.fd zero off (Page.page_size - off))
+    in
+    drain 0;
+    pid
+
+let free t pid = t.free <- pid :: t.free
+
+(* Free-list persistence hooks for the catalog. *)
+let free_list t = t.free
+let set_free_list t l = t.free <- l
+let set_page_count t n =
+  (* used on recovery: page count from the checkpointed catalog may lag
+     the physical file; trust the larger of the two *)
+  if n > t.page_count then t.page_count <- n
+
+let sync t = Unix.fsync t.fd
+
+let close t = Unix.close t.fd

@@ -1,0 +1,32 @@
+(** The database data file: a flat array of pages addressed by global
+    page id.  Page 0 is the master page.  The free list lives in memory
+    and is persisted with the catalog at checkpoints. *)
+
+type t
+
+val create : string -> t
+(** Create/truncate; materializes the master page. *)
+
+val open_existing : string -> t
+
+val page_count : t -> int
+(** Pages ever allocated, master included; freed pages still count. *)
+
+val read_page : t -> int -> Bytes.t -> unit
+(** Fill the buffer with page content.  Raises [Page_out_of_bounds]
+    beyond {!page_count}. *)
+
+val write_page : t -> int -> Bytes.t -> unit
+
+val allocate : t -> int
+(** Recycle a freed page or extend the file by one zeroed page. *)
+
+val free : t -> int -> unit
+
+val free_list : t -> int list
+val set_free_list : t -> int list -> unit
+val set_page_count : t -> int -> unit
+(** Recovery: adopt the checkpointed count when larger. *)
+
+val sync : t -> unit
+val close : t -> unit

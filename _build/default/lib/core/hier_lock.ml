@@ -1,0 +1,199 @@
+(* Finer-granularity locking (paper §6.2's future work: "locking the
+   whole XML document is excessive and leads to a decrease in
+   concurrency; we are working on a finer-granularity locking scheme").
+
+   A classic two-level hierarchical scheme: transactions take an
+   intention lock (IS/IX) on the document, then an S/X lock on a
+   subtree identified by the numbering-scheme label of its root.  Two
+   subtree locks conflict only when one subtree contains the other
+   (label prefix test) and their modes are incompatible — so updaters
+   working in disjoint subtrees of one document proceed concurrently,
+   which document-level S2PL forbids.
+
+   Whole-document S/X locks remain available (DDL, bulk load); they
+   conflict with intention modes as usual. *)
+
+type mode = IS | IX | S | X
+
+let mode_name = function IS -> "IS" | IX -> "IX" | S -> "S" | X -> "X"
+
+(* classic compatibility matrix *)
+let compatible a b =
+  match (a, b) with
+  | IS, (IS | IX | S) | (IX | S), IS -> true
+  | IX, IX -> true
+  | S, S -> true
+  | _ -> false
+
+type subtree_lock = {
+  sl_txn : int;
+  sl_label : Sedna_nid.Nid.t;
+  sl_mode : mode; (* S or X *)
+}
+
+type doc_entry = {
+  mutable d_holders : (int * mode) list; (* document-level locks *)
+  mutable d_subtrees : subtree_lock list;
+}
+
+type t = {
+  docs : (string, doc_entry) Hashtbl.t;
+  wait_for : (int, int list) Hashtbl.t;
+}
+
+type outcome = Granted | Blocked of int list | Deadlock_detected
+
+let create () = { docs = Hashtbl.create 16; wait_for = Hashtbl.create 16 }
+
+let entry t doc =
+  match Hashtbl.find_opt t.docs doc with
+  | Some e -> e
+  | None ->
+    let e = { d_holders = []; d_subtrees = [] } in
+    Hashtbl.add t.docs doc e;
+    e
+
+let overlap a b =
+  Sedna_nid.Nid.equal a b
+  || Sedna_nid.Nid.is_ancestor ~ancestor:a b
+  || Sedna_nid.Nid.is_ancestor ~ancestor:b a
+
+(* strongest document-level mode a transaction holds *)
+let doc_mode_of e txn =
+  List.fold_left
+    (fun acc (h, m) ->
+      if h <> txn then acc
+      else
+        match (acc, m) with
+        | Some X, _ | _, X -> Some X
+        | Some S, (IS | IX) -> Some S
+        | _, m -> (
+          match acc with
+          | Some IX when m = IS -> Some IX
+          | _ -> Some m))
+    None e.d_holders
+
+let creates_cycle t ~waiter ~blockers =
+  let rec reachable seen from target =
+    if from = target then true
+    else if List.mem from seen then false
+    else
+      let next = Option.value (Hashtbl.find_opt t.wait_for from) ~default:[] in
+      List.exists (fun n -> reachable (from :: seen) n target) next
+  in
+  List.exists (fun b -> reachable [] b waiter) blockers
+
+let classify t ~txn ~blockers =
+  if blockers = [] then Granted
+  else if creates_cycle t ~waiter:txn ~blockers then Deadlock_detected
+  else begin
+    Hashtbl.replace t.wait_for txn blockers;
+    Blocked blockers
+  end
+
+(* Acquire a document-level lock (including the intention modes). *)
+let acquire_doc t ~txn ~doc ~mode : outcome =
+  let e = entry t doc in
+  (* already at least as strong? *)
+  let stronger held want =
+    match (held, want) with
+    | X, _ -> true
+    | S, (S | IS) -> true
+    | IX, (IX | IS) -> true
+    | IS, IS -> true
+    | _ -> false
+  in
+  match doc_mode_of e txn with
+  | Some held when stronger held mode -> Granted
+  | _ ->
+    let blockers =
+      List.filter_map
+        (fun (h, m) ->
+          if h <> txn && not (compatible mode m) then Some h else None)
+        e.d_holders
+      |> List.sort_uniq compare
+    in
+    (* a whole-document S/X also conflicts with existing subtree locks
+       of other transactions *)
+    let blockers =
+      match mode with
+      | S | X ->
+        List.sort_uniq compare
+          (blockers
+          @ List.filter_map
+              (fun sl ->
+                if sl.sl_txn <> txn
+                   && not
+                        (compatible mode
+                           (match sl.sl_mode with S -> S | m -> m))
+                then Some sl.sl_txn
+                else None)
+              e.d_subtrees)
+      | _ -> blockers
+    in
+    (match classify t ~txn ~blockers with
+     | Granted ->
+       e.d_holders <- (txn, mode) :: e.d_holders;
+       Granted
+     | r -> r)
+
+(* Acquire an S/X lock on the subtree rooted at [label]. *)
+let acquire_subtree t ~txn ~doc ~label ~exclusive : outcome =
+  let want = if exclusive then X else S in
+  (* intention lock on the document first *)
+  match acquire_doc t ~txn ~doc ~mode:(if exclusive then IX else IS) with
+  | Granted ->
+    let e = entry t doc in
+    let blockers =
+      (* conflicting whole-document S/X locks; other transactions'
+         intention locks coexist — their conflicts are resolved at the
+         subtree level below *)
+      List.filter_map
+        (fun (h, m) ->
+          match m with
+          | S | X when h <> txn && not (compatible want m) -> Some h
+          | _ -> None)
+        e.d_holders
+      @ (* conflicting overlapping subtree locks *)
+      List.filter_map
+        (fun sl ->
+          if
+            sl.sl_txn <> txn
+            && overlap sl.sl_label label
+            && not (compatible want sl.sl_mode)
+          then Some sl.sl_txn
+          else None)
+        e.d_subtrees
+      |> List.sort_uniq compare
+    in
+    (match classify t ~txn ~blockers with
+     | Granted ->
+       e.d_subtrees <-
+         { sl_txn = txn; sl_label = label; sl_mode = want } :: e.d_subtrees;
+       Granted
+     | r -> r)
+  | r -> r
+
+let release_all t ~txn =
+  Hashtbl.remove t.wait_for txn;
+  Hashtbl.iter
+    (fun _ e ->
+      e.d_holders <- List.filter (fun (h, _) -> h <> txn) e.d_holders;
+      e.d_subtrees <- List.filter (fun sl -> sl.sl_txn <> txn) e.d_subtrees)
+    t.docs;
+  (* waiters retry on their own (cooperative), but their wait-for edges
+     towards the released transaction are stale now *)
+  Hashtbl.iter
+    (fun w blockers ->
+      Hashtbl.replace t.wait_for w (List.filter (( <> ) txn) blockers))
+    (Hashtbl.copy t.wait_for)
+
+let doc_holders t doc =
+  match Hashtbl.find_opt t.docs doc with
+  | Some e -> e.d_holders
+  | None -> []
+
+let subtree_locks t doc =
+  match Hashtbl.find_opt t.docs doc with
+  | Some e -> List.map (fun sl -> (sl.sl_txn, sl.sl_label, sl.sl_mode)) e.d_subtrees
+  | None -> []

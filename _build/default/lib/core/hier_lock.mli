@@ -1,0 +1,34 @@
+(** Finer-granularity hierarchical locking — the future work announced
+    in paper §6.2 ("locking the whole XML document is excessive").
+
+    Two levels: intention locks (IS/IX) or full locks (S/X) on
+    documents, and S/X locks on subtrees identified by the numbering-
+    scheme label of their root.  Subtree locks conflict only when one
+    subtree contains the other (label prefix test), so updaters in
+    disjoint subtrees of one document run concurrently.  Deadlocks are
+    detected on the shared wait-for graph; waiting is cooperative. *)
+
+type mode = IS | IX | S | X
+type t
+type outcome = Granted | Blocked of int list | Deadlock_detected
+
+val create : unit -> t
+
+val mode_name : mode -> string
+val compatible : mode -> mode -> bool
+(** The classic hierarchical compatibility matrix. *)
+
+val acquire_doc : t -> txn:int -> doc:string -> mode:mode -> outcome
+(** Document-level lock (including intention modes).  Whole-document
+    S/X also conflicts with other transactions' subtree locks. *)
+
+val acquire_subtree :
+  t -> txn:int -> doc:string -> label:Sedna_nid.Nid.t -> exclusive:bool ->
+  outcome
+(** Takes the matching intention lock on the document first, then the
+    S/X subtree lock. *)
+
+val release_all : t -> txn:int -> unit
+
+val doc_holders : t -> string -> (int * mode) list
+val subtree_locks : t -> string -> (int * Sedna_nid.Nid.t * mode) list

@@ -1,0 +1,126 @@
+(* Value indexes: CREATE INDEX maps a path of element names (below the
+   document's root element) to a B-tree keyed by the string or numeric
+   value reachable by a second path.  Entries point to node handles,
+   which survive descriptor relocation (paper §4.1.2). *)
+
+open Sedna_util
+
+let encode_key (def : Catalog.index_def) (raw : string) : string option =
+  match def.Catalog.idx_kind with
+  | Catalog.String_index -> Some raw
+  | Catalog.Number_index -> (
+    match float_of_string_opt (String.trim raw) with
+    | Some f -> Some (Btree.encode_number f)
+    | None -> None (* non-numeric values are not indexed *))
+
+(* nodes reached from [d] by a path of child element names *)
+let rec walk_path (st : Store.t) (d : Node.desc) (path : string list) :
+    Node.desc list =
+  match path with
+  | [] -> [ d ]
+  | name :: rest ->
+    let test = Traverse.element_test (Some (Xname.of_string name)) in
+    Traverse.children st d
+    |> Seq.filter (Traverse.node_matches st test)
+    |> Seq.fold_left (fun acc c -> acc @ walk_path st c rest) []
+
+(* (key, handle) pairs contributed by the subtree rooted at the
+   document node [doc_desc] *)
+let entries_for (st : Store.t) (def : Catalog.index_def) (doc_desc : Node.desc)
+    : (string * Xptr.t) list =
+  let targets = walk_path st doc_desc def.Catalog.idx_path in
+  List.filter_map
+    (fun target ->
+      let key_nodes = walk_path st target def.Catalog.idx_key_path in
+      match key_nodes with
+      | [] -> None
+      | k :: _ ->
+        let raw = Node_ser.string_value st k in
+        Option.map (fun key -> (key, Node.handle st target)) (encode_key def raw))
+    targets
+
+(* Build (or rebuild) the index for its document. *)
+let build (st : Store.t) (def : Catalog.index_def) =
+  let doc = Catalog.get_document st.Store.cat def.Catalog.idx_doc in
+  let doc_desc = Indirection.get st.Store.bm doc.Catalog.doc_indir in
+  let bt = Btree.create st.Store.bm in
+  List.iter
+    (fun (key, h) -> Btree.insert bt ~key ~value:h)
+    (entries_for st def doc_desc);
+  def.Catalog.idx_root <- Btree.root bt;
+  Catalog.mark_dirty st.Store.cat
+
+let create (st : Store.t) ~name ~doc ~path ~key_path ~kind =
+  let def =
+    {
+      Catalog.idx_name = name;
+      idx_doc = doc;
+      idx_path = path;
+      idx_key_path = key_path;
+      idx_kind = kind;
+      idx_root = Xptr.null;
+    }
+  in
+  Catalog.add_index st.Store.cat def;
+  build st def;
+  def
+
+let drop (st : Store.t) ~name = Catalog.remove_index st.Store.cat name
+
+(* point lookup: handles of indexed nodes with the given key *)
+let lookup_string (st : Store.t) (def : Catalog.index_def) (key : string) :
+    Xptr.t list =
+  match encode_key def key with
+  | None -> []
+  | Some k -> Btree.lookup (Btree.of_root st.Store.bm def.Catalog.idx_root) k
+
+let lookup_number (st : Store.t) (def : Catalog.index_def) (f : float) :
+    Xptr.t list =
+  Btree.lookup
+    (Btree.of_root st.Store.bm def.Catalog.idx_root)
+    (Btree.encode_number f)
+
+let range_number (st : Store.t) (def : Catalog.index_def) ?lo ?hi () :
+    Xptr.t list =
+  let enc = Option.map Btree.encode_number in
+  Btree.range
+    (Btree.of_root st.Store.bm def.Catalog.idx_root)
+    ?lo:(enc lo) ?hi:(enc hi) ()
+  |> List.map snd
+
+(* Incremental maintenance: called by the update executor around
+   structural updates on a document that has indexes. *)
+let subtree_entries (st : Store.t) (def : Catalog.index_def)
+    (subtree : Node.desc) : (string * Xptr.t) list =
+  (* index entries affected by a change at [subtree]: entries whose
+     target is inside it, plus entries on its ancestors (whose key
+     value may be derived from the changed subtree) *)
+  let doc = Catalog.get_document st.Store.cat def.Catalog.idx_doc in
+  let doc_desc = Indirection.get st.Store.bm doc.Catalog.doc_indir in
+  let anchor = Node.label st subtree in
+  entries_for st def doc_desc
+  |> List.filter (fun (_, h) ->
+         let d = Indirection.get st.Store.bm h in
+         let l = Node.label st d in
+         Sedna_nid.Nid.is_descendant_or_self ~ancestor:anchor l
+         || Sedna_nid.Nid.is_ancestor ~ancestor:l anchor)
+
+let on_subtree_removed (st : Store.t) ~doc_name (subtree : Node.desc) =
+  List.iter
+    (fun def ->
+      let bt = Btree.of_root st.Store.bm def.Catalog.idx_root in
+      List.iter
+        (fun (key, h) -> ignore (Btree.delete bt ~key ~value:h))
+        (subtree_entries st def subtree);
+      def.Catalog.idx_root <- Btree.root bt)
+    (Catalog.indexes_for_document st.Store.cat doc_name)
+
+let on_subtree_added (st : Store.t) ~doc_name (subtree : Node.desc) =
+  List.iter
+    (fun def ->
+      let bt = Btree.of_root st.Store.bm def.Catalog.idx_root in
+      List.iter
+        (fun (key, h) -> Btree.insert bt ~key ~value:h)
+        (subtree_entries st def subtree);
+      def.Catalog.idx_root <- Btree.root bt)
+    (Catalog.indexes_for_document st.Store.cat doc_name)

@@ -1,0 +1,41 @@
+(** Value indexes (DDL: CREATE INDEX): a path of element names below a
+    document's root selects the indexed nodes; a second path selects
+    the key value under each.  Entries map encoded keys to node
+    handles. *)
+
+val create :
+  Store.t ->
+  name:string ->
+  doc:string ->
+  path:string list ->
+  key_path:string list ->
+  kind:Catalog.index_kind ->
+  Catalog.index_def
+(** Register and build the index (fails if the name exists). *)
+
+val drop : Store.t -> name:string -> unit
+
+val build : Store.t -> Catalog.index_def -> unit
+(** (Re)build from the document's current content. *)
+
+val lookup_string : Store.t -> Catalog.index_def -> string -> Xptr.t list
+val lookup_number : Store.t -> Catalog.index_def -> float -> Xptr.t list
+
+val range_number :
+  Store.t -> Catalog.index_def -> ?lo:float -> ?hi:float -> unit -> Xptr.t list
+
+val entries_for :
+  Store.t -> Catalog.index_def -> Node.desc -> (string * Xptr.t) list
+(** The (key, handle) pairs a document currently contributes. *)
+
+val subtree_entries :
+  Store.t -> Catalog.index_def -> Node.desc -> (string * Xptr.t) list
+(** Entries affected by a change at the given node: targets inside its
+    subtree plus targets on its ancestor chain (whose keys may derive
+    from it). *)
+
+val on_subtree_removed : Store.t -> doc_name:string -> Node.desc -> unit
+val on_subtree_added : Store.t -> doc_name:string -> Node.desc -> unit
+(** The update executor brackets each mutation with these two calls on
+    the same anchor node, so affected entries are removed under the old
+    keys and recomputed under the new ones. *)

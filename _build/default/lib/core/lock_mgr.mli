@@ -1,0 +1,27 @@
+(** Strict two-phase locking at document granularity (paper §6.2).
+
+    Transactions acquire S or X locks on document names and hold them
+    until commit/abort; a shared lock can upgrade when its holder is
+    alone.  Conflicts surface as {!Blocked} (the request is queued and
+    granted FIFO when compatible) or {!Deadlock_detected} via the
+    wait-for graph.  Waiting is cooperative: the caller retries. *)
+
+type t
+type mode = Shared | Exclusive
+type outcome = Granted | Blocked | Deadlock_detected
+
+val create : unit -> t
+
+val acquire : t -> txn:int -> name:string -> mode:mode -> outcome
+
+val release_all : t -> txn:int -> unit
+(** Drop every lock and queued request of a transaction (commit/abort),
+    promoting newly-compatible waiters in FIFO order. *)
+
+val holds : t -> string -> int -> mode option
+(** The mode a transaction currently holds on a document, if any. *)
+
+val holders : t -> string -> (int * mode) list
+val waiters : t -> string -> (int * mode) list
+
+val pp_mode : Format.formatter -> mode -> unit

@@ -1,0 +1,51 @@
+(* Serialization of stored subtrees back to XML events / text. *)
+
+open Sedna_util
+
+let rec events_of_node (st : Store.t) (d : Node.desc) : Sedna_xml.Xml_event.t list =
+  match Node.kind st d with
+  | Catalog.Document ->
+    List.concat_map (events_of_node st) (Node.children st d)
+  | Catalog.Element ->
+    let name =
+      match Node.name st d with
+      | Some n -> n
+      | None -> Xname.make "unnamed"
+    in
+    let atts =
+      List.map
+        (fun a ->
+          {
+            Sedna_xml.Xml_event.name =
+              (match Node.name st a with
+               | Some n -> n
+               | None -> Xname.make "unnamed");
+            value = Node.text_value st a;
+          })
+        (Node.attributes st d)
+    in
+    (Sedna_xml.Xml_event.Start_element (name, atts)
+     :: List.concat_map (events_of_node st) (Node.children st d))
+    @ [ Sedna_xml.Xml_event.End_element ]
+  | Catalog.Text -> [ Sedna_xml.Xml_event.Text (Node.text_value st d) ]
+  | Catalog.Comment -> [ Sedna_xml.Xml_event.Comment (Node.text_value st d) ]
+  | Catalog.Pi ->
+    [ Sedna_xml.Xml_event.Processing_instruction
+        ((match Node.name st d with
+          | Some n -> Xname.local n
+          | None -> "pi"),
+         Node.text_value st d) ]
+  | Catalog.Attribute ->
+    (* a bare attribute serializes as its value, per XQuery serialization *)
+    [ Sedna_xml.Xml_event.Text (Node.text_value st d) ]
+
+let to_string ?options (st : Store.t) (d : Node.desc) =
+  Sedna_xml.Serializer.to_string ?options (events_of_node st d)
+
+(* typed string value of a node: concatenation of descendant text *)
+let rec string_value (st : Store.t) (d : Node.desc) : string =
+  match Node.kind st d with
+  | Catalog.Text | Catalog.Attribute | Catalog.Comment | Catalog.Pi ->
+    Node.text_value st d
+  | Catalog.Element | Catalog.Document ->
+    String.concat "" (List.map (string_value st) (Node.children st d))

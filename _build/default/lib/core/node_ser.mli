@@ -1,0 +1,9 @@
+(** Serialization of stored subtrees back to XML. *)
+
+val events_of_node : Store.t -> Node.desc -> Sedna_xml.Xml_event.t list
+
+val to_string :
+  ?options:Sedna_xml.Serializer.options -> Store.t -> Node.desc -> string
+
+val string_value : Store.t -> Node.desc -> string
+(** The XDM typed string value: concatenation of descendant text. *)

@@ -1,0 +1,26 @@
+(* Page geometry.  The Sedna Address Space (SAS) is divided into layers
+   of equal size; a layer consists of pages (paper §4.2).  These
+   constants define the geometry for the whole database. *)
+
+let page_size = 4096
+let pages_per_layer = 1024
+let layer_size = page_size * pages_per_layer
+
+(* Block kinds, stored in every page header so that corruption is
+   detectable and tooling can classify pages. *)
+type block_kind = Node_block | Text_block | Indirection_block | Btree_block | Meta_block
+
+let block_kind_code = function
+  | Node_block -> 1
+  | Text_block -> 2
+  | Indirection_block -> 3
+  | Btree_block -> 4
+  | Meta_block -> 5
+
+let block_kind_of_code = function
+  | 1 -> Some Node_block
+  | 2 -> Some Text_block
+  | 3 -> Some Indirection_block
+  | 4 -> Some Btree_block
+  | 5 -> Some Meta_block
+  | _ -> None

@@ -1,0 +1,18 @@
+(** Page geometry: the Sedna Address Space is divided into layers of
+    equal size; a layer consists of equal-size pages (paper §4.2). *)
+
+val page_size : int
+(** 4096 bytes. *)
+
+val pages_per_layer : int
+val layer_size : int
+
+type block_kind =
+  | Node_block
+  | Text_block
+  | Indirection_block
+  | Btree_block
+  | Meta_block
+
+val block_kind_code : block_kind -> int
+val block_kind_of_code : int -> block_kind option

@@ -1,0 +1,6 @@
+(* The storage context threaded through node-level operations: the
+   buffer manager plus the catalog.  One per open database. *)
+
+type t = { bm : Buffer_mgr.t; cat : Catalog.t }
+
+let create bm cat = { bm; cat }

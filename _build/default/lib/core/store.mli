@@ -1,0 +1,8 @@
+(** The storage context threaded through node-level operations: the
+    buffer manager plus the catalog a computation should see (an
+    updater uses the shared catalog; a snapshot reader gets its private
+    copy). *)
+
+type t = { bm : Buffer_mgr.t; cat : Catalog.t }
+
+val create : Buffer_mgr.t -> Catalog.t -> t

@@ -1,0 +1,28 @@
+(** Storage for text values (paper §4.1): node string content lives
+    apart from the fixed-size descriptors, in slotted pages.
+
+    A value reference is the address of its 4-byte slot-directory
+    entry; values move within their page under compaction but the slot
+    stays put.  Values longer than a page go to chained overflow pages
+    behind a 12-byte long-descriptor. *)
+
+val insert : Buffer_mgr.t -> Catalog.t -> string -> Xptr.t
+(** Store a value; returns its stable slot reference. *)
+
+val read : Buffer_mgr.t -> Xptr.t -> string
+
+val length : Buffer_mgr.t -> Xptr.t -> int
+(** Value length without materializing overflow chains. *)
+
+val delete : Buffer_mgr.t -> Catalog.t -> Xptr.t -> unit
+(** Release the value (and any overflow chain); compacts the page. *)
+
+val update : Buffer_mgr.t -> Catalog.t -> Xptr.t -> string -> Xptr.t
+(** Replace a value; the slot may move — the caller stores the returned
+    reference (a single-field descriptor update). *)
+
+val free_bytes : Buffer_mgr.t -> Xptr.t -> int
+(** Free space in a text page (diagnostics / tests). *)
+
+val max_short : int
+(** Values longer than this go to overflow chains. *)

@@ -1,0 +1,63 @@
+(** Axis evaluation over the storage (paper §4.1, §5).
+
+    Two styles coexist: pointer traversal (direct sibling/child
+    pointers, indirect parent), and schema-driven scans for descending
+    axes — locate the matching schema nodes first, then scan only their
+    block chains, filtering with the numbering-scheme ancestor test.
+    Sequences are lazy so the executor can pipeline. *)
+
+type test = {
+  t_kind : Catalog.kind option;  (** [None] = any principal kind *)
+  t_name : Sedna_util.Xname.t option;  (** [None] = wildcard *)
+}
+
+val any_test : test
+val element_test : Sedna_util.Xname.t option -> test
+
+val snode_matches : test -> Catalog.snode -> bool
+val node_matches : Store.t -> test -> Node.desc -> bool
+
+(** {1 Pointer axes} *)
+
+val self : Store.t -> Node.desc -> Node.desc Seq.t
+val parent : Store.t -> Node.desc -> Node.desc Seq.t
+val ancestors : Store.t -> Node.desc -> Node.desc Seq.t
+val ancestor_or_self : Store.t -> Node.desc -> Node.desc Seq.t
+val children : Store.t -> Node.desc -> Node.desc Seq.t
+val attributes : Store.t -> Node.desc -> Node.desc Seq.t
+val following_siblings : Store.t -> Node.desc -> Node.desc Seq.t
+
+val preceding_siblings : Store.t -> Node.desc -> Node.desc Seq.t
+(** In reverse document order, as the axis requires. *)
+
+val descendants_walk : Store.t -> Node.desc -> Node.desc Seq.t
+(** Subtree walk in document order (the naive strategy benches E9
+    compare against). *)
+
+val descendant_or_self_walk : Store.t -> Node.desc -> Node.desc Seq.t
+
+val following : Store.t -> Node.desc -> Node.desc Seq.t
+val preceding : Store.t -> Node.desc -> Node.desc Seq.t
+
+(** {1 Schema-driven scans} *)
+
+val scan_snode : Store.t -> Catalog.snode -> Node.desc Seq.t
+(** All descriptors of one schema node; block-chain order = document
+    order. *)
+
+val merge_by_doc_order :
+  Store.t -> Node.desc Seq.t list -> Node.desc Seq.t
+(** k-way merge of document-ordered sequences by label. *)
+
+val descendants_schema :
+  Store.t -> ?test:test -> Node.desc -> Node.desc Seq.t
+(** The descendant axis via the descriptive schema: scans only matching
+    schema nodes' chains, filters by the label ancestor test, merges.
+    Nodes that cannot match are never fetched (paper §4.1: the schema
+    is "a naturally built index"). *)
+
+val children_schema : Store.t -> ?test:test -> Node.desc -> Node.desc Seq.t
+
+val next_in_document : Store.t -> Node.desc -> Node.desc option
+
+val filter_test : Store.t -> test -> Node.desc Seq.t -> Node.desc Seq.t

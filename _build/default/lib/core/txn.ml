@@ -1,0 +1,42 @@
+(* Transaction state (paper §6).  Each statement executes within a
+   transaction; a transaction provides ACID over the page store:
+
+   - atomicity: before-images restore the buffer (and the catalog) on
+     abort;
+   - durability: after-images + commit record reach the WAL (fsynced)
+     before commit returns;
+   - isolation: strict 2PL on documents for updaters; read-only
+     transactions read a snapshot without locking (§6.3);
+   - consistency: single-threaded statement execution plus the above.
+
+   The [dirty] map doubles as the version source for snapshot readers:
+   the before-image of a page captured at first write IS the last
+   committed version while the writer is active. *)
+
+type status = Active | Committed | Aborted
+
+type t = {
+  id : int;
+  read_only : bool;
+  snapshot_ts : int; (* meaningful for read-only transactions *)
+  reader_catalog : Catalog.t option; (* private catalog copy at snapshot *)
+  mutable status : status;
+  dirty : (int, Bytes.t) Hashtbl.t; (* pid -> before-image *)
+  mutable logical_ops : string list; (* audit records for the WAL *)
+  cat_backup : string; (* catalog + free-list state at begin *)
+  fs_page_count : int;
+  fs_free : int list;
+}
+
+let is_active t = t.status = Active
+
+let touched t pid = Hashtbl.mem t.dirty pid
+
+let before_image t pid = Hashtbl.find_opt t.dirty pid
+
+let record_write t ~pid ~image =
+  if not (Hashtbl.mem t.dirty pid) then Hashtbl.add t.dirty pid image
+
+let log_op t op = t.logical_ops <- op :: t.logical_ops
+
+let dirty_pages t = Hashtbl.fold (fun pid img acc -> (pid, img) :: acc) t.dirty []

@@ -1,0 +1,27 @@
+(** Transaction state (paper §6).  Before-images captured at first
+    write give atomicity (abort) and serve snapshot readers; the
+    after-images derived from them at commit give durability through
+    the WAL.  Lifecycle is driven by {!Database}. *)
+
+type status = Active | Committed | Aborted
+
+type t = {
+  id : int;
+  read_only : bool;
+  snapshot_ts : int;  (** the snapshot a read-only transaction reads *)
+  reader_catalog : Catalog.t option;
+      (** a reader's private catalog copy, consistent with its snapshot *)
+  mutable status : status;
+  dirty : (int, Bytes.t) Hashtbl.t;  (** page id -> before-image *)
+  mutable logical_ops : string list;
+  cat_backup : string;  (** catalog state at begin, for abort *)
+  fs_page_count : int;
+  fs_free : int list;
+}
+
+val is_active : t -> bool
+val touched : t -> int -> bool
+val before_image : t -> int -> Bytes.t option
+val record_write : t -> pid:int -> image:Bytes.t -> unit
+val log_op : t -> string -> unit
+val dirty_pages : t -> (int * Bytes.t) list

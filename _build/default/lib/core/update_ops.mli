@@ -1,0 +1,74 @@
+(** Node-level update operations (paper §4.1).
+
+    The data organization makes every update touch a constant number of
+    fields per affected node: fixed-size descriptors with slot free
+    lists, an indirect parent pointer (relocation never touches the
+    children), and partial ordering (insertions shift nothing).
+
+    All entry points take and return {e node handles}: descriptor
+    addresses are invalidated by the relocations these operations may
+    perform. *)
+
+val ensure_child_slots : Store.t -> Node.desc -> need_slots:int -> Node.desc
+(** Make sure the descriptor lives in a block with at least
+    [need_slots] child slots, relocating it (and its in-block
+    successors, preserving the partial order) into a wider block when
+    necessary — the paper's delayed per-block widening.  Returns the
+    (possibly new) descriptor address. *)
+
+val split_block : Store.t -> Catalog.snode -> Xptr.t -> Xptr.t
+(** Split a full block: the upper half of its order chain moves to a
+    fresh block inserted right after it.  Returns the new block. *)
+
+val locate_predecessor :
+  Store.t -> Catalog.snode -> Sedna_nid.Nid.t -> Node.desc option
+(** The descriptor with the greatest label strictly below the given
+    one, within the schema node's chain ([None] = new first). *)
+
+val append_child :
+  Store.t ->
+  parent_handle:Xptr.t ->
+  prev_handle:Xptr.t option ->
+  kind:Catalog.kind ->
+  name:Sedna_util.Xname.t option ->
+  value:string option ->
+  ordinal:int ->
+  Xptr.t
+(** Bulk-load fast path: append as the last child using a compact
+    ordinal label; no label comparisons, always appends to the schema
+    node's last block.  Returns the new node's handle. *)
+
+val insert_child :
+  Store.t ->
+  parent_handle:Xptr.t ->
+  left:Xptr.t option ->
+  right:Xptr.t option ->
+  kind:Catalog.kind ->
+  name:Sedna_util.Xname.t option ->
+  value:string option ->
+  Xptr.t
+(** General insertion between the sibling handles [left] and [right]
+    (both optional; [None]/[None] inserts as first child).  Splits the
+    target block when full; never relabels existing nodes.  Returns
+    the new node's handle. *)
+
+val delete_node : Store.t -> Xptr.t -> unit
+(** Delete the node and its whole subtree: unlink siblings, fix the
+    parent's per-schema first-child pointer, release text values,
+    labels, slots, emptied blocks, and indirection cells. *)
+
+val set_text_value : Store.t -> Xptr.t -> string -> unit
+(** Replace the string value of a text-carrying node: a constant-field
+    update (the text slot may move; one descriptor field changes). *)
+
+val write_fresh_desc :
+  Store.t ->
+  snode:Catalog.snode ->
+  block:Xptr.t ->
+  order_after:int option ->
+  lbl:Sedna_nid.Nid.t ->
+  parent_handle:Xptr.t ->
+  value:string option ->
+  Node.desc
+(** Low-level descriptor initialization (used by the loader for the
+    document node); most callers want {!insert_child}. *)

@@ -1,0 +1,38 @@
+(** Snapshot-based page multiversioning (paper §6.1).
+
+    Data elements are pages.  Read-only transactions register a
+    snapshot timestamp; the version manager keeps, for each page, the
+    displaced committed images some registered snapshot still needs.
+    Old versions are purged exactly when they belong to no snapshot —
+    checked when a new version is created, as in the paper. *)
+
+type t
+
+val create : unit -> t
+
+val last_commit_ts : t -> int
+val set_last_commit_ts : t -> int -> unit
+
+val acquire_snapshot : t -> int
+(** Register a reader at the latest committed timestamp.  (The paper
+    advances snapshots periodically; per-acquire advancement is the
+    special case implemented here.) *)
+
+val release_snapshot : t -> int -> unit
+(** Drop a reader registration; purges versions no snapshot needs. *)
+
+val active_snapshots : t -> int list
+
+val install_commit : t -> commit_ts:int -> (int * Bytes.t) list -> unit
+(** At commit: for each (page id, displaced committed image), keep the
+    image iff an active snapshot falls in its validity interval; then
+    advance the page's current version timestamp. *)
+
+val read_for_snapshot : t -> snapshot_ts:int -> int -> Bytes.t option
+(** [None] = the current buffer image is the right version for this
+    reader; [Some img] = an older saved image must be used. *)
+
+val version_count : t -> int
+(** Number of saved page versions (tests / benches). *)
+
+val clear : t -> unit

@@ -1,0 +1,160 @@
+(* Write-ahead log (paper §6.4): redo-only page after-images plus
+   logical records for auditing and incremental backup.  Records are
+   framed as [len:u32][tag:u8][payload][cksum:u32]; a torn tail is
+   detected by the checksum and ignored by recovery.
+
+   The WAL protocol: a transaction's after-images and its commit record
+   are appended and fsynced before the commit is acknowledged.  A
+   checkpoint record marks a point at which all committed state has
+   been flushed to the data file; recovery replays only past the last
+   checkpoint. *)
+
+open Sedna_util
+
+type record =
+  | Begin of int (* txn id *)
+  | Image of int * int * Bytes.t (* txn id, page id, after-image *)
+  | Commit of int * string option (* txn id, marshaled catalog if changed *)
+  | Abort of int
+  | Checkpoint
+  | Logical of int * string (* txn id, human-readable operation *)
+
+type t = {
+  mutable fd : Unix.file_descr;
+  path : string;
+  mutable size : int;
+}
+
+let create path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  { fd; path; size = 0 }
+
+let open_existing path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  ignore (Unix.lseek fd size Unix.SEEK_SET);
+  { fd; path; size }
+
+let checksum (s : string) =
+  (* FNV-1a over the payload, folded to 31 bits so the value survives
+     an i32 round-trip without sign trouble *)
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF)
+    s;
+  !h land 0x7FFFFFFF
+
+let tag_of = function
+  | Begin _ -> 1
+  | Image _ -> 2
+  | Commit _ -> 3
+  | Abort _ -> 4
+  | Checkpoint -> 5
+  | Logical _ -> 6
+
+let encode_payload = function
+  | Begin txn ->
+    let b = Bytes.create 4 in
+    Bytes_util.set_i32 b 0 txn;
+    Bytes.to_string b
+  | Image (txn, pid, img) ->
+    let b = Bytes.create (8 + Bytes.length img) in
+    Bytes_util.set_i32 b 0 txn;
+    Bytes_util.set_i32 b 4 pid;
+    Bytes.blit img 0 b 8 (Bytes.length img);
+    Bytes.to_string b
+  | Commit (txn, cat) ->
+    let cs = Option.value cat ~default:"" in
+    let b = Bytes.create (8 + String.length cs) in
+    Bytes_util.set_i32 b 0 txn;
+    Bytes_util.set_i32 b 4 (if cat = None then 0 else 1);
+    Bytes.blit_string cs 0 b 8 (String.length cs);
+    Bytes.to_string b
+  | Abort txn ->
+    let b = Bytes.create 4 in
+    Bytes_util.set_i32 b 0 txn;
+    Bytes.to_string b
+  | Checkpoint -> ""
+  | Logical (txn, s) ->
+    let b = Bytes.create (4 + String.length s) in
+    Bytes_util.set_i32 b 0 txn;
+    Bytes.blit_string s 0 b 4 (String.length s);
+    Bytes.to_string b
+
+let decode_record tag payload =
+  let b = Bytes.of_string payload in
+  match tag with
+  | 1 -> Some (Begin (Bytes_util.get_i32 b 0))
+  | 2 ->
+    let txn = Bytes_util.get_i32 b 0 and pid = Bytes_util.get_i32 b 4 in
+    Some (Image (txn, pid, Bytes.sub b 8 (Bytes.length b - 8)))
+  | 3 ->
+    let txn = Bytes_util.get_i32 b 0 in
+    let has_cat = Bytes_util.get_i32 b 4 <> 0 in
+    let cat =
+      if has_cat then Some (Bytes.sub_string b 8 (Bytes.length b - 8))
+      else None
+    in
+    Some (Commit (txn, cat))
+  | 4 -> Some (Abort (Bytes_util.get_i32 b 0))
+  | 5 -> Some Checkpoint
+  | 6 ->
+    Some
+      (Logical (Bytes_util.get_i32 b 0, Bytes.sub_string b 4 (Bytes.length b - 4)))
+  | _ -> None
+
+let append t record =
+  let payload = encode_payload record in
+  let n = String.length payload in
+  let frame = Bytes.create (4 + 1 + n + 4) in
+  Bytes_util.set_i32 frame 0 n;
+  Bytes_util.set_u8 frame 4 (tag_of record);
+  Bytes.blit_string payload 0 frame 5 n;
+  Bytes_util.set_i32 frame (5 + n) (checksum payload);
+  let len = Bytes.length frame in
+  let rec drain off =
+    if off < len then drain (off + Unix.write t.fd frame off (len - off))
+  in
+  drain 0;
+  t.size <- t.size + len
+
+let sync t = Unix.fsync t.fd
+
+(* Read all well-formed records from the log file at [path]. *)
+let read_all path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let buf = really_input_string ic len in
+    close_in ic;
+    let b = Bytes.of_string buf in
+    let rec go pos acc =
+      if pos + 9 > len then List.rev acc
+      else
+        let n = Bytes_util.get_i32 b pos in
+        if n < 0 || pos + 9 + n > len then List.rev acc
+        else
+          let tag = Bytes_util.get_u8 b (pos + 4) in
+          let payload = Bytes.sub_string b (pos + 5) n in
+          let ck = Bytes_util.get_i32 b (pos + 5 + n) in
+          if ck <> checksum payload then List.rev acc (* torn tail *)
+          else
+            match decode_record tag payload with
+            | Some r -> go (pos + 9 + n) (r :: acc)
+            | None -> List.rev acc
+    in
+    go 0 []
+  end
+
+(* Truncate the log after a checkpoint has made it redundant. *)
+let reset t =
+  Unix.close t.fd;
+  let fd = Unix.openfile t.path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  t.fd <- fd;
+  t.size <- 0
+
+let size t = t.size
+let path t = t.path
+let close t = Unix.close t.fd

@@ -1,0 +1,38 @@
+(** Write-ahead log (paper §6.4): redo-only page after-images plus
+    logical audit records.
+
+    The WAL protocol: a transaction's after-images and its commit
+    record are appended and fsynced before commit returns.  Records are
+    checksummed; {!read_all} stops at the first torn/corrupt frame, so
+    a crash mid-append loses only the unacknowledged tail. *)
+
+type record =
+  | Begin of int  (** transaction id *)
+  | Image of int * int * Bytes.t  (** txn, page id, after-image *)
+  | Commit of int * string option
+      (** txn, marshaled catalog when it changed during the txn *)
+  | Abort of int
+  | Checkpoint
+  | Logical of int * string  (** audit record: txn, operation *)
+
+type t
+
+val create : string -> t
+(** Create/truncate the log file at this path. *)
+
+val open_existing : string -> t
+(** Open for appending (recovery reads via {!read_all}). *)
+
+val append : t -> record -> unit
+val sync : t -> unit
+
+val read_all : string -> record list
+(** All well-formed records from the start of the file; a torn tail is
+    silently dropped. *)
+
+val reset : t -> unit
+(** Truncate after a checkpoint made the log redundant. *)
+
+val size : t -> int
+val path : t -> string
+val close : t -> unit

@@ -1,0 +1,49 @@
+(* Database pointers (paper §4.2): a 64-bit address in the Sedna
+   Address Space.  The high 32 bits are the layer number, the low 32
+   bits the byte address within the layer.  The same representation is
+   used in main and secondary memory, which is what eliminates pointer
+   swizzling.
+
+   The zero address (layer 0, offset 0) is reserved for the master page
+   and doubles as the null pointer. *)
+
+type t = int64
+
+let null : t = 0L
+
+let is_null (t : t) = Int64.equal t 0L
+
+let make ~layer ~addr : t =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int layer) 32)
+    (Int64.of_int (addr land 0xFFFFFFFF))
+
+let layer (t : t) = Int64.to_int (Int64.shift_right_logical t 32)
+let addr (t : t) = Int64.to_int (Int64.logand t 0xFFFFFFFFL)
+
+(* Global page index across the whole SAS: used as the key for the
+   buffer table, the page file, the WAL and the version store. *)
+let page_id (t : t) = (layer t * Page.pages_per_layer) + (addr t / Page.page_size)
+
+let page_offset (t : t) = addr t mod Page.page_size
+
+(* Address of the first byte of the page containing [t]. *)
+let page_start (t : t) =
+  make ~layer:(layer t) ~addr:(addr t / Page.page_size * Page.page_size)
+
+let of_page_id pid =
+  make ~layer:(pid / Page.pages_per_layer)
+    ~addr:(pid mod Page.pages_per_layer * Page.page_size)
+
+let add (t : t) n = Int64.add t (Int64.of_int n)
+
+let equal = Int64.equal
+let compare = Int64.compare
+let hash (t : t) = Int64.to_int t land max_int
+
+let to_int64 (t : t) : int64 = t
+let of_int64 (i : int64) : t = i
+
+let pp ppf t =
+  if is_null t then Format.pp_print_string ppf "<null>"
+  else Format.fprintf ppf "L%d:%06x" (layer t) (addr t)

@@ -1,0 +1,1 @@
+lib/db/governor.ml: Database Error Hashtbl List Sedna_core Sedna_util Session

@@ -1,0 +1,1 @@
+lib/db/governor.mli: Sedna_core Session

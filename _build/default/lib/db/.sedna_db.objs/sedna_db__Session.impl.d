@@ -1,0 +1,1 @@
+lib/db/session.ml: Catalog Database Error Hashtbl List Lock_mgr Printf Sedna_core Sedna_engine Sedna_util Sedna_xquery Store Txn Xname

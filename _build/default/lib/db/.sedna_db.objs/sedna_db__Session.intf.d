@@ -1,0 +1,1 @@
+lib/db/session.mli: Sedna_core Sedna_xquery

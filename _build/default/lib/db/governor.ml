@@ -1,0 +1,61 @@
+(* The governor (paper §3, Figure 1): the control centre that keeps
+   track of databases and sessions.  Databases register here on open;
+   sessions are created against a registered database.  In the original
+   system these are separate processes; here they are objects within
+   one process, with the same responsibilities. *)
+
+open Sedna_util
+open Sedna_core
+
+type t = {
+  databases : (string, Database.t) Hashtbl.t;
+  mutable sessions : (int * Session.t) list;
+  mutable next_session_id : int;
+}
+
+let create () =
+  { databases = Hashtbl.create 4; sessions = []; next_session_id = 1 }
+
+let create_database t ~name ~dir =
+  if Hashtbl.mem t.databases name then
+    Error.raise_error Error.Document_exists "database %S already registered" name;
+  let db = Database.create dir in
+  Hashtbl.add t.databases name db;
+  db
+
+let open_database t ~name ~dir =
+  if Hashtbl.mem t.databases name then
+    Error.raise_error Error.Document_exists "database %S already registered" name;
+  let db = Database.open_existing dir in
+  Hashtbl.add t.databases name db;
+  db
+
+let find_database t name = Hashtbl.find_opt t.databases name
+
+let get_database t name =
+  match find_database t name with
+  | Some db -> db
+  | None -> Error.raise_error Error.No_such_document "no database %S" name
+
+(* paper §3: "for each client, the governor creates an instance of the
+   connection component and establishes the connection" *)
+let connect t ~database : int * Session.t =
+  let db = get_database t database in
+  let s = Session.connect db in
+  let id = t.next_session_id in
+  t.next_session_id <- id + 1;
+  t.sessions <- (id, s) :: t.sessions;
+  (id, s)
+
+let disconnect t id =
+  (match List.assoc_opt id t.sessions with
+   | Some s when Session.in_transaction s -> Session.rollback s
+   | _ -> ());
+  t.sessions <- List.remove_assoc id t.sessions
+
+let session_count t = List.length t.sessions
+
+let shutdown t =
+  List.iter (fun (id, _) -> disconnect t id) t.sessions;
+  Hashtbl.iter (fun _ db -> Database.close db) t.databases;
+  Hashtbl.reset t.databases

@@ -1,0 +1,25 @@
+(** The governor (paper §3, Figure 1): the control centre that keeps
+    track of databases and sessions.  In the original system these are
+    processes; here they are objects with the same responsibilities —
+    components register on creation and deregister on shutdown. *)
+
+type t
+
+val create : unit -> t
+
+val create_database : t -> name:string -> dir:string -> Sedna_core.Database.t
+val open_database : t -> name:string -> dir:string -> Sedna_core.Database.t
+val find_database : t -> string -> Sedna_core.Database.t option
+val get_database : t -> string -> Sedna_core.Database.t
+
+val connect : t -> database:string -> int * Session.t
+(** Create a session ("connection component") against a registered
+    database; returns its id for {!disconnect}. *)
+
+val disconnect : t -> int -> unit
+(** Rolls back the session's open transaction, if any. *)
+
+val session_count : t -> int
+
+val shutdown : t -> unit
+(** Disconnect every session and close every database. *)

@@ -1,0 +1,261 @@
+(* A client session (paper §3, Figure 1): owns at most one active
+   transaction at a time and runs statements through the full pipeline:
+   parse -> static analysis -> optimizing rewrite -> execute.
+
+   Auto-commit mode: a statement outside an explicit transaction runs
+   in its own transaction — read-only (snapshot, no locks) for queries,
+   updating (S2PL document locks) for updates and DDL. *)
+
+open Sedna_util
+open Sedna_core
+module Ast = Sedna_xquery.Xq_ast
+
+type result =
+  | Items of string (* serialized query result *)
+  | Updated of int (* affected-node count *)
+  | Message of string (* DDL confirmation *)
+
+let result_to_string = function
+  | Items s -> s
+  | Updated n -> Printf.sprintf "update succeeded (%d nodes)" n
+  | Message m -> m
+
+type t = {
+  db : Database.t;
+  mutable txn : Txn.t option;
+  mutable rewriter_options : Sedna_xquery.Rewriter.options;
+}
+
+let connect db =
+  { db; txn = None; rewriter_options = Sedna_xquery.Rewriter.default_options }
+
+let database t = t.db
+
+let set_rewriter_options t o = t.rewriter_options <- o
+
+(* ---- lock-set inference ----------------------------------------------- *)
+
+(* Documents and collections a statement touches, from doc()/collection()
+   calls in its tree.  Locking granularity is the document (paper §6.2). *)
+let rec doc_refs (e : Ast.expr) : string list =
+  match e with
+  | Ast.Call (n, [ Ast.Str_lit d ])
+    when let l = Xname.local n in
+         l = "doc" || l = "document" -> [ d ]
+  | Ast.Call (n, [ Ast.Str_lit _c ]) when Xname.local n = "collection" ->
+    [] (* collections resolved to documents at lock time, below *)
+  | Ast.Schema_path (d, _) -> [ d ]
+  | Ast.Int_lit _ | Ast.Dbl_lit _ | Ast.Str_lit _ | Ast.Empty_seq
+  | Ast.Context_item | Ast.Var _ -> []
+  | Ast.Sequence es -> List.concat_map doc_refs es
+  | Ast.Range (a, b)
+  | Ast.Binop (_, a, b)
+  | Ast.And (a, b)
+  | Ast.Or (a, b)
+  | Ast.Comp_elem (a, b)
+  | Ast.Comp_attr (a, b)
+  | Ast.Comp_pi (a, b) -> doc_refs a @ doc_refs b
+  | Ast.Neg a | Ast.Not a | Ast.Ddo a | Ast.Ordered a | Ast.Unordered a
+  | Ast.Comp_text a | Ast.Comp_comment a | Ast.Virtual_constr a
+  | Ast.Castable (a, _) | Ast.Cast (a, _) | Ast.Instance_of (a, _)
+  | Ast.Treat_as (a, _) -> doc_refs a
+  | Ast.If (c, t, f) -> doc_refs c @ doc_refs t @ doc_refs f
+  | Ast.Call (_, args) -> List.concat_map doc_refs args
+  | Ast.Filter (p, preds) -> doc_refs p @ List.concat_map doc_refs preds
+  | Ast.Path (p, steps) ->
+    doc_refs p
+    @ List.concat_map (fun (s : Ast.step) -> List.concat_map doc_refs s.Ast.preds) steps
+  | Ast.Elem_constr (_, atts, content) ->
+    List.concat_map
+      (fun (a : Ast.attr_constr) -> List.concat_map doc_refs a.Ast.attr_value)
+      atts
+    @ List.concat_map doc_refs content
+  | Ast.Quantified (_, binds, cond) ->
+    List.concat_map (fun (_, e') -> doc_refs e') binds @ doc_refs cond
+  | Ast.Flwor (clauses, ret) ->
+    List.concat_map
+      (function
+        | Ast.For binds -> List.concat_map (fun (_, _, e') -> doc_refs e') binds
+        | Ast.Let binds -> List.concat_map (fun (_, e') -> doc_refs e') binds
+        | Ast.Where c -> doc_refs c
+        | Ast.Order_by keys -> List.concat_map (fun (k, _) -> doc_refs k) keys)
+      clauses
+    @ doc_refs ret
+
+let rec collection_refs (e : Ast.expr) : string list =
+  match e with
+  | Ast.Call (n, [ Ast.Str_lit c ]) when Xname.local n = "collection" -> [ c ]
+  | Ast.Sequence es -> List.concat_map collection_refs es
+  | Ast.Path (p, _) | Ast.Filter (p, _) -> collection_refs p
+  | Ast.Flwor (clauses, ret) ->
+    List.concat_map
+      (function
+        | Ast.For binds ->
+          List.concat_map (fun (_, _, e') -> collection_refs e') binds
+        | Ast.Let binds -> List.concat_map (fun (_, e') -> collection_refs e') binds
+        | _ -> [])
+      clauses
+    @ collection_refs ret
+  | _ -> []
+
+let statement_locks (db : Database.t) (s : Ast.statement) :
+    (string * Lock_mgr.mode) list =
+  let docs_of_expr e =
+    let direct = doc_refs e in
+    let colls = collection_refs e in
+    let from_colls =
+      List.concat_map
+        (fun c ->
+          match Hashtbl.find_opt (Database.catalog db).Catalog.collections c with
+          | Some docs -> docs
+          | None -> [])
+        colls
+    in
+    List.sort_uniq compare (direct @ from_colls)
+  in
+  match s with
+  | Ast.Query (prolog, e) ->
+    let var_docs = List.concat_map (fun (_, e') -> doc_refs e') prolog.Ast.variables in
+    List.map
+      (fun d -> (d, Lock_mgr.Shared))
+      (List.sort_uniq compare (docs_of_expr e @ var_docs))
+  | Ast.Update (_, u) ->
+    let exprs =
+      match u with
+      | Ast.Insert_into (a, b)
+      | Ast.Insert_preceding (a, b)
+      | Ast.Insert_following (a, b) -> [ a; b ]
+      | Ast.Delete a | Ast.Delete_undeep a -> [ a ]
+      | Ast.Replace (_, a, b) -> [ a; b ]
+      | Ast.Rename (a, _) -> [ a ]
+    in
+    List.map
+      (fun d -> (d, Lock_mgr.Exclusive))
+      (List.sort_uniq compare (List.concat_map docs_of_expr exprs))
+  | Ast.Ddl d -> (
+    match d with
+    | Ast.Create_document n | Ast.Drop_document n
+    | Ast.Load_string (_, n) | Ast.Load_file (_, n)
+    | Ast.Create_document_in (n, _) -> [ (n, Lock_mgr.Exclusive) ]
+    | Ast.Create_index { ix_doc; _ } -> [ (ix_doc, Lock_mgr.Exclusive) ]
+    | Ast.Drop_index _ | Ast.Create_collection _ | Ast.Drop_collection _ -> [])
+
+(* ---- transaction control ---------------------------------------------- *)
+
+let begin_txn ?(read_only = false) t =
+  (match t.txn with
+   | Some txn when Txn.is_active txn ->
+     Error.raise_error Error.Txn_not_active
+       "session already has an active transaction"
+   | _ -> ());
+  t.txn <- Some (Database.begin_txn ~read_only t.db)
+
+let commit t =
+  match t.txn with
+  | Some txn when Txn.is_active txn ->
+    Database.commit t.db txn;
+    t.txn <- None
+  | _ -> Error.raise_error Error.Txn_not_active "no active transaction"
+
+let rollback t =
+  match t.txn with
+  | Some txn when Txn.is_active txn ->
+    Database.abort t.db txn;
+    t.txn <- None
+  | _ -> Error.raise_error Error.Txn_not_active "no active transaction"
+
+let in_transaction t =
+  match t.txn with Some txn -> Txn.is_active txn | None -> false
+
+(* ---- statement pipeline ------------------------------------------------ *)
+
+let build_ctx _t (st : Store.t) (prolog : Ast.prolog) : Sedna_engine.Executor.ctx =
+  let funcs =
+    List.map (fun (f : Ast.fun_def) -> (Xname.local f.Ast.fn_name, f)) prolog.Ast.functions
+  in
+  let ctx0 = Sedna_engine.Executor.initial_ctx ~funcs st in
+  (* prolog variables are evaluated eagerly, in declaration order *)
+  let vars =
+    List.fold_left
+      (fun vars (v, e) ->
+        let ctx = { ctx0 with Sedna_engine.Executor.vars = vars } in
+        (v, List.of_seq (Sedna_engine.Executor.eval ctx (Sedna_xquery.Rewriter.optimize e)))
+        :: vars)
+      [] prolog.Ast.variables
+  in
+  { ctx0 with Sedna_engine.Executor.vars = vars }
+
+let run_statement t (stmt : Ast.statement) (txn : Txn.t) : result =
+  let st = Database.txn_store t.db txn in
+  match stmt with
+  | Ast.Query (prolog, e) ->
+    ignore (Sedna_xquery.Static.analyse prolog e);
+    let e =
+      if t.rewriter_options.Sedna_xquery.Rewriter.inline_functions then
+        Sedna_xquery.Rewriter.inline_functions prolog.Ast.functions e
+      else e
+    in
+    let e = Sedna_xquery.Rewriter.rewrite_with t.rewriter_options e in
+    let ctx = build_ctx t st prolog in
+    Items (Sedna_engine.Xdm.serialize st (Sedna_engine.Executor.eval ctx e))
+  | Ast.Update (prolog, u) ->
+    if txn.Txn.read_only then
+      Error.raise_error Error.Txn_read_only
+        "update statement in a read-only transaction";
+    let opt e =
+      let e =
+        if t.rewriter_options.Sedna_xquery.Rewriter.inline_functions then
+          Sedna_xquery.Rewriter.inline_functions prolog.Ast.functions e
+        else e
+      in
+      Sedna_xquery.Rewriter.rewrite_with t.rewriter_options e
+    in
+    let u =
+      match u with
+      | Ast.Insert_into (a, b) -> Ast.Insert_into (opt a, opt b)
+      | Ast.Insert_preceding (a, b) -> Ast.Insert_preceding (opt a, opt b)
+      | Ast.Insert_following (a, b) -> Ast.Insert_following (opt a, opt b)
+      | Ast.Delete a -> Ast.Delete (opt a)
+      | Ast.Delete_undeep a -> Ast.Delete_undeep (opt a)
+      | Ast.Replace (v, a, b) -> Ast.Replace (v, opt a, opt b)
+      | Ast.Rename (a, n) -> Ast.Rename (opt a, n)
+    in
+    let ctx = build_ctx t st prolog in
+    Txn.log_op txn "update";
+    Updated (Sedna_engine.Update_exec.execute ctx u)
+  | Ast.Ddl d ->
+    if txn.Txn.read_only then
+      Error.raise_error Error.Txn_read_only "DDL in a read-only transaction";
+    Txn.log_op txn "ddl";
+    Message (Sedna_engine.Ddl_exec.execute st d)
+
+let is_query = function Ast.Query _ -> true | _ -> false
+
+(* Execute one statement string.  Within an explicit transaction the
+   statement joins it; otherwise it runs in an auto-commit transaction
+   of the appropriate kind. *)
+let execute t (text : string) : result =
+  let stmt = Sedna_xquery.Xq_parser.parse_statement text in
+  let locks = statement_locks t.db stmt in
+  match t.txn with
+  | Some txn when Txn.is_active txn ->
+    List.iter
+      (fun (doc, mode) -> Database.lock_exn t.db txn ~doc ~mode)
+      locks;
+    Database.run t.db txn (fun () -> run_statement t stmt txn)
+  | _ ->
+    let read_only = is_query stmt in
+    let txn = Database.begin_txn ~read_only t.db in
+    (try
+       if not read_only then
+         List.iter
+           (fun (doc, mode) -> Database.lock_exn t.db txn ~doc ~mode)
+           locks;
+       let r = Database.run t.db txn (fun () -> run_statement t stmt txn) in
+       Database.commit t.db txn;
+       r
+     with e ->
+       (if Txn.is_active txn then try Database.abort t.db txn with _ -> ());
+       raise e)
+
+let execute_string t text = result_to_string (execute t text)

@@ -1,0 +1,39 @@
+(** A client session (paper §3, Figure 1): owns at most one active
+    transaction and runs statements through the full pipeline
+    (parse → static analysis → optimizing rewrite → execute).
+
+    Outside an explicit transaction, each statement auto-commits in its
+    own transaction: read-only with a snapshot (no locks) for queries;
+    updating with S2PL document locks for updates and DDL.  The lock
+    set is inferred from the doc()/collection() references in the
+    statement. *)
+
+type t
+
+type result =
+  | Items of string  (** serialized query result *)
+  | Updated of int  (** affected-node count of an update statement *)
+  | Message of string  (** DDL confirmation *)
+
+val result_to_string : result -> string
+
+val connect : Sedna_core.Database.t -> t
+val database : t -> Sedna_core.Database.t
+
+val set_rewriter_options : t -> Sedna_xquery.Rewriter.options -> unit
+(** Per-session optimizer switches (benches/tests use this for
+    ablations). *)
+
+val begin_txn : ?read_only:bool -> t -> unit
+val commit : t -> unit
+val rollback : t -> unit
+val in_transaction : t -> bool
+
+val execute : t -> string -> result
+(** Run one statement string: XQuery query, XUpdate statement or DDL. *)
+
+val execute_string : t -> string -> string
+
+val statement_locks :
+  Sedna_core.Database.t -> Sedna_xquery.Xq_ast.statement -> (string * Sedna_core.Lock_mgr.mode) list
+(** The inferred lock set (exposed for tests). *)

@@ -1,0 +1,1 @@
+lib/engine/ddl_exec.ml: Catalog Error Hashtbl Index_mgr List Loader Printf Sedna_core Sedna_util Sedna_xquery Store Update_ops

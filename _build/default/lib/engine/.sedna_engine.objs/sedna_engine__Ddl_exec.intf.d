@@ -1,0 +1,1 @@
+lib/engine/ddl_exec.mli: Sedna_core Sedna_xquery

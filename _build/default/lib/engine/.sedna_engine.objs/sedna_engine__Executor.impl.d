@@ -1,0 +1,1 @@
+lib/engine/executor.ml: Buffer Catalog Counters Error Float Hashtbl Index_mgr Indirection Lazy List Rx Sedna_core Sedna_util Sedna_xquery Seq Store String Traverse Xdm Xname

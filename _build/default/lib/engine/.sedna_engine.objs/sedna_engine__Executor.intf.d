@@ -1,0 +1,1 @@
+lib/engine/executor.mli: Lazy Sedna_core Sedna_xquery Seq Xdm

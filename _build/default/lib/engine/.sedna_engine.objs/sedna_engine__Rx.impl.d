@@ -1,0 +1,1 @@
+lib/engine/rx.ml: Array Buffer Char Error List Sedna_util String

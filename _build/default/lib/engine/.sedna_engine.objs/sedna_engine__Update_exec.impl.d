@@ -1,0 +1,1 @@
+lib/engine/update_exec.ml: Catalog Error Executor Hashtbl Index_mgr Indirection List Node Node_block Option Sedna_core Sedna_util Sedna_xquery Store Update_ops Xdm Xptr

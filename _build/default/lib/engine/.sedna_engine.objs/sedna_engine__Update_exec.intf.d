@@ -1,0 +1,1 @@
+lib/engine/update_exec.mli: Executor Sedna_core Sedna_xquery Xdm

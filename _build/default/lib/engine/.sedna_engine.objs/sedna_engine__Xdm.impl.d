@@ -1,0 +1,1 @@
+lib/engine/xdm.ml: Buffer Catalog Counters Error Float List Node Node_ser Option Printf Sedna_core Sedna_nid Sedna_util Sedna_xml Seq String Xname Xptr

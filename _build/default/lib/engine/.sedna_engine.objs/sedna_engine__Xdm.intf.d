@@ -1,0 +1,1 @@
+lib/engine/xdm.mli: Sedna_core Sedna_util Sedna_xml Seq

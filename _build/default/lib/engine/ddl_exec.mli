@@ -1,0 +1,11 @@
+(** Data-definition statements: documents, collections, indexes, bulk
+    load.  Dropping a document also prunes its descriptive-schema
+    subtree from the catalog and drops its dependent indexes. *)
+
+val execute : Sedna_core.Store.t -> Sedna_xquery.Xq_ast.ddl_stmt -> string
+(** Returns a human-readable confirmation message. *)
+
+val drop_document : Sedna_core.Store.t -> string -> unit
+
+val index_kind_of_type : string -> Sedna_core.Catalog.index_kind
+(** Maps "xs:string" / "xs:integer" / "xs:double" to the index kind. *)

@@ -1,0 +1,331 @@
+(* A small backtracking regular-expression engine for the XQuery string
+   functions fn:matches / fn:replace / fn:tokenize.
+
+   Supported syntax (the commonly used XML-Schema-regex subset):
+     literals, '.' (any char), escapes \d \D \w \W \s \S \. \\ etc.,
+     character classes [abc], [a-z0-9], negated [^...],
+     anchors ^ and $, alternation |, groups ( ), quantifiers * + ?
+     and bounded {n}, {n,}, {n,m} (greedy).
+
+   Groups capture for fn:replace's $1..$9 references. *)
+
+open Sedna_util
+
+type node =
+  | Lit of char
+  | Any
+  | Class of (char -> bool)
+  | Start
+  | End
+  | Seq of node list
+  | Alt of node * node
+  | Repeat of node * int * int option (* min, max *)
+  | Group of int * node
+
+type t = { prog : node; group_count : int }
+
+let parse_error fmt = Error.raise_error Error.Xquery_dynamic fmt
+
+(* ---- parser ------------------------------------------------------------- *)
+
+let escape_class c : (char -> bool) option =
+  match c with
+  | 'd' -> Some (fun ch -> ch >= '0' && ch <= '9')
+  | 'D' -> Some (fun ch -> not (ch >= '0' && ch <= '9'))
+  | 'w' ->
+    Some
+      (fun ch ->
+        (ch >= 'a' && ch <= 'z')
+        || (ch >= 'A' && ch <= 'Z')
+        || (ch >= '0' && ch <= '9')
+        || ch = '_')
+  | 'W' ->
+    Some
+      (fun ch ->
+        not
+          ((ch >= 'a' && ch <= 'z')
+          || (ch >= 'A' && ch <= 'Z')
+          || (ch >= '0' && ch <= '9')
+          || ch = '_'))
+  | 's' -> Some (fun ch -> ch = ' ' || ch = '\t' || ch = '\n' || ch = '\r')
+  | 'S' -> Some (fun ch -> not (ch = ' ' || ch = '\t' || ch = '\n' || ch = '\r'))
+  | _ -> None
+
+let compile (pattern : string) : t =
+  let pos = ref 0 in
+  let n = String.length pattern in
+  let group_counter = ref 0 in
+  let peek () = if !pos < n then Some pattern.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    if peek () = Some c then advance ()
+    else parse_error "regex: expected %C in %S" c pattern
+  in
+  let parse_class () =
+    (* after '[' *)
+    let negated = peek () = Some '^' in
+    if negated then advance ();
+    let ranges = ref [] in
+    let add_single c = ranges := (c, c) :: !ranges in
+    let rec go first =
+      match peek () with
+      | None -> parse_error "regex: unterminated class in %S" pattern
+      | Some ']' when not first -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some e ->
+           advance ();
+           (match escape_class e with
+            | Some f ->
+              (* materialize predicate escapes (\d, \w, ...) as ranges *)
+              for i = 0 to 255 do
+                if f (Char.chr i) then add_single (Char.chr i)
+              done
+            | None -> add_single e)
+         | None -> parse_error "regex: dangling backslash in %S" pattern);
+        go false
+      | Some c ->
+        advance ();
+        if peek () = Some '-' && !pos + 1 < n && pattern.[!pos + 1] <> ']'
+        then begin
+          advance ();
+          match peek () with
+          | Some hi ->
+            advance ();
+            ranges := (c, hi) :: !ranges;
+            go false
+          | None -> parse_error "regex: bad range in %S" pattern
+        end
+        else begin
+          add_single c;
+          go false
+        end
+    in
+    go true;
+    let rs = !ranges in
+    let test ch = List.exists (fun (lo, hi) -> ch >= lo && ch <= hi) rs in
+    Class (if negated then fun ch -> not (test ch) else test)
+  in
+  let parse_int () =
+    let start = !pos in
+    while (match peek () with Some c when c >= '0' && c <= '9' -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then None
+    else Some (int_of_string (String.sub pattern start (!pos - start)))
+  in
+  let rec parse_alt () =
+    let a = parse_seq () in
+    if peek () = Some '|' then begin
+      advance ();
+      Alt (a, parse_alt ())
+    end
+    else a
+  and parse_seq () =
+    let items = ref [] in
+    let rec go () =
+      match peek () with
+      | None | Some '|' | Some ')' -> ()
+      | Some _ ->
+        items := parse_quantified () :: !items;
+        go ()
+    in
+    go ();
+    match !items with [ one ] -> one | items -> Seq (List.rev items)
+  and parse_quantified () =
+    let atom = parse_atom () in
+    match peek () with
+    | Some '*' ->
+      advance ();
+      Repeat (atom, 0, None)
+    | Some '+' ->
+      advance ();
+      Repeat (atom, 1, None)
+    | Some '?' ->
+      advance ();
+      Repeat (atom, 0, Some 1)
+    | Some '{' ->
+      advance ();
+      let lo = match parse_int () with Some i -> i | None -> parse_error "regex: bad {}" in
+      let hi =
+        if peek () = Some ',' then begin
+          advance ();
+          parse_int ()
+        end
+        else Some lo
+      in
+      expect '}';
+      Repeat (atom, lo, hi)
+    | _ -> atom
+  and parse_atom () =
+    match peek () with
+    | None -> parse_error "regex: unexpected end of %S" pattern
+    | Some '(' ->
+      advance ();
+      incr group_counter;
+      let idx = !group_counter in
+      let inner = parse_alt () in
+      expect ')';
+      Group (idx, inner)
+    | Some '[' ->
+      advance ();
+      parse_class ()
+    | Some '.' ->
+      advance ();
+      Any
+    | Some '^' ->
+      advance ();
+      Start
+    | Some '$' ->
+      advance ();
+      End
+    | Some '\\' ->
+      advance ();
+      (match peek () with
+       | Some e ->
+         advance ();
+         (match escape_class e with Some f -> Class f | None -> Lit e)
+       | None -> parse_error "regex: dangling backslash in %S" pattern)
+    | Some (('*' | '+' | '?' | ')' | '{' | '}') as c) ->
+      parse_error "regex: unexpected %C in %S" c pattern
+    | Some c ->
+      advance ();
+      Lit c
+  in
+  let prog = parse_alt () in
+  if !pos <> n then parse_error "regex: trailing input in %S" pattern;
+  { prog; group_count = !group_counter }
+
+(* ---- matcher -------------------------------------------------------------- *)
+
+(* continuation-passing backtracking matcher; groups record (start,end) *)
+let exec (re : t) (s : string) (start : int) :
+    (int * (int * int) option array) option =
+  let n = String.length s in
+  let groups = Array.make (re.group_count + 1) None in
+  let rec m (node : node) (i : int) (k : int -> bool) : bool =
+    match node with
+    | Lit c -> i < n && s.[i] = c && k (i + 1)
+    | Any -> i < n && k (i + 1)
+    | Class f -> i < n && f s.[i] && k (i + 1)
+    | Start -> i = 0 && k i
+    | End -> i = n && k i
+    | Seq items ->
+      let rec chain items i =
+        match items with
+        | [] -> k i
+        | x :: rest -> m x i (fun j -> chain rest j)
+      in
+      chain items i
+    | Alt (a, b) -> m a i k || m b i k
+    | Group (idx, inner) ->
+      let saved = groups.(idx) in
+      m inner i (fun j ->
+          groups.(idx) <- Some (i, j);
+          k j || (groups.(idx) <- saved; false))
+    | Repeat (inner, lo, hi) ->
+      (* greedy with backtracking; guard against empty-match loops *)
+      let rec go count i =
+        let can_more = match hi with Some h -> count < h | None -> true in
+        if can_more then
+          m inner i (fun j -> if j = i then (count + 1 >= lo && k j) else go (count + 1) j)
+          || (count >= lo && k i)
+        else count >= lo && k i
+      in
+      go 0 i
+  in
+  let final = ref (-1) in
+  if m re.prog start (fun j -> final := j; true) then
+    Some (!final, Array.copy groups)
+  else None
+
+(* find the first match at or after [start] *)
+let search (re : t) (s : string) (start : int) :
+    (int * int * (int * int) option array) option =
+  let n = String.length s in
+  let rec go i =
+    if i > n then None
+    else
+      match exec re s i with
+      | Some (j, groups) -> Some (i, j, groups)
+      | None -> go (i + 1)
+  in
+  go start
+
+(* ---- the three F&O operations --------------------------------------------- *)
+
+let matches ~pattern (s : string) : bool =
+  search (compile pattern) s 0 <> None
+
+let replace ~pattern ~replacement (s : string) : string =
+  let re = compile pattern in
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let expand groups (i0 : int) (j0 : int) =
+    ignore i0;
+    ignore j0;
+    let rn = String.length replacement in
+    let k = ref 0 in
+    while !k < rn do
+      (if replacement.[!k] = '$' && !k + 1 < rn
+          && replacement.[!k + 1] >= '0' && replacement.[!k + 1] <= '9'
+       then begin
+         let g = Char.code replacement.[!k + 1] - Char.code '0' in
+         (if g <= re.group_count then
+            match groups.(g) with
+            | Some (a, b) -> Buffer.add_string buf (String.sub s a (b - a))
+            | None -> ());
+         k := !k + 2
+       end
+       else if replacement.[!k] = '\\' && !k + 1 < rn then begin
+         Buffer.add_char buf replacement.[!k + 1];
+         k := !k + 2
+       end
+       else begin
+         Buffer.add_char buf replacement.[!k];
+         incr k
+       end)
+    done
+  in
+  let rec go i =
+    if i > n then ()
+    else
+      match search re s i with
+      | None -> Buffer.add_string buf (String.sub s i (n - i))
+      | Some (a, b, groups) ->
+        Buffer.add_string buf (String.sub s i (a - i));
+        expand groups a b;
+        if b = a then begin
+          (* zero-length match: copy one char and continue *)
+          if a < n then Buffer.add_char buf s.[a];
+          go (a + 1)
+        end
+        else go b
+  in
+  go 0;
+  Buffer.contents buf
+
+let tokenize ~pattern (s : string) : string list =
+  if s = "" then []
+  else begin
+    let re = compile pattern in
+    let n = String.length s in
+    let out = ref [] in
+    let rec go i seg_start =
+      if i > n then ()
+      else
+        match search re s i with
+        | None ->
+          out := String.sub s seg_start (n - seg_start) :: !out
+        | Some (a, b, _) when b > a ->
+          out := String.sub s seg_start (a - seg_start) :: !out;
+          go b b
+        | Some (a, _, _) ->
+          (* zero-length separator: avoid infinite loop *)
+          ignore a;
+          go (i + 1) seg_start
+    in
+    go 0 0;
+    List.rev !out
+  end

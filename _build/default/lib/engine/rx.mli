@@ -1,0 +1,25 @@
+(** A small backtracking regular-expression engine for the XQuery
+    string functions fn:matches / fn:replace / fn:tokenize.
+
+    Supported: literals, [.], escapes ([\d \D \w \W \s \S] and literal
+    escapes), character classes with ranges and negation, anchors
+    [^ $], alternation, groups (capturing, for [$1..$9] in
+    replacements), and the quantifiers [* + ?] and [{n} {n,} {n,m}]
+    (greedy).  Malformed patterns raise the dynamic-error code the
+    F&O spec assigns. *)
+
+type t
+
+val compile : string -> t
+
+val matches : pattern:string -> string -> bool
+(** True when the pattern matches a substring (anchor explicitly for
+    whole-string matching). *)
+
+val replace : pattern:string -> replacement:string -> string -> string
+(** Replace every non-overlapping match; [$1..$9] in the replacement
+    refer to capture groups; [\x] escapes a literal character. *)
+
+val tokenize : pattern:string -> string -> string list
+(** Split around matches of the separator pattern; [""] input gives
+    the empty sequence, adjacent separators give empty tokens. *)

@@ -1,0 +1,31 @@
+(** XUpdate execution (paper §3, §5.2): the plan's first part selects
+    the target nodes, the second updates them.  Selected targets are
+    converted to node handles before any mutation starts — direct
+    pointers are invalidated by the relocations updates perform.
+
+    Inserted content is always a copy (XQuery constructor semantics);
+    virtual constructor results are serialized into the store without
+    an intermediate deep copy.  Around every mutation the affected
+    index region is refreshed (removed under old keys, recomputed). *)
+
+val execute : Executor.ctx -> Sedna_xquery.Xq_ast.update_stmt -> int
+(** Returns the number of target nodes affected. *)
+
+val insert_item :
+  Sedna_core.Store.t ->
+  parent_handle:Sedna_core.Xptr.t ->
+  left_handle:Sedna_core.Xptr.t option ->
+  Xdm.item ->
+  Sedna_core.Xptr.t
+(** Insert one item (atomics become text nodes) after [left_handle];
+    returns the new node's handle. *)
+
+val insert_node_copy :
+  Sedna_core.Store.t ->
+  parent_handle:Sedna_core.Xptr.t ->
+  left_handle:Sedna_core.Xptr.t option ->
+  Xdm.node ->
+  Sedna_core.Xptr.t
+
+val doc_name_of_node :
+  Sedna_core.Store.t -> Sedna_core.Node.desc -> string option

@@ -1,0 +1,86 @@
+(** The XQuery data model as seen by the executor: items are nodes or
+    atomic values; nodes are stored (descriptors in the page store) or
+    temporary (constructed, in memory).
+
+    A temporary element's children may be direct references to stored
+    nodes — the virtual-constructor representation of paper §5.2.1:
+    serialization follows the reference, no deep copy is made.  Deep
+    copies, when they happen, bump [Counters.deep_copies]. *)
+
+type tnode = {
+  t_id : int;  (** creation order: identity and order among temps *)
+  t_kind : Sedna_core.Catalog.kind;
+  t_name : Sedna_util.Xname.t option;
+  mutable t_value : string;
+  mutable t_children : node list;  (** attributes first *)
+  mutable t_parent : tnode option;
+}
+
+and node = Stored of Sedna_core.Node.desc | Temp of tnode
+
+type atomic =
+  | AInt of int
+  | ADbl of float
+  | AStr of string
+  | ABool of bool
+  | AUntyped of string
+
+type item = N of node | A of atomic
+
+type value = item list
+(** Materialized sequences: variable bindings, function arguments. *)
+
+val new_tnode :
+  kind:Sedna_core.Catalog.kind ->
+  name:Sedna_util.Xname.t option ->
+  value:string ->
+  tnode
+
+(** {1 Node accessors, polymorphic over stored/temp} *)
+
+val node_kind : Sedna_core.Store.t -> node -> Sedna_core.Catalog.kind
+val node_name : Sedna_core.Store.t -> node -> Sedna_util.Xname.t option
+val node_children : Sedna_core.Store.t -> node -> node list
+val node_attributes : Sedna_core.Store.t -> node -> node list
+val node_parent : Sedna_core.Store.t -> node -> node option
+val node_string_value : Sedna_core.Store.t -> node -> string
+
+val is_same_node : Sedna_core.Store.t -> node -> node -> bool
+(** Node identity: handle equality for stored, creation id for temp. *)
+
+val node_compare : Sedna_core.Store.t -> node -> node -> int
+(** Document order: labels for stored nodes (handle tie-break across
+    documents), creation order for temps, stored before temp. *)
+
+(** {1 Atomic values} *)
+
+val atomize : Sedna_core.Store.t -> item -> atomic
+val string_of_atomic : atomic -> string
+val float_of_atomic : atomic -> float
+val number_opt : atomic -> float option
+val item_string : Sedna_core.Store.t -> item -> string
+
+val ebv : Sedna_core.Store.t -> item Seq.t -> bool
+(** Effective boolean value, per the spec (raises on multi-item atomic
+    sequences). *)
+
+val value_compare : atomic -> atomic -> int option
+(** Typed comparison for [eq lt ...]; [None] = incomparable. *)
+
+val general_pair_compare : atomic -> atomic -> int option
+(** The general-comparison pairwise rule (untyped adapts to the other
+    operand). *)
+
+(** {1 Copying (constructor semantics)} *)
+
+val deep_copy_stored : Sedna_core.Store.t -> Sedna_core.Node.desc -> tnode
+(** Counts one deep copy per stored node copied. *)
+
+val deep_copy_temp : tnode -> tnode
+
+(** {1 Serialization} *)
+
+val events_of_node : Sedna_core.Store.t -> node -> Sedna_xml.Xml_event.t list
+
+val serialize : Sedna_core.Store.t -> item Seq.t -> string
+(** Query-shell style: nodes as XML, atomics space-separated. *)

@@ -1,0 +1,1 @@
+lib/nid/nid.ml: Bytes Char Format Option String

@@ -1,0 +1,1 @@
+lib/nid/nid.mli: Format

@@ -1,0 +1,167 @@
+(* See nid.mli for the scheme.  Digit alphabet is [d_min..d_max]; the
+   terminator ends every segment; the delimiter is the maximal byte.
+   Invariant maintained everywhere: a segment's digit string never ends
+   with d_min, which guarantees [mid] below can always find room. *)
+
+type t = string
+
+let terminator = '\x01'
+let delimiter = '\xff'
+let d_min = 0x02
+let d_max = 0xfe
+
+let root = ""
+
+let to_raw t = t
+
+let is_well_formed s =
+  (* Segments of digits in [d_min..d_max], each closed by terminator;
+     digit runs non-empty and not ending with d_min. *)
+  let n = String.length s in
+  let rec seg i =
+    if i = n then true
+    else
+      let rec digits j =
+        if j = n then false (* unterminated segment *)
+        else
+          let c = Char.code s.[j] in
+          if c = Char.code terminator then
+            j > i && Char.code s.[j - 1] <> d_min && seg (j + 1)
+          else if c >= d_min && c <= d_max then digits (j + 1)
+          else false
+      in
+      digits i
+  in
+  seg 0
+
+let of_raw s =
+  if is_well_formed s then s
+  else invalid_arg "Nid.of_raw: malformed label"
+
+let compare = String.compare
+let equal = String.equal
+
+let is_prefix p s =
+  String.length p < String.length s
+  && String.equal p (String.sub s 0 (String.length p))
+
+let is_ancestor ~ancestor y = is_prefix ancestor y
+
+let is_descendant_or_self ~ancestor y =
+  String.equal ancestor y || is_prefix ancestor y
+
+let depth t =
+  let d = ref 0 in
+  String.iter (fun c -> if c = terminator then incr d) t;
+  !d
+
+(* ------------------------------------------------------------------ *)
+(* [mid a b]: a digit string strictly between [a] and [b] in the label
+   order induced by appending the terminator (which coincides with
+   plain string order on digit strings).  [b = None] means +infinity.
+   Preconditions: a < b; neither ends with d_min.  Postcondition: the
+   result does not end with d_min. *)
+
+let tl s = String.sub s 1 (String.length s - 1)
+
+let rec mid (a : string) (b : string option) : string =
+  match b with
+  | Some bs when bs <> "" && a <> "" && a.[0] = bs.[0] ->
+    String.make 1 a.[0] ^ mid (tl a) (Some (tl bs))
+  | _ ->
+    let da = if a = "" then d_min - 1 else Char.code a.[0] in
+    let db =
+      match b with
+      | None -> d_max + 1
+      | Some "" -> invalid_arg "Nid.mid: bounds not ordered"
+      | Some bs -> Char.code bs.[0]
+    in
+    if da >= db then invalid_arg "Nid.mid: bounds not ordered";
+    if db - da > 1 then begin
+      (* Room for a fresh digit between the two. *)
+      let m = (da + db) / 2 in
+      let m = if m = d_min && db - da > 2 then d_min + 1 else m in
+      if m = d_min then
+        (* Only d_min fits (da = 1, db = 3): extend below to keep the
+           no-trailing-d_min invariant. *)
+        String.make 1 (Char.chr d_min) ^ mid "" None
+      else String.make 1 (Char.chr m)
+    end
+    else if a <> "" then
+      (* Adjacent first digits: extend along a, unbounded above. *)
+      String.make 1 a.[0] ^ mid (tl a) None
+    else
+      (* a exhausted and b starts with d_min: descend along b.  b has
+         more characters because it does not end with d_min. *)
+      let bs = match b with Some bs -> bs | None -> assert false in
+      String.make 1 bs.[0] ^ mid "" (Some (tl bs))
+
+(* ------------------------------------------------------------------ *)
+(* Segment accessors on full labels. *)
+
+let parent_of_child ~parent child =
+  (* The final segment's digit string of [child], checked against
+     [parent]. *)
+  let lp = String.length parent and lc = String.length child in
+  if lc <= lp || not (String.equal parent (String.sub child 0 lp)) then
+    invalid_arg "Nid.child_between: sibling is not a child of parent";
+  if child.[lc - 1] <> terminator then
+    invalid_arg "Nid.child_between: malformed sibling label";
+  let seg = String.sub child lp (lc - lp - 1) in
+  if String.contains seg terminator then
+    invalid_arg "Nid.child_between: sibling is not a direct child";
+  seg
+
+let child_between ~parent ~left ~right =
+  let lo = Option.map (parent_of_child ~parent) left in
+  let hi = Option.map (parent_of_child ~parent) right in
+  (match lo, hi with
+   | Some a, Some b when String.compare a b >= 0 ->
+     invalid_arg "Nid.child_between: left >= right"
+   | _ -> ());
+  let seg = mid (Option.value lo ~default:"") hi in
+  parent ^ seg ^ String.make 1 terminator
+
+(* Compact bulk-load labels: the i-th child's digit string encodes i in
+   base [ord_base] with digit bytes [ord_zero ..], using [ord_mark]
+   bytes as a length prefix so that longer encodings sort after all
+   shorter ones.  Digit bytes stay clear of d_min so the no-trailing-
+   d_min invariant holds. *)
+
+let ord_base = 124
+let ord_zero = 0x03
+let ord_mark = Char.chr 0x7f
+
+let ord_digits i =
+  if i < 0 then invalid_arg "Nid.ordinal_child: negative index";
+  (* Find the encoding length k: values < 124^k use length k. *)
+  let rec width k cap floor =
+    if i < floor + cap then (k, floor)
+    else width (k + 1) (cap * ord_base) (floor + cap)
+  in
+  let k, floor = width 1 ord_base 0 in
+  let v = i - floor in
+  let buf = Bytes.make (2 * k - 1) ord_mark in
+  (* digit bytes occupy positions k-1 .. 2k-2; marker bytes 0 .. k-2 *)
+  let rec fill_digits pos v =
+    if pos >= k - 1 then begin
+      Bytes.set buf pos (Char.chr (ord_zero + (v mod ord_base)));
+      fill_digits (pos - 1) (v / ord_base)
+    end
+  in
+  fill_digits (2 * k - 2) v;
+  Bytes.to_string buf
+
+let ordinal_child ~parent i = parent ^ ord_digits i ^ String.make 1 terminator
+
+(* ------------------------------------------------------------------ *)
+
+let pair t = (t, delimiter)
+
+let pair_is_ancestor (id1, d1) (id2, _d2) =
+  String.compare id1 id2 < 0
+  && String.compare id2 (id1 ^ String.make 1 d1) < 0
+
+let pp ppf t =
+  Format.pp_print_string ppf "0x";
+  String.iter (fun c -> Format.fprintf ppf "%02x" (Char.code c)) t

@@ -1,0 +1,71 @@
+(** Sedna's numbering scheme (paper §4.1.1).
+
+    A label is conceptually a pair [(id, d)] of a string prefix and a
+    delimiter character such that:
+
+    - node [x] is an ancestor of [y] iff [id_x < id_y < id_x ^ d_x];
+    - [x] precedes [y] in document order iff [id_x < id_y]
+      (lexicographic byte order).
+
+    Inserting a node never requires relabeling any other node: for any
+    two labels there is a label strictly between them.
+
+    Our instantiation: prefixes are sequences of {e segments}, one per
+    tree level.  A segment is a non-empty string of digit bytes
+    [0x02..0xFE] followed by the terminator byte [0x01]; the delimiter
+    is always [0xFF].  Because the terminator is smaller than every
+    digit and occurs only at segment ends, a label is an ancestor's
+    label iff it extends it by whole segments, and lexicographic order
+    on labels is exactly document (pre)order. *)
+
+type t = private string
+(** A label.  The document node has the empty label. *)
+
+val root : t
+(** Label of the document node. *)
+
+val of_raw : string -> t
+(** Unsafe injection for deserialization of labels previously produced
+    by this module.  Raises [Invalid_argument] on malformed input. *)
+
+val to_raw : t -> string
+
+val compare : t -> t -> int
+(** Document order.  [compare x y < 0] iff x precedes y. *)
+
+val equal : t -> t -> bool
+
+val is_ancestor : ancestor:t -> t -> bool
+(** [is_ancestor ~ancestor:x y] — strict: a node is not its own
+    ancestor. *)
+
+val is_descendant_or_self : ancestor:t -> t -> bool
+
+val depth : t -> int
+(** Number of segments = tree depth below the document node. *)
+
+val child_between : parent:t -> left:t option -> right:t option -> t
+(** Allocate a label for a new child of [parent] lying strictly between
+    the adjacent siblings [left] and [right] (both children of
+    [parent], when present).  Never relabels; always succeeds.
+    Raises [Invalid_argument] if [left]/[right] are not children of
+    [parent] or are mis-ordered. *)
+
+val ordinal_child : parent:t -> int -> t
+(** [ordinal_child ~parent i] — compact label for the [i]-th child
+    (0-based) during bulk load.  Produces shorter labels than repeated
+    [child_between ~right:None] and is order-consistent with it. *)
+
+val delimiter : char
+(** The constant delimiter [d] of the pair formulation. *)
+
+val pair : t -> string * char
+(** The paper's [(id, d)] view of a label. *)
+
+val pair_is_ancestor : string * char -> string * char -> bool
+(** Literal implementation of the paper's predicate
+    [id1 < id2 < id1 ^ d1]; used by tests to check the instantiation
+    agrees with {!is_ancestor}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hex rendering for diagnostics. *)

@@ -1,0 +1,1 @@
+lib/util/xname.ml: Char Format Hashtbl String

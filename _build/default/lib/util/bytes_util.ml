@@ -1,0 +1,26 @@
+(* Little-endian fixed-width accessors over Bytes, shared by every
+   on-page structure.  All offsets are byte offsets within the page. *)
+
+let get_u8 b off = Char.code (Bytes.get b off)
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+
+let get_u16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set_u16 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let get_i32 b off = Int32.to_int (Bytes.get_int32_le b off)
+let set_i32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let get_i64 b off = Bytes.get_int64_le b off
+let set_i64 b off v = Bytes.set_int64_le b off v
+
+let get_string b off len = Bytes.sub_string b off len
+let set_string b off s = Bytes.blit_string s 0 b off (String.length s)
+
+let zero b off len = Bytes.fill b off len '\000'
+
+(* Float stored as IEEE bits. *)
+let get_float b off = Int64.float_of_bits (Bytes.get_int64_le b off)
+let set_float b off v = Bytes.set_int64_le b off (Int64.bits_of_float v)

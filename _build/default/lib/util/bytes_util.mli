@@ -1,0 +1,16 @@
+(** Little-endian fixed-width accessors over [Bytes], shared by every
+    on-page structure.  Offsets are byte offsets within the page. *)
+
+val get_u8 : Bytes.t -> int -> int
+val set_u8 : Bytes.t -> int -> int -> unit
+val get_u16 : Bytes.t -> int -> int
+val set_u16 : Bytes.t -> int -> int -> unit
+val get_i32 : Bytes.t -> int -> int
+val set_i32 : Bytes.t -> int -> int -> unit
+val get_i64 : Bytes.t -> int -> int64
+val set_i64 : Bytes.t -> int -> int64 -> unit
+val get_string : Bytes.t -> int -> int -> string
+val set_string : Bytes.t -> int -> string -> unit
+val zero : Bytes.t -> int -> int -> unit
+val get_float : Bytes.t -> int -> float
+val set_float : Bytes.t -> int -> float -> unit

@@ -1,0 +1,51 @@
+(* Global event counters used by benches to report block touches, buffer
+   faults, pointer dereferences etc.  Kept dead simple: named integer
+   cells.  Not thread-safe by design — benches are single-domain. *)
+
+type t = (string, int ref) Hashtbl.t
+
+let global : t = Hashtbl.create 32
+
+let cell name =
+  match Hashtbl.find_opt global name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add global name r;
+    r
+
+let bump ?(n = 1) name =
+  let r = cell name in
+  r := !r + n
+
+let get name = match Hashtbl.find_opt global name with Some r -> !r | None -> 0
+
+let reset name = match Hashtbl.find_opt global name with Some r -> r := 0 | None -> ()
+
+let reset_all () = Hashtbl.iter (fun _ r -> r := 0) global
+
+let snapshot () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) global []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Well-known counter names, centralised so benches and storage agree. *)
+let buffer_fault = "buffer.fault"
+let buffer_hit = "buffer.hit"
+let vas_fast_hit = "vas.fast_hit"
+let block_touch = "block.touch"
+let deref = "xptr.deref"
+let node_moved = "node.moved"
+let fields_updated = "update.fields"
+let relabels = "nid.relabel"
+let deep_copies = "constructor.deep_copy"
+let page_reads = "disk.read"
+let page_writes = "disk.write"
+
+(* Pre-resolved cells for the hot-path counters: incrementing these is
+   a plain [incr], so instrumentation does not distort the pointer-
+   dereference measurements (bench E7).  They share storage with the
+   named counters above. *)
+let vas_fast_hit_cell = cell vas_fast_hit
+let buffer_hit_cell = cell buffer_hit
+let buffer_fault_cell = cell buffer_fault
+let deref_cell = cell deref

@@ -1,0 +1,37 @@
+(** Global event counters: benches and tests read block touches, buffer
+    faults, dereference counts, relocation field-writes etc. from here.
+    Single-domain by design.
+
+    The hot-path counters are exposed as pre-resolved [int ref] cells so
+    that incrementing them is a plain [incr] — the instrumentation must
+    not distort the dereference measurements it exists to support. *)
+
+val bump : ?n:int -> string -> unit
+val get : string -> int
+val reset : string -> unit
+val reset_all : unit -> unit
+val snapshot : unit -> (string * int) list
+
+val cell : string -> int ref
+(** The underlying cell of a named counter (creates it on first use). *)
+
+(** {1 Well-known counter names} *)
+
+val buffer_fault : string
+val buffer_hit : string
+val vas_fast_hit : string
+val block_touch : string
+val deref : string
+val node_moved : string
+val fields_updated : string
+val relabels : string
+val deep_copies : string
+val page_reads : string
+val page_writes : string
+
+(** {1 Pre-resolved hot-path cells (same storage as the names above)} *)
+
+val vas_fast_hit_cell : int ref
+val buffer_hit_cell : int ref
+val buffer_fault_cell : int ref
+val deref_cell : int ref

@@ -1,0 +1,37 @@
+(** Error taxonomy for the whole system.  Codes loosely follow Sedna's
+    SE-numbering convention for storage and transaction errors, and the
+    W3C error codes for query errors. *)
+
+type code =
+  | Storage_corruption
+  | Page_out_of_bounds
+  | Block_full
+  | No_such_document
+  | Document_exists
+  | No_such_collection
+  | Collection_exists
+  | No_such_index
+  | Index_exists
+  | Xml_parse
+  | Xquery_parse  (** XPST0003 *)
+  | Xquery_static  (** XPST0008 *)
+  | Xquery_type  (** XPTY0004 *)
+  | Xquery_dynamic  (** FORG0001 *)
+  | Update_conflict
+  | Lock_timeout
+  | Deadlock
+  | Txn_read_only
+  | Txn_not_active
+  | Recovery_failure
+  | Unsupported
+
+exception Sedna_error of code * string
+
+val code_name : code -> string
+
+val raise_error : code -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [raise_error code fmt ...] formats the message and raises
+    {!Sedna_error}. *)
+
+val to_string : exn -> string
+val pp : Format.formatter -> exn -> unit

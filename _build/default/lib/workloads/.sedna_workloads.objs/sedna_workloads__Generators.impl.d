@@ -1,0 +1,1 @@
+lib/workloads/generators.ml: Array Fun List Printf Random Sedna_util Sedna_xml String Xname

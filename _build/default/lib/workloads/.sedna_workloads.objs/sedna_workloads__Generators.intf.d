@@ -1,0 +1,1 @@
+lib/workloads/generators.mli: Random Sedna_xml

@@ -1,0 +1,153 @@
+(* Synthetic XML workloads used by tests, examples and benches.
+
+   [auction] is an XMark-style document (the de-facto standard XML
+   benchmark family): a site with regions/items, people, and open
+   auctions with bidder lists — mixed fan-outs, text-heavy description
+   fields and id-based references, which exercise both clustering
+   strategies in opposite ways.
+
+   All generators are deterministic for a given seed. *)
+
+open Sedna_util
+module E = Sedna_xml.Xml_event
+
+let el name = Xname.make name
+let attr name value = { E.name = Xname.make name; value }
+
+let start_el ?(atts = []) name = E.Start_element (el name, atts)
+let end_el = E.End_element
+let text s = E.Text s
+
+let words =
+  [| "quick"; "brown"; "fox"; "lazy"; "dog"; "data"; "base"; "query";
+     "index"; "storage"; "schema"; "pointer"; "page"; "buffer"; "commit";
+     "version"; "snapshot"; "xml"; "element"; "cluster" |]
+
+let sentence rng n =
+  String.concat " "
+    (List.init n (fun _ -> words.(Random.State.int rng (Array.length words))))
+
+(* ---- library: the paper's running example (Figure 2) ------------------- *)
+
+let library ?(seed = 7) ~books () : E.t list =
+  let rng = Random.State.make [| seed |] in
+  let book i =
+    [ start_el ~atts:[ attr "year" (string_of_int (1970 + (i mod 50))) ] "book";
+      start_el "title" ] @
+    [ text (Printf.sprintf "Title %04d: %s" i (sentence rng 3)) ] @
+    [ end_el ] @
+    List.concat_map
+      (fun j ->
+        [ start_el "author"; text (Printf.sprintf "Author%d_%d" i j); end_el ])
+      (List.init (1 + (i mod 3)) Fun.id) @
+    [ start_el "price"; text (string_of_int (10 + Random.State.int rng 90)); end_el ] @
+    (if i mod 4 = 0 then
+       [ start_el "issue";
+         start_el "publisher"; text (sentence rng 2); end_el;
+         start_el "year"; text (string_of_int (2000 + (i mod 20))); end_el;
+         end_el ]
+     else []) @
+    [ end_el ]
+  in
+  let paper i =
+    [ start_el "paper";
+      start_el "title"; text (Printf.sprintf "Paper %04d" i); end_el;
+      start_el "author"; text (Printf.sprintf "PAuthor%d" i); end_el;
+      end_el ]
+  in
+  [ E.Start_document; start_el "library" ]
+  @ List.concat_map
+      (fun i -> if i mod 10 = 9 then book i @ paper i else book i)
+      (List.init books Fun.id)
+  @ [ end_el; E.End_document ]
+
+(* ---- auction: XMark-like --------------------------------------------------- *)
+
+let auction ?(seed = 11) ~items ~people ~auctions () : E.t list =
+  let rng = Random.State.make [| seed |] in
+  let item i =
+    [ start_el ~atts:[ attr "id" (Printf.sprintf "item%d" i) ] "item";
+      start_el "name"; text (Printf.sprintf "Item %d %s" i (sentence rng 2)); end_el;
+      start_el "category"; text (Printf.sprintf "cat%d" (i mod 17)); end_el;
+      start_el "quantity"; text (string_of_int (1 + (i mod 5))); end_el;
+      start_el "description";
+      start_el "parlist" ] @
+    List.concat_map
+      (fun _ -> [ start_el "listitem"; text (sentence rng 8); end_el ])
+      (List.init (1 + (i mod 3)) Fun.id) @
+    [ end_el; end_el;
+      start_el "payment"; text "Cash, Creditcard"; end_el;
+      end_el ]
+  in
+  let person i =
+    [ start_el ~atts:[ attr "id" (Printf.sprintf "person%d" i) ] "person";
+      start_el "name"; text (Printf.sprintf "Person %d" i); end_el;
+      start_el "emailaddress"; text (Printf.sprintf "mailto:p%d@example.org" i); end_el ] @
+    (if i mod 2 = 0 then
+       [ start_el "phone"; text (Printf.sprintf "+%08d" (Random.State.int rng 99999999)); end_el ]
+     else []) @
+    (if i mod 3 = 0 then
+       [ start_el "address";
+         start_el "street"; text (sentence rng 2); end_el;
+         start_el "city"; text (Printf.sprintf "City%d" (i mod 29)); end_el;
+         start_el "country"; text (Printf.sprintf "Country%d" (i mod 7)); end_el;
+         end_el ]
+     else []) @
+    [ end_el ]
+  in
+  let open_auction i =
+    [ start_el ~atts:[ attr "id" (Printf.sprintf "auction%d" i) ] "open_auction";
+      start_el "initial"; text (Printf.sprintf "%d.%02d" (1 + (i mod 200)) (i mod 100)); end_el ] @
+    List.concat_map
+      (fun b ->
+        [ start_el "bidder";
+          start_el "date"; text (Printf.sprintf "2026-%02d-%02d" (1 + (b mod 12)) (1 + (b mod 28))); end_el;
+          start_el "personref";
+          text (Printf.sprintf "person%d" (Random.State.int rng (max 1 people)));
+          end_el;
+          start_el "increase"; text (Printf.sprintf "%d.00" (1 + (b mod 30))); end_el;
+          end_el ])
+      (List.init (1 + (i mod 6)) Fun.id) @
+    [ start_el "itemref";
+      text (Printf.sprintf "item%d" (Random.State.int rng (max 1 items)));
+      end_el;
+      start_el "current"; text (Printf.sprintf "%d.00" (10 + (i mod 500))); end_el;
+      end_el ]
+  in
+  [ E.Start_document; start_el "site";
+    start_el "regions"; start_el "namerica" ]
+  @ List.concat_map item (List.init items Fun.id)
+  @ [ end_el; end_el; start_el "people" ]
+  @ List.concat_map person (List.init people Fun.id)
+  @ [ end_el; start_el "open_auctions" ]
+  @ List.concat_map open_auction (List.init auctions Fun.id)
+  @ [ end_el; end_el; E.End_document ]
+
+(* ---- deep: a narrow, deep chain (stresses labels and ancestors) --------- *)
+
+let deep ~depth () : E.t list =
+  let rec open_chain d acc =
+    if d = 0 then acc
+    else open_chain (d - 1) (start_el (Printf.sprintf "level%d" (d mod 10)) :: acc)
+  in
+  let opens = List.rev (open_chain depth []) in
+  let closes = List.init depth (fun _ -> end_el) in
+  [ E.Start_document; start_el "root" ]
+  @ opens
+  @ [ start_el "leaf"; text "bottom"; end_el ]
+  @ closes
+  @ [ end_el; E.End_document ]
+
+(* ---- wide: many children under one parent ------------------------------- *)
+
+let wide ?(kinds = 8) ~children () : E.t list =
+  [ E.Start_document; start_el "root" ]
+  @ List.concat_map
+      (fun i ->
+        [ start_el (Printf.sprintf "kind%d" (i mod kinds));
+          text (string_of_int i); end_el ])
+      (List.init children Fun.id)
+  @ [ end_el; E.End_document ]
+
+let to_xml_string (events : E.t list) : string =
+  Sedna_xml.Serializer.to_string events

@@ -1,0 +1,24 @@
+(** Deterministic synthetic XML workloads for tests, examples and
+    benches.  [auction] is XMark-flavoured (regions/items, people,
+    open auctions with bidder lists): mixed fan-outs, text-heavy
+    description fields and id references exercise both clustering
+    strategies in opposite directions. *)
+
+val library : ?seed:int -> books:int -> unit -> Sedna_xml.Xml_event.t list
+(** The paper's Figure-2 library document at scale: books with titles,
+    authors, prices, occasional issues, interleaved papers. *)
+
+val auction :
+  ?seed:int -> items:int -> people:int -> auctions:int -> unit ->
+  Sedna_xml.Xml_event.t list
+
+val deep : depth:int -> unit -> Sedna_xml.Xml_event.t list
+(** A narrow chain: stresses labels, ancestors, and stack depths. *)
+
+val wide : ?kinds:int -> children:int -> unit -> Sedna_xml.Xml_event.t list
+(** One parent with many children spread over [kinds] element names:
+    stresses fan-out, child slots and relocation. *)
+
+val to_xml_string : Sedna_xml.Xml_event.t list -> string
+
+val sentence : Random.State.t -> int -> string

@@ -1,0 +1,1 @@
+lib/xml/serializer.ml: Buffer Error Escape List Sedna_util Xml_event Xname

@@ -1,0 +1,1 @@
+lib/xml/xml_event.ml: Format List Printf Sedna_util

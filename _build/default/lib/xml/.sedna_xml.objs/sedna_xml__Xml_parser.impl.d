@@ -1,0 +1,1 @@
+lib/xml/xml_parser.ml: Buffer Error Escape Format List Option Sedna_util String Xml_event Xname

@@ -1,0 +1,64 @@
+(* Character and entity escaping for XML content. *)
+
+let predefined = [ ("lt", "<"); ("gt", ">"); ("amp", "&"); ("apos", "'"); ("quot", "\"") ]
+
+let expand_entity name =
+  match List.assoc_opt name predefined with
+  | Some s -> Some s
+  | None ->
+    (* Character references: &#ddd; and &#xhhh; — emitted as UTF-8. *)
+    let utf8_of_code code =
+      let b = Buffer.create 4 in
+      (if code < 0x80 then Buffer.add_char b (Char.chr code)
+       else if code < 0x800 then begin
+         Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+         Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+       end
+       else if code < 0x10000 then begin
+         Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+         Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+         Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+       end
+       else begin
+         Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+         Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+         Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+         Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+       end);
+      Buffer.contents b
+    in
+    if String.length name > 1 && name.[0] = '#' then
+      let body = String.sub name 1 (String.length name - 1) in
+      let code =
+        if String.length body > 1 && (body.[0] = 'x' || body.[0] = 'X') then
+          int_of_string_opt ("0x" ^ String.sub body 1 (String.length body - 1))
+        else int_of_string_opt body
+      in
+      Option.map utf8_of_code code
+    else None
+
+let escape_text s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_attribute s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string b "&lt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | '\n' -> Buffer.add_string b "&#10;"
+      | '\t' -> Buffer.add_string b "&#9;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b

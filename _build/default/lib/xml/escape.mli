@@ -1,0 +1,11 @@
+(** Entity expansion and character escaping. *)
+
+val expand_entity : string -> string option
+(** Predefined entities (lt gt amp apos quot) and character references
+    ([#ddd], [#xhhh], emitted as UTF-8); [None] when unknown. *)
+
+val escape_text : string -> string
+(** Escape the markup characters for element content. *)
+
+val escape_attribute : string -> string
+(** Escape markup, quotes, tab and newline for attribute values. *)

@@ -1,0 +1,106 @@
+(* Serialize an event stream back to XML text.  Indentation is optional
+   (off by default: round-tripping must not invent whitespace). *)
+
+open Sedna_util
+
+type options = { indent : bool; xml_declaration : bool }
+
+let default_options = { indent = false; xml_declaration = false }
+
+type sink = {
+  buf : Buffer.t;
+  opts : options;
+  mutable depth : int;
+  mutable open_tag : bool; (* a start tag is open, '>' not yet written *)
+  mutable stack : (Xname.t * bool ref) list; (* name, had-children flag *)
+}
+
+let create ?(options = default_options) () =
+  let buf = Buffer.create 1024 in
+  if options.xml_declaration then
+    Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
+  { buf; opts = options; depth = 0; open_tag = false; stack = [] }
+
+let close_open_tag sink =
+  if sink.open_tag then begin
+    Buffer.add_char sink.buf '>';
+    sink.open_tag <- false
+  end
+
+let newline_indent sink =
+  if sink.opts.indent then begin
+    Buffer.add_char sink.buf '\n';
+    for _ = 1 to sink.depth do
+      Buffer.add_string sink.buf "  "
+    done
+  end
+
+let mark_child sink =
+  match sink.stack with (_, had) :: _ -> had := true | [] -> ()
+
+let event sink (e : Xml_event.t) =
+  match e with
+  | Xml_event.Start_document | Xml_event.End_document -> ()
+  | Xml_event.Start_element (name, atts) ->
+    close_open_tag sink;
+    if sink.depth > 0 then newline_indent sink;
+    mark_child sink;
+    Buffer.add_char sink.buf '<';
+    Buffer.add_string sink.buf (Xname.to_string name);
+    List.iter
+      (fun { Xml_event.name = an; value } ->
+        Buffer.add_char sink.buf ' ';
+        Buffer.add_string sink.buf (Xname.to_string an);
+        Buffer.add_string sink.buf "=\"";
+        Buffer.add_string sink.buf (Escape.escape_attribute value);
+        Buffer.add_char sink.buf '"')
+      atts;
+    sink.open_tag <- true;
+    sink.depth <- sink.depth + 1;
+    sink.stack <- (name, ref false) :: sink.stack
+  | Xml_event.End_element -> (
+    match sink.stack with
+    | (name, had) :: rest ->
+      sink.stack <- rest;
+      sink.depth <- sink.depth - 1;
+      if sink.open_tag then begin
+        Buffer.add_string sink.buf "/>";
+        sink.open_tag <- false
+      end
+      else begin
+        if !had then newline_indent sink;
+        Buffer.add_string sink.buf "</";
+        Buffer.add_string sink.buf (Xname.to_string name);
+        Buffer.add_char sink.buf '>'
+      end
+    | [] ->
+      Error.raise_error Error.Xml_parse "serializer: unbalanced end element")
+  | Xml_event.Text s ->
+    close_open_tag sink;
+    mark_child sink;
+    Buffer.add_string sink.buf (Escape.escape_text s)
+  | Xml_event.Comment s ->
+    close_open_tag sink;
+    newline_indent sink;
+    mark_child sink;
+    Buffer.add_string sink.buf "<!--";
+    Buffer.add_string sink.buf s;
+    Buffer.add_string sink.buf "-->"
+  | Xml_event.Processing_instruction (t, d) ->
+    close_open_tag sink;
+    newline_indent sink;
+    mark_child sink;
+    Buffer.add_string sink.buf "<?";
+    Buffer.add_string sink.buf t;
+    if d <> "" then begin
+      Buffer.add_char sink.buf ' ';
+      Buffer.add_string sink.buf d
+    end;
+    Buffer.add_string sink.buf "?>"
+
+let contents sink = Buffer.contents sink.buf
+
+let to_string ?options (evs : Xml_event.t list) =
+  let sink = create ?options () in
+  List.iter (event sink) evs;
+  contents sink

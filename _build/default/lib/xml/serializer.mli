@@ -1,0 +1,15 @@
+(** Serialize an event stream back to XML text.  Indentation is off by
+    default so round trips do not invent whitespace; empty elements
+    serialize self-closed. *)
+
+type options = { indent : bool; xml_declaration : bool }
+
+val default_options : options
+
+type sink
+
+val create : ?options:options -> unit -> sink
+val event : sink -> Xml_event.t -> unit
+val contents : sink -> string
+
+val to_string : ?options:options -> Xml_event.t list -> string

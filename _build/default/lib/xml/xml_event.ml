@@ -1,0 +1,24 @@
+(* SAX-style event stream shared by the parser, the bulk loader and the
+   serializer.  Attributes arrive with their owner's Start_element. *)
+
+type attribute = { name : Sedna_util.Xname.t; value : string }
+
+type t =
+  | Start_document
+  | End_document
+  | Start_element of Sedna_util.Xname.t * attribute list
+  | End_element
+  | Text of string
+  | Comment of string
+  | Processing_instruction of string * string (* target, data *)
+
+let pp ppf = function
+  | Start_document -> Format.fprintf ppf "start-document"
+  | End_document -> Format.fprintf ppf "end-document"
+  | Start_element (n, atts) ->
+    Format.fprintf ppf "<%a%s>" Sedna_util.Xname.pp n
+      (if atts = [] then "" else Printf.sprintf " (+%d attrs)" (List.length atts))
+  | End_element -> Format.fprintf ppf "</>"
+  | Text s -> Format.fprintf ppf "text(%S)" s
+  | Comment s -> Format.fprintf ppf "comment(%S)" s
+  | Processing_instruction (t, d) -> Format.fprintf ppf "pi(%s,%S)" t d

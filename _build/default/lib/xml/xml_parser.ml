@@ -1,0 +1,393 @@
+(* A from-scratch, non-validating XML parser producing an event stream.
+   Supports elements, attributes, namespaces (xmlns / xmlns:p), text
+   with predefined and character entities, CDATA sections, comments,
+   processing instructions; skips the XML declaration and DOCTYPE.
+   Errors carry line/column positions. *)
+
+open Sedna_util
+
+type options = {
+  strip_boundary_whitespace : bool;
+      (* drop text nodes that are pure whitespace between markup, the
+         common setting for data-oriented documents *)
+  namespaces : bool; (* resolve prefixes to URIs via xmlns bindings *)
+}
+
+let default_options = { strip_boundary_whitespace = true; namespaces = true }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  opts : options;
+  (* namespace environment: stack of binding frames, innermost first *)
+  mutable ns_stack : (string * string) list list;
+  (* element name stack for well-formedness of end tags *)
+  mutable open_elems : (string * Xname.t) list; (* raw qname, resolved *)
+  mutable emitted_start : bool;
+  mutable done_ : bool;
+  mutable pending : Xml_event.t list;
+}
+
+let fail st fmt =
+  Format.kasprintf
+    (fun msg ->
+      Error.raise_error Error.Xml_parse "%s at line %d, column %d" msg st.line
+        st.col)
+    fmt
+
+let create ?(options = default_options) src =
+  {
+    src;
+    pos = 0;
+    line = 1;
+    col = 1;
+    opts = options;
+    ns_stack = [ [ ("xml", "http://www.w3.org/XML/1998/namespace") ] ];
+    open_elems = [];
+    emitted_start = false;
+    done_ = false;
+    pending = [];
+  }
+
+let eof st = st.pos >= String.length st.src
+
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let _peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (eof st) then begin
+    (if st.src.[st.pos] = '\n' then begin
+       st.line <- st.line + 1;
+       st.col <- 1
+     end
+     else st.col <- st.col + 1);
+    st.pos <- st.pos + 1
+  end
+
+let expect st c =
+  if peek st = c then advance st else fail st "expected %C, found %C" c (peek st)
+
+let expect_str st s =
+  String.iter (fun c -> expect st c) s
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_space st = while (not (eof st)) && is_space (peek st) do advance st done
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let read_until st stop =
+  (* returns text up to (not including) the delimiter string [stop],
+     consuming the delimiter *)
+  let start = st.pos in
+  let rec go () =
+    if eof st then fail st "unterminated construct (expected %S)" stop
+    else if looking_at st stop then begin
+      let text = String.sub st.src start (st.pos - start) in
+      String.iter (fun _ -> advance st) stop;
+      text
+    end
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let read_name st =
+  let start = st.pos in
+  if not (Xname.is_name_start (peek st) || peek st = ':') then
+    fail st "expected a name, found %C" (peek st);
+  while
+    (not (eof st)) && (Xname.is_name_char (peek st) || peek st = ':')
+  do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let expand_entities st s =
+  if not (String.contains s '&') then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      if s.[!i] = '&' then begin
+        match String.index_from_opt s !i ';' with
+        | None -> fail st "unterminated entity reference"
+        | Some j ->
+          let name = String.sub s (!i + 1) (j - !i - 1) in
+          (match Escape.expand_entity name with
+           | Some text -> Buffer.add_string b text
+           | None -> fail st "unknown entity &%s;" name);
+          i := j + 1
+      end
+      else begin
+        Buffer.add_char b s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  end
+
+let lookup_ns st prefix =
+  let rec find = function
+    | [] -> None
+    | frame :: rest -> (
+      match List.assoc_opt prefix frame with
+      | Some uri -> Some uri
+      | None -> find rest)
+  in
+  find st.ns_stack
+
+let split_qname raw =
+  match String.index_opt raw ':' with
+  | None -> ("", raw)
+  | Some i ->
+    (String.sub raw 0 i, String.sub raw (i + 1) (String.length raw - i - 1))
+
+let resolve_element_name st raw =
+  let prefix, local = split_qname raw in
+  if not st.opts.namespaces then Xname.make ~prefix local
+  else
+    let uri =
+      if prefix = "" then Option.value (lookup_ns st "") ~default:""
+      else
+        match lookup_ns st prefix with
+        | Some uri -> uri
+        | None -> fail st "undeclared namespace prefix %S" prefix
+    in
+    Xname.make ~prefix ~uri local
+
+let resolve_attr_name st raw =
+  (* unprefixed attributes are in no namespace *)
+  let prefix, local = split_qname raw in
+  if (not st.opts.namespaces) || prefix = "" then Xname.make ~prefix local
+  else
+    match lookup_ns st prefix with
+    | Some uri -> Xname.make ~prefix ~uri local
+    | None -> fail st "undeclared namespace prefix %S" prefix
+
+let read_attribute st =
+  let raw = read_name st in
+  skip_space st;
+  expect st '=';
+  skip_space st;
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected attribute value";
+  advance st;
+  let start = st.pos in
+  while (not (eof st)) && peek st <> quote do
+    if peek st = '<' then fail st "'<' in attribute value";
+    advance st
+  done;
+  if eof st then fail st "unterminated attribute value";
+  let value = String.sub st.src start (st.pos - start) in
+  advance st;
+  (raw, expand_entities st value)
+
+(* Parse an element open tag; returns the corresponding event and
+   pushes namespace/element frames.  Self-closing tags queue the
+   End_element event. *)
+let parse_open_tag st =
+  let raw = read_name st in
+  let rec atts acc =
+    skip_space st;
+    match peek st with
+    | '>' | '/' -> List.rev acc
+    | c when Xname.is_name_start c -> atts (read_attribute st :: acc)
+    | c -> fail st "unexpected %C in tag" c
+  in
+  let raw_atts = atts [] in
+  (* collect namespace declarations into a new frame *)
+  let frame =
+    List.filter_map
+      (fun (name, value) ->
+        if name = "xmlns" then Some ("", value)
+        else
+          match split_qname name with
+          | "xmlns", local -> Some (local, value)
+          | _ -> None)
+      raw_atts
+  in
+  if st.opts.namespaces then st.ns_stack <- frame :: st.ns_stack
+  else st.ns_stack <- [] :: st.ns_stack;
+  let name = resolve_element_name st raw in
+  let attributes =
+    List.filter_map
+      (fun (araw, value) ->
+        if araw = "xmlns" || String.length araw > 5 && String.sub araw 0 6 = "xmlns:"
+        then None
+        else Some { Xml_event.name = resolve_attr_name st araw; value })
+      raw_atts
+  in
+  (* reject duplicate attributes *)
+  let rec dup_check = function
+    | [] -> ()
+    | { Xml_event.name; _ } :: rest ->
+      if List.exists (fun a -> Xname.equal a.Xml_event.name name) rest then
+        fail st "duplicate attribute %s" (Xname.to_string name);
+      dup_check rest
+  in
+  dup_check attributes;
+  st.open_elems <- (raw, name) :: st.open_elems;
+  let self_closing =
+    if peek st = '/' then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  expect st '>';
+  if self_closing then begin
+    st.pending <- [ Xml_event.End_element ];
+    (match st.open_elems with
+     | _ :: rest -> st.open_elems <- rest
+     | [] -> assert false);
+    (match st.ns_stack with
+     | _ :: rest -> st.ns_stack <- rest
+     | [] -> assert false)
+  end;
+  Xml_event.Start_element (name, attributes)
+
+let parse_close_tag st =
+  let raw = read_name st in
+  skip_space st;
+  expect st '>';
+  (match st.open_elems with
+   | (open_raw, _) :: rest ->
+     if open_raw <> raw then
+       fail st "mismatched end tag </%s>, expected </%s>" raw open_raw;
+     st.open_elems <- rest
+   | [] -> fail st "unexpected end tag </%s>" raw);
+  (match st.ns_stack with
+   | _ :: rest -> st.ns_stack <- rest
+   | [] -> assert false);
+  Xml_event.End_element
+
+let is_all_space s =
+  let ok = ref true in
+  String.iter (fun c -> if not (is_space c) then ok := false) s;
+  !ok
+
+(* The driver: next event, or None at end of input. *)
+let rec next st : Xml_event.t option =
+  match st.pending with
+  | e :: rest ->
+    st.pending <- rest;
+    Some e
+  | [] ->
+    if st.done_ then None
+    else if not st.emitted_start then begin
+      st.emitted_start <- true;
+      Some Xml_event.Start_document
+    end
+    else if eof st then begin
+      (match st.open_elems with
+       | (raw, _) :: _ -> fail st "unexpected end of input inside <%s>" raw
+       | [] -> ());
+      st.done_ <- true;
+      Some Xml_event.End_document
+    end
+    else if peek st = '<' then begin
+      advance st;
+      match peek st with
+      | '?' ->
+        advance st;
+        let target = read_name st in
+        skip_space st;
+        let data = read_until st "?>" in
+        if String.lowercase_ascii target = "xml" then next st
+        else Some (Xml_event.Processing_instruction (target, data))
+      | '!' ->
+        advance st;
+        if looking_at st "--" then begin
+          expect_str st "--";
+          let text = read_until st "-->" in
+          if st.open_elems = [] && st.opts.strip_boundary_whitespace then
+            (* comments outside the root are kept too *)
+            Some (Xml_event.Comment text)
+          else Some (Xml_event.Comment text)
+        end
+        else if looking_at st "[CDATA[" then begin
+          expect_str st "[CDATA[";
+          let text = read_until st "]]>" in
+          Some (Xml_event.Text text)
+        end
+        else if looking_at st "DOCTYPE" then begin
+          (* skip to matching '>' accounting for internal subset *)
+          let depth = ref 0 in
+          let stop = ref false in
+          while not !stop do
+            if eof st then fail st "unterminated DOCTYPE";
+            (match peek st with
+             | '[' | '<' -> incr depth
+             | ']' -> decr depth
+             | '>' -> if !depth <= 0 then stop := true else decr depth
+             | _ -> ());
+            advance st
+          done;
+          next st
+        end
+        else fail st "unrecognized markup declaration"
+      | '/' ->
+        advance st;
+        Some (parse_close_tag st)
+      | c when Xname.is_name_start c || c = ':' -> Some (parse_open_tag st)
+      | c -> fail st "unexpected %C after '<'" c
+    end
+    else begin
+      (* character data up to next '<' *)
+      let start = st.pos in
+      while (not (eof st)) && peek st <> '<' do
+        advance st
+      done;
+      let raw = String.sub st.src start (st.pos - start) in
+      if st.open_elems = [] then
+        if is_all_space raw then next st
+        else fail st "character data outside the document element"
+      else
+        let text = expand_entities st raw in
+        if st.opts.strip_boundary_whitespace && is_all_space text then next st
+        else Some (Xml_event.Text text)
+    end
+
+let events ?options src =
+  let st = create ?options src in
+  let rec collect acc =
+    match next st with None -> List.rev acc | Some e -> collect (e :: acc)
+  in
+  collect []
+
+(* A simple in-memory tree, useful for tests and for query-constructed
+   temporary documents. *)
+type tree =
+  | Element of Xname.t * Xml_event.attribute list * tree list
+  | Tree_text of string
+  | Tree_comment of string
+  | Tree_pi of string * string
+
+let parse_tree ?options src =
+  let st = create ?options src in
+  let rec content acc =
+    match next st with
+    | None | Some Xml_event.End_document -> (List.rev acc, `Eof)
+    | Some (Xml_event.Start_element (name, atts)) ->
+      let children, _ = content [] in
+      content (Element (name, atts, children) :: acc)
+    | Some Xml_event.End_element -> (List.rev acc, `End)
+    | Some (Xml_event.Text s) -> content (Tree_text s :: acc)
+    | Some (Xml_event.Comment s) -> content (Tree_comment s :: acc)
+    | Some (Xml_event.Processing_instruction (t, d)) ->
+      content (Tree_pi (t, d) :: acc)
+    | Some Xml_event.Start_document -> content acc
+  in
+  match content [] with
+  | roots, `Eof -> roots
+  | _, `End -> Error.raise_error Error.Xml_parse "dangling end tag"

@@ -1,0 +1,31 @@
+(** A from-scratch, non-validating XML parser producing a SAX-style
+    event stream: elements, attributes, namespaces (xmlns/xmlns:p),
+    text with predefined and character entities, CDATA, comments,
+    processing instructions; the XML declaration and DOCTYPE are
+    skipped.  Errors raise with line/column positions. *)
+
+type options = {
+  strip_boundary_whitespace : bool;
+      (** drop whitespace-only text between markup (default) *)
+  namespaces : bool;  (** resolve prefixes through xmlns bindings *)
+}
+
+val default_options : options
+
+type state
+
+val create : ?options:options -> string -> state
+val next : state -> Xml_event.t option
+(** Pull the next event; [None] at end of input. *)
+
+val events : ?options:options -> string -> Xml_event.t list
+(** Parse the whole document into an event list. *)
+
+(** A simple in-memory tree, for tests and temporary documents. *)
+type tree =
+  | Element of Sedna_util.Xname.t * Xml_event.attribute list * tree list
+  | Tree_text of string
+  | Tree_comment of string
+  | Tree_pi of string * string
+
+val parse_tree : ?options:options -> string -> tree list

@@ -1,0 +1,1 @@
+lib/xquery/rewriter.ml: List Option Printf Sedna_util Xq_ast

@@ -1,0 +1,1 @@
+lib/xquery/rewriter.mli: Xq_ast

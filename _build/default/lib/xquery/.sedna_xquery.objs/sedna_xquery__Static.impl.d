@@ -1,0 +1,1 @@
+lib/xquery/static.ml: Error List Option Sedna_util Xname Xq_ast

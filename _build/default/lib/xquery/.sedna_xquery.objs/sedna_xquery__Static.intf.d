@@ -1,0 +1,1 @@
+lib/xquery/static.mli: Sedna_util Xq_ast

@@ -1,0 +1,1 @@
+lib/xquery/xq_ast.ml: List Option Sedna_util Xname

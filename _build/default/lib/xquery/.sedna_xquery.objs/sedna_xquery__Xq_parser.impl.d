@@ -1,0 +1,1 @@
+lib/xquery/xq_parser.ml: Buffer Error Format List Sedna_util Sedna_xml String Xname Xq_ast

@@ -1,0 +1,1 @@
+lib/xquery/xq_pp.ml: Buffer List Printf Rewriter Sedna_util String Xq_ast Xq_parser

@@ -1,0 +1,636 @@
+(* The optimizing rewriter (paper §5.1, §5.2.1).  Rule-based rewrites
+   over the logical operation tree:
+
+   1. DDO insertion + removal (§5.1.1): normalization wraps every path
+      in an explicit distinct-document-order operation; the rewriter
+      then removes the ones whose argument is provably ordered and
+      duplicate-free, and the ones whose consumer needs neither order
+      nor duplicates (effective-boolean-value contexts).
+   2. Abbreviated descendant-or-self combining (§5.1.2):
+      [//para] becomes [/descendant::para] unless the next step's
+      predicates depend on context position or size.
+   3. Nested-for laziness (§5.1.3): a for-clause binding sequence that
+      does not depend on the iteration variables bound before it is
+      hoisted into a let-clause evaluated once.
+   4. Structural path extraction (§5.1.4): paths from a document node
+      consisting solely of descending name steps with no predicates map
+      to schema-resolved scans executed against the descriptive schema.
+   5. Virtual element constructors (§5.2.1): constructors whose results
+      are never navigated against identity/parent/order are marked
+      virtual so the executor can avoid deep copies. *)
+
+open Xq_ast
+
+(* ---- position/size dependence (for //-combining and DDO in preds) ---- *)
+
+let rec uses_position (e : expr) : bool =
+  match e with
+  | Call (n, []) ->
+    let l = Sedna_util.Xname.local n in
+    l = "position" || l = "last"
+  | Int_lit _ | Dbl_lit _ -> true (* numeric predicate = positional *)
+  | Str_lit _ | Empty_seq | Context_item | Var _ | Schema_path _ -> false
+  | Sequence es -> List.exists uses_position es
+  | Range (a, b) | Binop (_, a, b) | And (a, b) | Or (a, b)
+  | Comp_elem (a, b) | Comp_attr (a, b) | Comp_pi (a, b) ->
+    uses_position a || uses_position b
+  | Neg a | Not a | Ddo a | Ordered a | Unordered a | Comp_text a
+  | Comp_comment a | Virtual_constr a
+  | Castable (a, _) | Cast (a, _) | Instance_of (a, _) | Treat_as (a, _) ->
+    uses_position a
+  | If (c, t, f) -> uses_position c || uses_position t || uses_position f
+  | Call (_, args) -> List.exists uses_position args
+  | Filter (p, preds) -> uses_position p || List.exists uses_position preds
+  | Path (p, steps) ->
+    uses_position p
+    || List.exists (fun s -> List.exists uses_position s.preds) steps
+  | Elem_constr (_, atts, content) ->
+    List.exists (fun a -> List.exists uses_position a.attr_value) atts
+    || List.exists uses_position content
+  | Quantified (_, binds, cond) ->
+    List.exists (fun (_, e') -> uses_position e') binds || uses_position cond
+  | Flwor (clauses, ret) ->
+    List.exists
+      (function
+        | For binds -> List.exists (fun (_, _, e') -> uses_position e') binds
+        | Let binds -> List.exists (fun (_, e') -> uses_position e') binds
+        | Where c -> uses_position c
+        | Order_by keys -> List.exists (fun (k, _) -> uses_position k) keys)
+      clauses
+    || uses_position ret
+
+(* A whole predicate is positional if it may depend on context position
+   or size: numeric-valued predicates select by position. *)
+let predicate_is_positional (p : expr) =
+  match p with
+  | Int_lit _ | Dbl_lit _ -> true
+  | Binop ((Add | Sub | Mul | Div | Idiv | Mod), _, _) -> true
+  | _ -> uses_position p
+
+(* ---- rule 2: descendant-or-self combining ----------------------------- *)
+
+let rec combine_dos_steps (steps : step list) : step list =
+  match steps with
+  | { axis = Descendant_or_self; test = Kind_any; preds = [] }
+    :: ({ axis = Child; test; preds } as _next) :: rest
+    when not (List.exists predicate_is_positional preds) ->
+    combine_dos_steps ({ axis = Descendant; test; preds } :: rest)
+  | { axis = Descendant_or_self; test = Kind_any; preds = [] }
+    :: ({ axis = Attribute_axis; test; preds } as _next) :: rest
+    when not (List.exists predicate_is_positional preds) ->
+    (* //@a: descendant-or-self::node()/attribute::a =
+       descendant-or-self elements' attributes; keep the pair *)
+    { axis = Descendant_or_self; test = Kind_any; preds = [] }
+    :: { axis = Attribute_axis; test; preds }
+    :: combine_dos_steps rest
+  | s :: rest -> s :: combine_dos_steps rest
+  | [] -> []
+
+(* ---- rule 4: structural path extraction -------------------------------- *)
+
+let doc_name_of_init (e : expr) : string option =
+  match e with
+  | Call (n, [ Str_lit d ])
+    when let l = Sedna_util.Xname.local n in
+         l = "doc" || l = "document" ->
+    Some d
+  | _ -> None
+
+let structural_steps (steps : step list) : (axis * Sedna_util.Xname.t) list option =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | { axis = (Child | Descendant) as a; test = Name_test n; preds = [] }
+      :: rest -> go ((a, n) :: acc) rest
+    | _ -> None
+  in
+  if steps = [] then None else go [] steps
+
+(* ---- ordered/dedup property analysis (rule 1) --------------------------- *)
+
+type props = { in_ddo : bool; disjoint : bool; single : bool }
+
+let atomic_props = { in_ddo = true; disjoint = true; single = true }
+
+type venv = (string * props) list
+
+let rec props_of (env : venv) (e : expr) : props =
+  match e with
+  | Int_lit _ | Dbl_lit _ | Str_lit _ | Empty_seq | Context_item ->
+    atomic_props
+  | Var v -> (
+    match List.assoc_opt v env with
+    | Some p -> p
+    | None -> { in_ddo = false; disjoint = false; single = false })
+  | Call (n, _) ->
+    let l = Sedna_util.Xname.local n in
+    if List.mem l [ "doc"; "document"; "root"; "exactly-one"; "zero-or-one" ]
+    then atomic_props
+    else { in_ddo = false; disjoint = false; single = false }
+  | Ddo x ->
+    let p = props_of env x in
+    { in_ddo = true; disjoint = false; single = p.single }
+  | Schema_path _ -> { in_ddo = true; disjoint = false; single = false }
+  | Filter (p, _) -> props_of env p
+  | Path (init, steps) ->
+    let p0 = props_of env init in
+    let state =
+      if p0.single then { in_ddo = true; disjoint = true; single = true }
+      else p0
+    in
+    List.fold_left
+      (fun s (stp : step) ->
+        match stp.axis with
+        | Self -> s
+        | Child | Attribute_axis ->
+          { in_ddo = s.in_ddo && s.disjoint; disjoint = s.disjoint; single = false }
+        | Descendant | Descendant_or_self ->
+          { in_ddo = s.in_ddo && s.disjoint; disjoint = false; single = false }
+        | Parent | Ancestor | Ancestor_or_self | Following_sibling
+        | Preceding_sibling | Following | Preceding ->
+          { in_ddo = false; disjoint = false; single = false })
+      state steps
+  | If (_, t, f) ->
+    let a = props_of env t and b = props_of env f in
+    {
+      in_ddo = a.in_ddo && b.in_ddo;
+      disjoint = a.disjoint && b.disjoint;
+      single = a.single && b.single;
+    }
+  | Elem_constr _ | Comp_elem _ | Comp_attr _ | Comp_text _ | Comp_comment _
+  | Comp_pi _ | Virtual_constr _ ->
+    { in_ddo = true; disjoint = true; single = true }
+  | Ordered x | Unordered x -> props_of env x
+  | Neg _ | Not _ | And _ | Or _ | Binop _ | Range _ | Castable _ | Cast _
+  | Instance_of _ | Treat_as _ ->
+    { in_ddo = true; disjoint = true; single = true }
+    (* scalar results *)
+  | Sequence _ | Flwor _ | Quantified _ ->
+    { in_ddo = false; disjoint = false; single = false }
+
+(* ---- the main rewrite ----------------------------------------------------- *)
+
+type need = Full | Ebv (* effective boolean value: order and dups ignored *)
+
+let rec contains_context (e : expr) : bool =
+  match e with
+  | Context_item -> true
+  | Int_lit _ | Dbl_lit _ | Str_lit _ | Empty_seq | Var _ | Schema_path _ ->
+    false
+  | Sequence es -> List.exists contains_context es
+  | Range (a, b) | Binop (_, a, b) | And (a, b) | Or (a, b)
+  | Comp_elem (a, b) | Comp_attr (a, b) | Comp_pi (a, b) ->
+    contains_context a || contains_context b
+  | Neg a | Not a | Ddo a | Ordered a | Unordered a | Comp_text a
+  | Comp_comment a | Virtual_constr a
+  | Castable (a, _) | Cast (a, _) | Instance_of (a, _) | Treat_as (a, _) ->
+    contains_context a
+  | If (c, t, f) -> contains_context c || contains_context t || contains_context f
+  | Call (_, args) -> List.exists contains_context args
+  | Filter (p, _) -> contains_context p (* predicates rebind context *)
+  | Path (p, _) -> contains_context p
+  | Elem_constr (_, atts, content) ->
+    List.exists (fun a -> List.exists contains_context a.attr_value) atts
+    || List.exists contains_context content
+  | Quantified (_, binds, _) ->
+    List.exists (fun (_, e') -> contains_context e') binds
+  | Flwor (clauses, _) ->
+    List.exists
+      (function
+        | For binds -> List.exists (fun (_, _, e') -> contains_context e') binds
+        | Let binds -> List.exists (fun (_, e') -> contains_context e') binds
+        | Where c -> contains_context c
+        | Order_by keys -> List.exists (fun (k, _) -> contains_context k) keys)
+      clauses
+
+let is_worth_hoisting (e : expr) : bool =
+  (* hoisting a literal or a variable buys nothing *)
+  match e with
+  | Int_lit _ | Dbl_lit _ | Str_lit _ | Empty_seq | Var _ -> false
+  | _ -> true
+
+(* ---- normalization: insert DDO over paths -------------------------------- *)
+
+let rec normalize (e : expr) : expr =
+  match e with
+  | Int_lit _ | Dbl_lit _ | Str_lit _ | Empty_seq | Context_item | Var _
+  | Schema_path _ -> e
+  | Path (init, steps) ->
+    let steps' =
+      List.map (fun s -> { s with preds = List.map normalize s.preds }) steps
+    in
+    if steps = [] then Path (normalize init, [])
+    else Ddo (Path (normalize init, steps'))
+  | Filter (p, preds) -> Filter (normalize p, List.map normalize preds)
+  | Sequence es -> Sequence (List.map normalize es)
+  | Range (a, b) -> Range (normalize a, normalize b)
+  | Binop (op, a, b) -> Binop (op, normalize a, normalize b)
+  | Neg a -> Neg (normalize a)
+  | And (a, b) -> And (normalize a, normalize b)
+  | Or (a, b) -> Or (normalize a, normalize b)
+  | Not a -> Not (normalize a)
+  | If (c, t, f) -> If (normalize c, normalize t, normalize f)
+  | Call (n, args) -> Call (n, List.map normalize args)
+  | Quantified (q, binds, cond) ->
+    Quantified (q, List.map (fun (v, e') -> (v, normalize e')) binds, normalize cond)
+  | Flwor (clauses, ret) ->
+    Flwor
+      ( List.map
+          (function
+            | For binds ->
+              For (List.map (fun (v, p, e') -> (v, p, normalize e')) binds)
+            | Let binds -> Let (List.map (fun (v, e') -> (v, normalize e')) binds)
+            | Where c -> Where (normalize c)
+            | Order_by keys ->
+              Order_by (List.map (fun (k, d) -> (normalize k, d)) keys))
+          clauses,
+        normalize ret )
+  | Elem_constr (n, atts, content) ->
+    Elem_constr
+      ( n,
+        List.map (fun a -> { a with attr_value = List.map normalize a.attr_value }) atts,
+        List.map normalize content )
+  | Comp_elem (a, b) -> Comp_elem (normalize a, normalize b)
+  | Comp_attr (a, b) -> Comp_attr (normalize a, normalize b)
+  | Comp_text a -> Comp_text (normalize a)
+  | Comp_comment a -> Comp_comment (normalize a)
+  | Comp_pi (a, b) -> Comp_pi (normalize a, normalize b)
+  | Ddo a -> Ddo (normalize a)
+  | Ordered a -> Ordered (normalize a)
+  | Unordered a -> Unordered (normalize a)
+  | Virtual_constr a -> Virtual_constr (normalize a)
+  | Castable (a, t) -> Castable (normalize a, t)
+  | Cast (a, t) -> Cast (normalize a, t)
+  | Instance_of (a, t) -> Instance_of (normalize a, t)
+  | Treat_as (a, t) -> Treat_as (normalize a, t)
+
+(* ---- rule 5: virtual constructor marking ---------------------------------- *)
+
+(* [in_output] = the value flows straight to the result (or into another
+   constructor's content): identity/parent/order of the construct are
+   unobservable, so stored content may be referenced instead of copied. *)
+let rec mark_virtual ~in_output (e : expr) : expr =
+  match e with
+  | Elem_constr (n, atts, content) ->
+    let c = Elem_constr (n, atts, List.map (mark_virtual ~in_output:true) content) in
+    if in_output then Virtual_constr c else c
+  | Comp_elem (a, b) ->
+    let c = Comp_elem (a, mark_virtual ~in_output:true b) in
+    if in_output then Virtual_constr c else c
+  | Sequence es -> Sequence (List.map (mark_virtual ~in_output) es)
+  | If (c, t, f) ->
+    If (c, mark_virtual ~in_output t, mark_virtual ~in_output f)
+  | Flwor (clauses, ret) -> Flwor (clauses, mark_virtual ~in_output ret)
+  | Ddo a -> Ddo (mark_virtual ~in_output:false a)
+  | e -> e
+
+(* ---- rule 6: user-function inlining (paper §5.1, reference [11]) ----- *)
+
+(* Replace calls to non-recursive prolog functions with a let-bound
+   copy of their body: [local:f(E1, E2)] becomes
+   [let $p1 := E1, $p2 := E2 return body].  Both evaluate the arguments
+   eagerly, so the semantics are preserved; bodies that mention the
+   context item are excluded (a function body has no context item, but
+   an inlined copy would capture the caller's). *)
+
+let map_expr (f : expr -> expr) (e : expr) : expr =
+  (* one-level structural map *)
+  match e with
+  | Int_lit _ | Dbl_lit _ | Str_lit _ | Empty_seq | Context_item | Var _
+  | Schema_path _ -> e
+  | Sequence es -> Sequence (List.map f es)
+  | Range (a, b) -> Range (f a, f b)
+  | Binop (op, a, b) -> Binop (op, f a, f b)
+  | Neg a -> Neg (f a)
+  | And (a, b) -> And (f a, f b)
+  | Or (a, b) -> Or (f a, f b)
+  | Not a -> Not (f a)
+  | If (c, t, e') -> If (f c, f t, f e')
+  | Call (n, args) -> Call (n, List.map f args)
+  | Filter (p, preds) -> Filter (f p, List.map f preds)
+  | Path (p, steps) ->
+    Path (f p, List.map (fun s -> { s with preds = List.map f s.preds }) steps)
+  | Elem_constr (n, atts, content) ->
+    Elem_constr
+      ( n,
+        List.map (fun a -> { a with attr_value = List.map f a.attr_value }) atts,
+        List.map f content )
+  | Comp_elem (a, b) -> Comp_elem (f a, f b)
+  | Comp_attr (a, b) -> Comp_attr (f a, f b)
+  | Comp_text a -> Comp_text (f a)
+  | Comp_comment a -> Comp_comment (f a)
+  | Comp_pi (a, b) -> Comp_pi (f a, f b)
+  | Ddo a -> Ddo (f a)
+  | Ordered a -> Ordered (f a)
+  | Unordered a -> Unordered (f a)
+  | Virtual_constr a -> Virtual_constr (f a)
+  | Castable (a, t) -> Castable (f a, t)
+  | Cast (a, t) -> Cast (f a, t)
+  | Instance_of (a, t) -> Instance_of (f a, t)
+  | Treat_as (a, t) -> Treat_as (f a, t)
+  | Quantified (q, binds, cond) ->
+    Quantified (q, List.map (fun (v, e') -> (v, f e')) binds, f cond)
+  | Flwor (clauses, ret) ->
+    Flwor
+      ( List.map
+          (function
+            | For binds -> For (List.map (fun (v, p, e') -> (v, p, f e')) binds)
+            | Let binds -> Let (List.map (fun (v, e') -> (v, f e')) binds)
+            | Where c -> Where (f c)
+            | Order_by keys -> Order_by (List.map (fun (k, d) -> (f k, d)) keys))
+          clauses,
+        f ret )
+
+let rec calls_of (e : expr) : string list =
+  match e with
+  | Call (n, args) ->
+    Sedna_util.Xname.local n :: List.concat_map calls_of args
+  | e ->
+    let acc = ref [] in
+    ignore
+      (map_expr
+         (fun sub ->
+           acc := calls_of sub @ !acc;
+           sub)
+         e);
+    !acc
+
+let inline_functions (funs : fun_def list) (e : expr) : expr =
+  (* a function is inlinable when it never reaches itself through the
+     call graph and its body does not use the context item *)
+  let by_name =
+    List.map (fun f -> (Sedna_util.Xname.local f.fn_name, f)) funs
+  in
+  let rec reaches seen from target =
+    List.mem target (List.sort_uniq compare (calls_from from))
+    || List.exists
+         (fun callee ->
+           (not (List.mem callee seen))
+           && List.mem_assoc callee by_name
+           && reaches (callee :: seen) callee target)
+         (calls_from from)
+  and calls_from name =
+    match List.assoc_opt name by_name with
+    | Some f -> calls_of f.fn_body
+    | None -> []
+  in
+  let inlinable name =
+    match List.assoc_opt name by_name with
+    | Some f ->
+      (not (reaches [ name ] name name)) && not (contains_context f.fn_body)
+    | None -> false
+  in
+  let rec go depth e =
+    if depth = 0 then e
+    else
+      match e with
+      | Call (n, args) when inlinable (Sedna_util.Xname.local n) ->
+        let f = List.assoc (Sedna_util.Xname.local n) by_name in
+        let args = List.map (go depth) args in
+        let body = go (depth - 1) f.fn_body in
+        if f.fn_params = [] then body
+        else Flwor ([ Let (List.combine f.fn_params args) ], body)
+      | e -> map_expr (go depth) e
+  in
+  go 8 e
+
+(* ---- options and entry point ------------------------------------------------ *)
+
+type options = {
+  remove_ddo : bool;
+  combine_descendant : bool; (* //-combining *)
+  extract_structural : bool;
+  hoist_for : bool;
+  virtual_constructors : bool;
+  inline_functions : bool;
+}
+
+let default_options =
+  {
+    remove_ddo = true;
+    combine_descendant = true;
+    extract_structural = true;
+    hoist_for = true;
+    virtual_constructors = true;
+    inline_functions = true;
+  }
+
+let no_options =
+  {
+    remove_ddo = false;
+    combine_descendant = false;
+    extract_structural = false;
+    hoist_for = false;
+    virtual_constructors = false;
+    inline_functions = false;
+  }
+
+(* A rewrite pass with rules disabled replaces the corresponding
+   transformation with identity; normalization (DDO insertion) always
+   runs so that un-optimized plans carry their DDO operations. *)
+let rewrite_with (opts : options) (e : expr) : expr =
+  let e = normalize e in
+  (* The main pass is monolithic; options gate each rule inside. *)
+  let rec gated env need e =
+    match e with
+    | Ddo x ->
+      let x' = gated env Full x in
+      if not opts.remove_ddo then Ddo x'
+      else if need = Ebv then x'
+      else if (props_of env x').in_ddo then x'
+      else Ddo x'
+    | Path (init, steps) ->
+      let init' = gated env Full init in
+      let steps =
+        if opts.combine_descendant then combine_dos_steps steps else steps
+      in
+      let steps =
+        List.map
+          (fun s ->
+            { s with
+              preds =
+                List.map
+                  (fun p ->
+                    if predicate_is_positional p then gated env Full p
+                    else gated env Ebv p)
+                  s.preds })
+          steps
+      in
+      if opts.extract_structural then
+        match (doc_name_of_init init', structural_steps steps) with
+        | Some doc, Some named -> Schema_path (doc, named)
+        | _ -> Path (init', steps)
+      else Path (init', steps)
+    | Flwor (clauses0, ret) ->
+      let clauses =
+        if not opts.hoist_for then clauses0
+        else begin
+          let fresh =
+            let c = ref 0 in
+            fun () ->
+              incr c;
+              Printf.sprintf "#lazy%d" !c
+          in
+          let rec hoist bound acc hoisted = function
+            | [] -> (List.rev acc, List.rev hoisted)
+            | For binds :: rest ->
+              let binds', new_hoists =
+                List.fold_left
+                  (fun (bs, hs) (v, p, e') ->
+                    if
+                      bound <> []
+                      && (not (depends_on e' bound))
+                      && (not (contains_context e'))
+                      && is_worth_hoisting e'
+                    then begin
+                      let tmp = fresh () in
+                      ((v, p, Var tmp) :: bs, (tmp, e') :: hs)
+                    end
+                    else ((v, p, e') :: bs, hs))
+                  ([], []) binds
+              in
+              let bound' =
+                List.concat_map (fun (v, p, _) -> v :: Option.to_list p) binds
+                @ bound
+              in
+              hoist bound'
+                (For (List.rev binds') :: acc)
+                (List.rev_append new_hoists hoisted)
+                rest
+            | (Let binds as c) :: rest ->
+              hoist (List.map fst binds @ bound) (c :: acc) hoisted rest
+            | c :: rest -> hoist bound (c :: acc) hoisted rest
+          in
+          let clauses, hoisted = hoist [] [] [] clauses0 in
+          if hoisted = [] then clauses else Let hoisted :: clauses
+        end
+      in
+      let env', clauses =
+        List.fold_left
+          (fun (env, cs) c ->
+            match c with
+            | For binds ->
+              let binds =
+                List.map (fun (v, p, e') -> (v, p, gated env Full e')) binds
+              in
+              let env =
+                List.concat_map
+                  (fun (v, p, _) ->
+                    (v, atomic_props)
+                    :: (match p with
+                        | Some pv -> [ (pv, atomic_props) ]
+                        | None -> []))
+                  binds
+                @ env
+              in
+              (env, For binds :: cs)
+            | Let binds ->
+              let binds = List.map (fun (v, e') -> (v, gated env Full e')) binds in
+              let env = List.map (fun (v, e') -> (v, props_of env e')) binds @ env in
+              (env, Let binds :: cs)
+            | Where c' -> (env, Where (gated env Ebv c') :: cs)
+            | Order_by keys ->
+              (env, Order_by (List.map (fun (k, d) -> (gated env Full k, d)) keys) :: cs))
+          (env, []) clauses
+      in
+      Flwor (List.rev clauses, gated env' need ret)
+    | e -> rewrite_shallow env need e gated
+  and rewrite_shallow env need e k =
+    (* dispatch structurally, recursing through [k] *)
+    match e with
+    | Int_lit _ | Dbl_lit _ | Str_lit _ | Empty_seq | Context_item | Var _
+    | Schema_path _ -> e
+    | Sequence es -> Sequence (List.map (k env Full) es)
+    | Range (a, b) -> Range (k env Full a, k env Full b)
+    | Binop (((Gen_eq | Gen_ne | Gen_lt | Gen_le | Gen_gt | Gen_ge) as op), a, b)
+      -> Binop (op, k env Ebv a, k env Ebv b)
+    | Binop (op, a, b) -> Binop (op, k env Full a, k env Full b)
+    | Neg a -> Neg (k env Full a)
+    | And (a, b) -> And (k env Ebv a, k env Ebv b)
+    | Or (a, b) -> Or (k env Ebv a, k env Ebv b)
+    | Not a -> Not (k env Ebv a)
+    | If (c, t, f) -> If (k env Ebv c, k env need t, k env need f)
+    | Call (n, args) ->
+      let l = Sedna_util.Xname.local n in
+      if l = "not" && List.length args = 1 then Not (k env Ebv (List.hd args))
+      else if List.mem l [ "boolean"; "exists"; "empty" ] then
+        Call (n, List.map (k env Ebv) args)
+      else Call (n, List.map (k env Full) args)
+    | Filter (p, preds) ->
+      Filter
+        ( k env Full p,
+          List.map
+            (fun pr ->
+              if predicate_is_positional pr then k env Full pr else k env Ebv pr)
+            preds )
+    | Quantified (q, binds, cond) ->
+      let binds = List.map (fun (v, e') -> (v, k env Ebv e')) binds in
+      let env' = List.map (fun (v, _) -> (v, atomic_props)) binds @ env in
+      Quantified (q, binds, k env' Ebv cond)
+    | Elem_constr (n, atts, content) ->
+      Elem_constr
+        ( n,
+          List.map
+            (fun a -> { a with attr_value = List.map (k env Full) a.attr_value })
+            atts,
+          List.map (k env Full) content )
+    | Comp_elem (a, b) -> Comp_elem (k env Full a, k env Full b)
+    | Comp_attr (a, b) -> Comp_attr (k env Full a, k env Full b)
+    | Comp_text a -> Comp_text (k env Full a)
+    | Comp_comment a -> Comp_comment (k env Full a)
+    | Comp_pi (a, b) -> Comp_pi (k env Full a, k env Full b)
+    | Ordered a -> Ordered (k env need a)
+    | Unordered a -> Unordered (k env Ebv a)
+    | Virtual_constr a -> Virtual_constr (k env need a)
+    | Castable (a, t) -> Castable (k env Full a, t)
+    | Cast (a, t) -> Cast (k env Full a, t)
+    | Instance_of (a, t) -> Instance_of (k env Full a, t)
+    | Treat_as (a, t) -> Treat_as (k env Full a, t)
+    | Ddo _ | Path _ | Flwor _ -> assert false
+  in
+  let e = gated [] Full e in
+  if opts.virtual_constructors then mark_virtual ~in_output:true e else e
+
+let optimize e = rewrite_with default_options e
+
+(* count DDO operations remaining in a tree (tests, benches) *)
+let rec count_ddo (e : expr) : int =
+  match e with
+  | Ddo a -> 1 + count_ddo a
+  | Int_lit _ | Dbl_lit _ | Str_lit _ | Empty_seq | Context_item | Var _
+  | Schema_path _ -> 0
+  | Sequence es -> List.fold_left (fun a e' -> a + count_ddo e') 0 es
+  | Range (a, b) | Binop (_, a, b) | And (a, b) | Or (a, b)
+  | Comp_elem (a, b) | Comp_attr (a, b) | Comp_pi (a, b) ->
+    count_ddo a + count_ddo b
+  | Neg a | Not a | Ordered a | Unordered a | Comp_text a | Comp_comment a
+  | Virtual_constr a
+  | Castable (a, _) | Cast (a, _) | Instance_of (a, _) | Treat_as (a, _) ->
+    count_ddo a
+  | If (c, t, f) -> count_ddo c + count_ddo t + count_ddo f
+  | Call (_, args) -> List.fold_left (fun a e' -> a + count_ddo e') 0 args
+  | Filter (p, preds) ->
+    count_ddo p + List.fold_left (fun a e' -> a + count_ddo e') 0 preds
+  | Path (p, steps) ->
+    count_ddo p
+    + List.fold_left
+        (fun a s -> a + List.fold_left (fun a e' -> a + count_ddo e') 0 s.preds)
+        0 steps
+  | Elem_constr (_, atts, content) ->
+    List.fold_left
+      (fun a at -> a + List.fold_left (fun a e' -> a + count_ddo e') 0 at.attr_value)
+      0 atts
+    + List.fold_left (fun a e' -> a + count_ddo e') 0 content
+  | Quantified (_, binds, cond) ->
+    List.fold_left (fun a (_, e') -> a + count_ddo e') 0 binds + count_ddo cond
+  | Flwor (clauses, ret) ->
+    List.fold_left
+      (fun a c ->
+        a
+        +
+        match c with
+        | For binds -> List.fold_left (fun a (_, _, e') -> a + count_ddo e') 0 binds
+        | Let binds -> List.fold_left (fun a (_, e') -> a + count_ddo e') 0 binds
+        | Where c' -> count_ddo c'
+        | Order_by keys -> List.fold_left (fun a (k, _) -> a + count_ddo k) 0 keys)
+      0 clauses
+    + count_ddo ret

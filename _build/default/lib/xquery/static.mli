@@ -1,0 +1,25 @@
+(** Static analysis (paper §5): namespace resolution against the query
+    prolog, variable-binding checks, and function resolution against
+    the built-in library plus the prolog's declared functions.  Static
+    errors (XPST0008 etc.) are raised before any data is touched. *)
+
+type env = {
+  prolog : Xq_ast.prolog;
+  bound_vars : string list;
+  functions : (string * int) list;  (** declared (name, arity) *)
+}
+
+val builtin_functions : (string * int list) list
+(** Built-in names with their accepted arities ([-1] = variadic). *)
+
+val resolve_name :
+  env -> ?default_fn:bool -> Sedna_util.Xname.t -> Sedna_util.Xname.t
+(** Resolve a prefix through the prolog declarations and the predefined
+    bindings (fn, xs, xml, local).  [default_fn] applies the default
+    function namespace to unprefixed names. *)
+
+val check : env -> Xq_ast.expr -> unit
+
+val analyse : Xq_ast.prolog -> Xq_ast.expr -> env
+(** Full static phase over prolog variables, function bodies and the
+    query body. *)

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the XQuery subset, the XUpdate
+    statements (paper §3, syntactically close to Lehti's XUpdate) and
+    the data-definition statements.
+
+    Conventions: abbreviated steps expand during parsing ([//] to a
+    [descendant-or-self::node()] step, [@x] to the attribute axis,
+    [..] to [parent::node()]); direct constructors switch the lexer
+    into XML mode; [(: ... :)] comments nest.  Errors carry
+    line/column positions and raise with code XPST0003. *)
+
+val parse_statement : string -> Xq_ast.statement
+(** A full statement: query with optional prolog, [UPDATE ...], or DDL
+    ([CREATE/DROP DOCUMENT|COLLECTION|INDEX], [LOAD]). *)
+
+val parse_query : string -> Xq_ast.prolog * Xq_ast.expr
+(** A query only; raises if the statement is an update or DDL. *)

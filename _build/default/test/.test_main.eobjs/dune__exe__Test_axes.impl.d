@@ -1,0 +1,1 @@
+test/test_axes.ml: Database Hashtbl List Lock_mgr Node Printf QCheck Sedna_core Sedna_util Seq String Test_util Traverse Xptr

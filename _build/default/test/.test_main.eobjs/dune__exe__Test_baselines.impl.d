@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Edge_rel List Option Sedna_baselines Sedna_nid Sedna_util Sedna_workloads String Subtree_store Swizzle Test_util Xiss

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Btree Database Float Hashtbl List Lock_mgr Printf QCheck Sedna_core Store String Test_util Xptr

@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest List Sedna_db Sedna_util Sedna_xquery Test_util

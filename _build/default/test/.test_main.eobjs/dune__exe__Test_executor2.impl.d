@@ -1,0 +1,1 @@
+test/test_executor2.ml: Alcotest Database List Lock_mgr Node Printf Sedna_core Sedna_nid Sedna_util Sedna_workloads Sedna_xml String Test_util Traverse Update_ops

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Buffer Catalog Database List Lock_mgr Node Node_ser Printf QCheck Sedna_core Sedna_util Sedna_xml Store String Test_util Traverse Update_ops

@@ -1,0 +1,1 @@
+test/test_hier_lock.ml: Alcotest Hier_lock List Sedna_core Sedna_nid

@@ -1,0 +1,1 @@
+test/test_nid.ml: Alcotest Array Bool List Nid QCheck Sedna_nid Test_util

@@ -1,0 +1,1 @@
+test/test_nodes.ml: Alcotest Catalog Database List Lock_mgr Node Node_ser Printf Sedna_core Sedna_util Sedna_workloads Sedna_xml Store String Test_util Traverse Update_ops Xptr

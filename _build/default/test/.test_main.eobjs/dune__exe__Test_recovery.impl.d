@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Backup Bytes Char Database Filename List Lock_mgr Page Printf Sedna_core Sedna_db Sedna_workloads Test_util Unix Wal

@@ -1,0 +1,1 @@
+test/test_rx.ml: Alcotest Sedna_engine Sedna_util Test_util

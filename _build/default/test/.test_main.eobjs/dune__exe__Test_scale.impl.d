@@ -1,0 +1,1 @@
+test/test_scale.ml: Alcotest Catalog Database List Lock_mgr Printf Sedna_core Sedna_workloads Test_util

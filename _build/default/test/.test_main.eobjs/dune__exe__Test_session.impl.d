@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Catalog Database Sedna_core Sedna_db Sedna_util Sedna_workloads Test_util

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Buffer_mgr Bytes Char Database File_store Filename Fun Indirection List Lock_mgr Page Printf QCheck Sedna_core Sedna_util Store String Test_util Text_store Unix Xptr

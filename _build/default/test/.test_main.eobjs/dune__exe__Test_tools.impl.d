@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest List Sedna_xquery String Test_util

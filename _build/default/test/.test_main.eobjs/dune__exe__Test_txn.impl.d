@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Catalog Database List Lock_mgr Node Node_ser Printf Sedna_core Sedna_db Sedna_util Test_util Txn Versions

@@ -1,0 +1,1 @@
+test/test_updates.ml: Alcotest Database Lock_mgr Sedna_core Sedna_workloads Test_util

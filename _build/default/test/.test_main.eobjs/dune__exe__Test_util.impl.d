@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Catalog Database Filename Fun Indirection Integrity List Loader Lock_mgr Printf QCheck QCheck_alcotest Sedna_core Sedna_db Sedna_util Sedna_xml Store String Sys Unix

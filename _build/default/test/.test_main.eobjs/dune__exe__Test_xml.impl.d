@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Escape List QCheck Sedna_util Sedna_xml Serializer String Test_util Xml_event Xml_parser

@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest List Sedna_db Sedna_util Sedna_xquery String Test_util

@@ -1,0 +1,109 @@
+(* Tests for the finer-granularity (hierarchical) locking extension —
+   the future work announced in paper §6.2. *)
+
+open Sedna_core
+module H = Hier_lock
+
+let lbl parent i = Sedna_nid.Nid.ordinal_child ~parent i
+let root = Sedna_nid.Nid.root
+
+let granted = function H.Granted -> true | _ -> false
+let blocked = function H.Blocked _ -> true | _ -> false
+
+let test_disjoint_subtrees_concurrent () =
+  let t = H.create () in
+  let a = lbl root 0 and b = lbl root 1 in
+  (* two updaters in disjoint subtrees of the same document: both go —
+     the concurrency gain over document-level S2PL *)
+  Alcotest.(check bool) "t1 X on subtree a" true
+    (granted (H.acquire_subtree t ~txn:1 ~doc:"d" ~label:a ~exclusive:true));
+  Alcotest.(check bool) "t2 X on subtree b" true
+    (granted (H.acquire_subtree t ~txn:2 ~doc:"d" ~label:b ~exclusive:true));
+  (* both hold IX on the document *)
+  Alcotest.(check int) "two doc-level intention locks" 2
+    (List.length (H.doc_holders t "d"))
+
+let test_nested_subtrees_conflict () =
+  let t = H.create () in
+  let a = lbl root 0 in
+  let a_child = lbl a 0 in
+  Alcotest.(check bool) "t1 X on a" true
+    (granted (H.acquire_subtree t ~txn:1 ~doc:"d" ~label:a ~exclusive:true));
+  Alcotest.(check bool) "t2 X inside a blocks" true
+    (blocked (H.acquire_subtree t ~txn:2 ~doc:"d" ~label:a_child ~exclusive:true));
+  Alcotest.(check bool) "t2 X on ancestor blocks too" true
+    (blocked (H.acquire_subtree t ~txn:2 ~doc:"d" ~label:root ~exclusive:true))
+
+let test_shared_overlap_ok () =
+  let t = H.create () in
+  let a = lbl root 0 in
+  let a_child = lbl a 0 in
+  Alcotest.(check bool) "t1 S on a" true
+    (granted (H.acquire_subtree t ~txn:1 ~doc:"d" ~label:a ~exclusive:false));
+  Alcotest.(check bool) "t2 S nested is fine" true
+    (granted (H.acquire_subtree t ~txn:2 ~doc:"d" ~label:a_child ~exclusive:false));
+  Alcotest.(check bool) "t3 X nested blocks" true
+    (blocked (H.acquire_subtree t ~txn:3 ~doc:"d" ~label:a_child ~exclusive:true))
+
+let test_document_lock_vs_subtrees () =
+  let t = H.create () in
+  let a = lbl root 0 in
+  Alcotest.(check bool) "t1 X on subtree" true
+    (granted (H.acquire_subtree t ~txn:1 ~doc:"d" ~label:a ~exclusive:true));
+  (* whole-document X (e.g. DDL) must wait for the subtree updater *)
+  Alcotest.(check bool) "t2 doc X blocks" true
+    (blocked (H.acquire_doc t ~txn:2 ~doc:"d" ~mode:H.X));
+  (* doc-level S blocks against IX holder *)
+  Alcotest.(check bool) "t3 doc S blocks" true
+    (blocked (H.acquire_doc t ~txn:3 ~doc:"d" ~mode:H.S));
+  H.release_all t ~txn:1;
+  Alcotest.(check bool) "t2 doc X after release" true
+    (granted (H.acquire_doc t ~txn:2 ~doc:"d" ~mode:H.X))
+
+let test_deadlock_detected () =
+  let t = H.create () in
+  let a = lbl root 0 and b = lbl root 1 in
+  Alcotest.(check bool) "t1 X a" true
+    (granted (H.acquire_subtree t ~txn:1 ~doc:"d" ~label:a ~exclusive:true));
+  Alcotest.(check bool) "t2 X b" true
+    (granted (H.acquire_subtree t ~txn:2 ~doc:"d" ~label:b ~exclusive:true));
+  Alcotest.(check bool) "t1 waits for b" true
+    (blocked (H.acquire_subtree t ~txn:1 ~doc:"d" ~label:b ~exclusive:true));
+  (match H.acquire_subtree t ~txn:2 ~doc:"d" ~label:a ~exclusive:true with
+   | H.Deadlock_detected -> ()
+   | _ -> Alcotest.fail "deadlock not detected")
+
+let test_reacquire_is_idempotent () =
+  let t = H.create () in
+  Alcotest.(check bool) "doc X" true
+    (granted (H.acquire_doc t ~txn:1 ~doc:"d" ~mode:H.X));
+  Alcotest.(check bool) "doc X again" true
+    (granted (H.acquire_doc t ~txn:1 ~doc:"d" ~mode:H.X));
+  Alcotest.(check bool) "weaker IS folded in" true
+    (granted (H.acquire_doc t ~txn:1 ~doc:"d" ~mode:H.IS));
+  (* own subtree locks never self-conflict *)
+  let a = lbl root 0 in
+  Alcotest.(check bool) "own subtree" true
+    (granted (H.acquire_subtree t ~txn:1 ~doc:"d" ~label:a ~exclusive:true))
+
+let test_different_documents_independent () =
+  let t = H.create () in
+  Alcotest.(check bool) "t1 X doc1" true
+    (granted (H.acquire_doc t ~txn:1 ~doc:"d1" ~mode:H.X));
+  Alcotest.(check bool) "t2 X doc2" true
+    (granted (H.acquire_doc t ~txn:2 ~doc:"d2" ~mode:H.X))
+
+let suite =
+  [
+    Alcotest.test_case "disjoint subtrees run concurrently" `Quick
+      test_disjoint_subtrees_concurrent;
+    Alcotest.test_case "nested subtrees conflict" `Quick
+      test_nested_subtrees_conflict;
+    Alcotest.test_case "shared overlap allowed" `Quick test_shared_overlap_ok;
+    Alcotest.test_case "document locks vs subtrees" `Quick
+      test_document_lock_vs_subtrees;
+    Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+    Alcotest.test_case "reacquire idempotent" `Quick test_reacquire_is_idempotent;
+    Alcotest.test_case "documents independent" `Quick
+      test_different_documents_independent;
+  ]

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "sedna"
+    [
+      ("nid", Test_nid.suite);
+      ("xml", Test_xml.suite);
+      ("storage", Test_storage.suite);
+      ("nodes", Test_nodes.suite);
+      ("txn", Test_txn.suite);
+      ("recovery", Test_recovery.suite);
+      ("btree", Test_btree.suite);
+      ("xquery", Test_xquery.suite);
+      ("executor", Test_executor.suite);
+      ("executor2", Test_executor2.suite);
+      ("axes", Test_axes.suite);
+      ("scale", Test_scale.suite);
+      ("updates", Test_updates.suite);
+      ("session", Test_session.suite);
+      ("baselines", Test_baselines.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("hier-lock", Test_hier_lock.suite);
+      ("regex", Test_rx.suite);
+      ("tools", Test_tools.suite);
+    ]

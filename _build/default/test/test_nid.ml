@@ -1,0 +1,209 @@
+(* Numbering scheme tests (paper §4.1.1): unit cases plus the property
+   suite that pins down the no-relabeling guarantee. *)
+
+open Sedna_nid
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* a generator of random tree shapes expressed as label-creation
+   scripts: each action either appends a child to a random known node
+   or inserts between two adjacent siblings *)
+
+let test_root_children () =
+  let a = Nid.child_between ~parent:Nid.root ~left:None ~right:None in
+  let b = Nid.child_between ~parent:Nid.root ~left:(Some a) ~right:None in
+  let c = Nid.child_between ~parent:Nid.root ~left:(Some a) ~right:(Some b) in
+  check "a < c" true (Nid.compare a c < 0);
+  check "c < b" true (Nid.compare c b < 0);
+  check "root anc a" true (Nid.is_ancestor ~ancestor:Nid.root a);
+  check "a not anc b" false (Nid.is_ancestor ~ancestor:a b);
+  checki "depth" 1 (Nid.depth a)
+
+let test_nesting () =
+  let a = Nid.child_between ~parent:Nid.root ~left:None ~right:None in
+  let b = Nid.child_between ~parent:a ~left:None ~right:None in
+  let c = Nid.child_between ~parent:b ~left:None ~right:None in
+  check "a anc c" true (Nid.is_ancestor ~ancestor:a c);
+  check "b anc c" true (Nid.is_ancestor ~ancestor:b c);
+  check "c desc-or-self c" true (Nid.is_descendant_or_self ~ancestor:c c);
+  check "c not anc a" false (Nid.is_ancestor ~ancestor:c a);
+  check "doc order a < b < c" true (Nid.compare a b < 0 && Nid.compare b c < 0)
+
+let test_sibling_subtree_order () =
+  (* all descendants of an earlier sibling precede the later sibling *)
+  let a = Nid.child_between ~parent:Nid.root ~left:None ~right:None in
+  let b = Nid.child_between ~parent:Nid.root ~left:(Some a) ~right:None in
+  let deep = ref a in
+  for _ = 1 to 50 do
+    deep := Nid.child_between ~parent:!deep ~left:None ~right:None
+  done;
+  check "deep desc of a < b" true (Nid.compare !deep b < 0);
+  check "b not ancestor of deep" false (Nid.is_ancestor ~ancestor:b !deep)
+
+let test_ordinal_matches_between () =
+  let kids = List.init 300 (fun i -> Nid.ordinal_child ~parent:Nid.root i) in
+  let rec adjacent = function
+    | a :: (b :: _ as rest) ->
+      check "ordinal order" true (Nid.compare a b < 0);
+      (* between-insertion works in every gap *)
+      let m = Nid.child_between ~parent:Nid.root ~left:(Some a) ~right:(Some b) in
+      check "between in gap" true (Nid.compare a m < 0 && Nid.compare m b < 0);
+      adjacent rest
+    | _ -> ()
+  in
+  adjacent kids
+
+let test_repeated_middle_insert () =
+  (* the paper's claim: inserting never relabels — here: between
+     always succeeds, thousands of times into the same shrinking gap *)
+  let a = Nid.ordinal_child ~parent:Nid.root 0 in
+  let b = Nid.ordinal_child ~parent:Nid.root 1 in
+  let lo = ref a and hi = ref b in
+  for i = 0 to 3000 do
+    let m = Nid.child_between ~parent:Nid.root ~left:(Some !lo) ~right:(Some !hi) in
+    check "strictly between" true (Nid.compare !lo m < 0 && Nid.compare m !hi < 0);
+    if i mod 2 = 0 then lo := m else hi := m
+  done
+
+let test_pair_formulation () =
+  (* the (id, d) predicates of the paper hold literally *)
+  let a = Nid.child_between ~parent:Nid.root ~left:None ~right:None in
+  let b = Nid.child_between ~parent:a ~left:None ~right:None in
+  let c = Nid.child_between ~parent:a ~left:(Some b) ~right:None in
+  check "pair anc" true (Nid.pair_is_ancestor (Nid.pair a) (Nid.pair b));
+  check "pair anc 2" true (Nid.pair_is_ancestor (Nid.pair a) (Nid.pair c));
+  check "pair sibling not anc" false (Nid.pair_is_ancestor (Nid.pair b) (Nid.pair c));
+  check "pair reverse not anc" false (Nid.pair_is_ancestor (Nid.pair b) (Nid.pair a))
+
+let test_of_raw_validation () =
+  let a = Nid.child_between ~parent:Nid.root ~left:None ~right:None in
+  let same = Nid.of_raw (Nid.to_raw a) in
+  check "round trip" true (Nid.equal a same);
+  (* unterminated segment *)
+  Alcotest.check_raises "garbage rejected"
+    (Invalid_argument "Nid.of_raw: malformed label") (fun () ->
+      ignore (Nid.of_raw "\x02"));
+  (* a segment whose digits end with the minimal digit is malformed *)
+  Alcotest.check_raises "trailing-min rejected"
+    (Invalid_argument "Nid.of_raw: malformed label") (fun () ->
+      ignore (Nid.of_raw "\x02\x01"));
+  (* the delimiter byte can never appear in a label *)
+  Alcotest.check_raises "delimiter byte rejected"
+    (Invalid_argument "Nid.of_raw: malformed label") (fun () ->
+      ignore (Nid.of_raw "\xff"))
+
+let test_misuse_rejected () =
+  let a = Nid.child_between ~parent:Nid.root ~left:None ~right:None in
+  let b = Nid.child_between ~parent:a ~left:None ~right:None in
+  (* b is not a child of root: passing it as a sibling must fail *)
+  Alcotest.check_raises "wrong parent"
+    (Invalid_argument "Nid.child_between: sibling is not a direct child")
+    (fun () ->
+      ignore (Nid.child_between ~parent:Nid.root ~left:(Some b) ~right:None))
+
+(* ---- properties ------------------------------------------------------- *)
+
+(* random tree scripts: maintain a list of (label, children labels) *)
+let tree_gen =
+  QCheck.Gen.(
+    let action = int_range 0 2 in
+    list_size (int_range 1 120) (pair action (pair small_nat small_nat)))
+
+let arb_tree = QCheck.make tree_gen
+
+let run_script script =
+  (* nodes.(i) = (label, parent label); root at index 0 *)
+  let nodes = ref [| (Nid.root, None) |] in
+  let add lbl parent =
+    nodes := Array.append !nodes [| (lbl, Some parent) |]
+  in
+  List.iter
+    (fun (action, (i, j)) ->
+      let n = Array.length !nodes in
+      let parent_idx = i mod n in
+      let parent, _ = !nodes.(parent_idx) in
+      let children =
+        Array.to_list !nodes
+        |> List.filter_map (fun (l, p) ->
+               match p with
+               | Some pl when Nid.equal pl parent -> Some l
+               | _ -> None)
+        |> List.sort Nid.compare
+      in
+      match action with
+      | 0 ->
+        (* append last *)
+        let left =
+          match List.rev children with [] -> None | l :: _ -> Some l
+        in
+        add (Nid.child_between ~parent ~left ~right:None) parent
+      | 1 ->
+        (* insert first *)
+        let right = match children with [] -> None | r :: _ -> Some r in
+        add (Nid.child_between ~parent ~left:None ~right) parent
+      | _ -> (
+        (* insert in the middle *)
+        match children with
+        | a :: b :: _ when j mod 2 = 0 ->
+          add (Nid.child_between ~parent ~left:(Some a) ~right:(Some b)) parent
+        | _ ->
+          let left =
+            match List.rev children with [] -> None | l :: _ -> Some l
+          in
+          add (Nid.child_between ~parent ~left ~right:None) parent))
+    script;
+  !nodes
+
+let prop_labels_unique script =
+  let nodes = run_script script in
+  let labels = Array.to_list nodes |> List.map fst |> List.map Nid.to_raw in
+  List.length (List.sort_uniq compare labels) = List.length labels
+
+let prop_ancestor_iff_path script =
+  let nodes = run_script script in
+  (* reconstruct ancestry from parent pointers and compare with labels *)
+  let arr = nodes in
+  let parent_of l =
+    let found = ref None in
+    Array.iter (fun (l', p) -> if Nid.equal l' l then found := p) arr;
+    !found
+  in
+  let rec is_anc_path a l =
+    match parent_of l with
+    | None -> false
+    | Some p -> Nid.equal p a || is_anc_path a p
+  in
+  Array.for_all
+    (fun (a, _) ->
+      Array.for_all
+        (fun (b, _) ->
+          Nid.equal a b
+          || Bool.equal (Nid.is_ancestor ~ancestor:a b) (is_anc_path a b))
+        arr)
+    arr
+
+let prop_well_formed script =
+  let nodes = run_script script in
+  Array.for_all
+    (fun (l, _) ->
+      match Nid.of_raw (Nid.to_raw l) with
+      | _ -> true
+      | exception Invalid_argument _ -> false)
+    nodes
+
+let suite =
+  [
+    Alcotest.test_case "root children" `Quick test_root_children;
+    Alcotest.test_case "nesting" `Quick test_nesting;
+    Alcotest.test_case "sibling subtree order" `Quick test_sibling_subtree_order;
+    Alcotest.test_case "ordinal vs between" `Quick test_ordinal_matches_between;
+    Alcotest.test_case "repeated middle insert" `Quick test_repeated_middle_insert;
+    Alcotest.test_case "paper pair formulation" `Quick test_pair_formulation;
+    Alcotest.test_case "of_raw validation" `Quick test_of_raw_validation;
+    Alcotest.test_case "misuse rejected" `Quick test_misuse_rejected;
+    Test_util.qcheck_case "labels unique" arb_tree prop_labels_unique;
+    Test_util.qcheck_case ~count:60 "ancestor iff tree path" arb_tree
+      prop_ancestor_iff_path;
+    Test_util.qcheck_case "labels well-formed" arb_tree prop_well_formed;
+  ]

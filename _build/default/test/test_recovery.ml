@@ -1,0 +1,164 @@
+(* Durability tests (paper §6.4, §6.5): WAL framing, two-step recovery,
+   checkpoints, torn log tails, and hot backup / restore. *)
+
+open Sedna_core
+
+let reopen dir = Database.open_existing dir
+
+let test_wal_roundtrip () =
+  let dir = Test_util.fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "wal.sdb" in
+  let w = Wal.create path in
+  let img = Bytes.init Page.page_size (fun i -> Char.chr (i mod 256)) in
+  Wal.append w (Wal.Begin 7);
+  Wal.append w (Wal.Image (7, 42, img));
+  Wal.append w (Wal.Logical (7, "update"));
+  Wal.append w (Wal.Commit (7, Some "catalogblob"));
+  Wal.append w Wal.Checkpoint;
+  Wal.append w (Wal.Abort 8);
+  Wal.sync w;
+  Wal.close w;
+  match Wal.read_all path with
+  | [ Wal.Begin 7; Wal.Image (7, 42, img'); Wal.Logical (7, "update");
+      Wal.Commit (7, Some "catalogblob"); Wal.Checkpoint; Wal.Abort 8 ] ->
+    Alcotest.(check bytes) "image intact" img img'
+  | records -> Alcotest.failf "unexpected records (%d)" (List.length records)
+
+let test_torn_tail_ignored () =
+  let dir = Test_util.fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "wal.sdb" in
+  let w = Wal.create path in
+  Wal.append w (Wal.Begin 1);
+  Wal.append w (Wal.Commit (1, None));
+  Wal.sync w;
+  Wal.close w;
+  (* corrupt: append half a record *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\255\255\255";
+  close_out oc;
+  Alcotest.(check int) "clean prefix survives" 2 (List.length (Wal.read_all path))
+
+let test_crash_recovers_committed () =
+  let dir = Test_util.fresh_dir () in
+  let db = Database.create dir in
+  ignore (Test_util.load db "d" "<a><v>1</v></a>");
+  ignore (Test_util.exec db {|UPDATE replace $v in doc("d")/a/v with <v>2</v>|});
+  Database.crash db;
+  let db2 = reopen dir in
+  Alcotest.(check string) "recovered" "2"
+    (Test_util.exec db2 {|string(doc("d")/a/v)|});
+  Database.with_txn db2 (fun txn st ->
+      Database.lock_exn db2 txn ~doc:"d" ~mode:Lock_mgr.Shared;
+      Test_util.check_invariants st "d");
+  Database.close db2
+
+let test_crash_loses_uncommitted () =
+  let dir = Test_util.fresh_dir () in
+  let db = Database.create dir in
+  ignore (Test_util.load db "d" "<a><v>1</v></a>");
+  let s = Sedna_db.Session.connect db in
+  Sedna_db.Session.begin_txn s;
+  ignore (Sedna_db.Session.execute s {|UPDATE replace $v in doc("d")/a/v with <v>999</v>|});
+  (* crash without commit *)
+  Database.crash db;
+  let db2 = reopen dir in
+  Alcotest.(check string) "uncommitted lost" "1"
+    (Test_util.exec db2 {|string(doc("d")/a/v)|});
+  Database.close db2
+
+let test_recovery_restores_schema () =
+  let dir = Test_util.fresh_dir () in
+  let db = Database.create dir in
+  ignore (Test_util.load db "d" "<a/>");
+  (* schema evolution after the checkpoint: a new element kind *)
+  ignore (Test_util.exec db {|UPDATE insert <fresh kind="yes">v</fresh> into doc("d")/a|});
+  Database.crash db;
+  let db2 = reopen dir in
+  Alcotest.(check string) "schema recovered" "v"
+    (Test_util.exec db2 {|string(doc("d")/a/fresh)|});
+  Alcotest.(check string) "attribute too" "yes"
+    (Test_util.exec db2 {|string(doc("d")/a/fresh/@kind)|});
+  Database.close db2
+
+let test_checkpoint_truncates_wal () =
+  let dir = Test_util.fresh_dir () in
+  let db = Database.create dir in
+  ignore (Test_util.load db "d" "<a><v>x</v></a>");
+  Database.checkpoint db;
+  let wal_size = (Unix.stat (Filename.concat dir "wal.sdb")).Unix.st_size in
+  Alcotest.(check bool) "wal truncated" true (wal_size < 64);
+  (* a crash right after a checkpoint still recovers *)
+  Database.crash db;
+  let db2 = reopen dir in
+  Alcotest.(check string) "state survives checkpoint" "x"
+    (Test_util.exec db2 {|string(doc("d")/a/v)|});
+  Database.close db2
+
+let test_multiple_crash_cycles () =
+  let dir = Test_util.fresh_dir () in
+  let db = ref (Database.create dir) in
+  ignore (Test_util.load !db "d" "<log/>");
+  for i = 1 to 5 do
+    ignore
+      (Test_util.exec !db
+         (Printf.sprintf {|UPDATE insert <entry n="%d"/> into doc("d")/log|} i));
+    Database.crash !db;
+    db := reopen dir
+  done;
+  Alcotest.(check string) "all five entries" "5"
+    (Test_util.exec !db {|count(doc("d")/log/entry)|});
+  Database.close !db
+
+let test_backup_full_and_incremental () =
+  let dir = Test_util.fresh_dir () in
+  let bdir = dir ^ "-bak" in
+  let r1 = dir ^ "-restore1" in
+  let r2 = dir ^ "-restore2" in
+  let db = Database.create dir in
+  ignore (Test_util.load db "d" "<a><v>base</v></a>");
+  Backup.full db ~dest:bdir;
+  ignore (Test_util.exec db {|UPDATE replace $v in doc("d")/a/v with <v>after1</v>|});
+  Backup.incremental db ~dest:bdir ~seq:1;
+  ignore (Test_util.exec db {|UPDATE replace $v in doc("d")/a/v with <v>after2</v>|});
+  Backup.incremental db ~dest:bdir ~seq:2;
+  (* point-in-time: restore up to increment 1 *)
+  let dbr1 = Backup.restore ~src:bdir ~dest:r1 ~up_to:1 () in
+  Alcotest.(check string) "restore at increment 1" "after1"
+    (Test_util.exec dbr1 {|string(doc("d")/a/v)|});
+  Database.close dbr1;
+  (* full restore: all increments *)
+  let dbr2 = Backup.restore ~src:bdir ~dest:r2 () in
+  Alcotest.(check string) "restore at tip" "after2"
+    (Test_util.exec dbr2 {|string(doc("d")/a/v)|});
+  Database.close dbr2;
+  Database.close db
+
+let test_close_reopen () =
+  let dir = Test_util.fresh_dir () in
+  let db = Database.create dir in
+  let events = Sedna_workloads.Generators.library ~books:60 () in
+  ignore (Test_util.load_events db "lib" events);
+  let before = Test_util.exec db {|count(doc("lib")//author)|} in
+  Database.close db;
+  let db2 = reopen dir in
+  Alcotest.(check string) "author count stable" before
+    (Test_util.exec db2 {|count(doc("lib")//author)|});
+  Database.with_txn db2 (fun txn st ->
+      Database.lock_exn db2 txn ~doc:"lib" ~mode:Lock_mgr.Shared;
+      Test_util.check_invariants st "lib");
+  Database.close db2
+
+let suite =
+  [
+    Alcotest.test_case "wal roundtrip" `Quick test_wal_roundtrip;
+    Alcotest.test_case "torn tail ignored" `Quick test_torn_tail_ignored;
+    Alcotest.test_case "crash recovers committed" `Quick test_crash_recovers_committed;
+    Alcotest.test_case "crash loses uncommitted" `Quick test_crash_loses_uncommitted;
+    Alcotest.test_case "recovery restores schema" `Quick test_recovery_restores_schema;
+    Alcotest.test_case "checkpoint truncates wal" `Quick test_checkpoint_truncates_wal;
+    Alcotest.test_case "multiple crash cycles" `Quick test_multiple_crash_cycles;
+    Alcotest.test_case "backup full+incremental" `Quick test_backup_full_and_incremental;
+    Alcotest.test_case "close and reopen" `Quick test_close_reopen;
+  ]

@@ -1,0 +1,94 @@
+(* Regex engine tests (fn:matches / fn:replace / fn:tokenize). *)
+
+module Rx = Sedna_engine.Rx
+
+let m pattern s = Rx.matches ~pattern s
+
+let test_literals () =
+  Alcotest.(check bool) "substring" true (m "ana" "banana");
+  Alcotest.(check bool) "absent" false (m "xyz" "banana");
+  Alcotest.(check bool) "empty pattern matches" true (m "" "anything")
+
+let test_anchors () =
+  Alcotest.(check bool) "^ hit" true (m "^ban" "banana");
+  Alcotest.(check bool) "^ miss" false (m "^ana" "banana");
+  Alcotest.(check bool) "$ hit" true (m "ana$" "banana");
+  Alcotest.(check bool) "$ miss" false (m "ban$" "banana");
+  Alcotest.(check bool) "full anchor" true (m "^banana$" "banana")
+
+let test_classes () =
+  Alcotest.(check bool) "digit" true (m "\\d+" "abc123");
+  Alcotest.(check bool) "no digit" false (m "\\d" "abcdef");
+  Alcotest.(check bool) "word" true (m "^\\w+$" "ab_9");
+  Alcotest.(check bool) "space" true (m "\\s" "a b");
+  Alcotest.(check bool) "range" true (m "^[a-f]+$" "cafe");
+  Alcotest.(check bool) "range miss" false (m "^[a-f]+$" "cafeX");
+  Alcotest.(check bool) "negated" true (m "^[^0-9]+$" "hello");
+  Alcotest.(check bool) "negated miss" false (m "^[^0-9]+$" "hel1o");
+  Alcotest.(check bool) "class with escape" true (m "^[\\d-]+$" "12-34")
+
+let test_quantifiers () =
+  Alcotest.(check bool) "star empty" true (m "^a*$" "");
+  Alcotest.(check bool) "star many" true (m "^a*$" "aaaa");
+  Alcotest.(check bool) "plus needs one" false (m "^a+$" "");
+  Alcotest.(check bool) "opt" true (m "^colou?r$" "color");
+  Alcotest.(check bool) "opt 2" true (m "^colou?r$" "colour");
+  Alcotest.(check bool) "bounded exact" true (m "^a{3}$" "aaa");
+  Alcotest.(check bool) "bounded miss" false (m "^a{3}$" "aa");
+  Alcotest.(check bool) "bounded range" true (m "^a{2,4}$" "aaa");
+  Alcotest.(check bool) "bounded open" true (m "^a{2,}$" "aaaaa");
+  Alcotest.(check bool) "dot" true (m "^a.c$" "abc")
+
+let test_alternation_groups () =
+  Alcotest.(check bool) "alt" true (m "^(cat|dog)$" "dog");
+  Alcotest.(check bool) "alt miss" false (m "^(cat|dog)$" "cow");
+  Alcotest.(check bool) "group repeat" true (m "^(ab)+$" "ababab");
+  Alcotest.(check bool) "nested" true (m "^(a(b|c))+$" "abacab")
+
+let test_replace () =
+  let r p rep s = Rx.replace ~pattern:p ~replacement:rep s in
+  Alcotest.(check string) "simple" "bXnXnX" (r "a" "X" "banana");
+  Alcotest.(check string) "digits" "n-n" (r "[0-9]+" "n" "12-345");
+  Alcotest.(check string) "group ref" "[b]anana" (r "^(b)" "[$1]" "banana");
+  Alcotest.(check string) "swap" "world hello"
+    (r "^(\\w+) (\\w+)$" "$2 $1" "hello world");
+  Alcotest.(check string) "no match" "same" (r "zz" "yy" "same")
+
+let test_tokenize () =
+  let t p s = Rx.tokenize ~pattern:p s in
+  Alcotest.(check (list string)) "csv" [ "a"; "b"; "c" ] (t "," "a,b,c");
+  Alcotest.(check (list string)) "ws" [ "the"; "quick"; "fox" ]
+    (t "\\s+" "the  quick\tfox");
+  Alcotest.(check (list string)) "empty fields" [ "a"; ""; "b" ] (t "," "a,,b");
+  Alcotest.(check (list string)) "no separator" [ "abc" ] (t "," "abc");
+  Alcotest.(check (list string)) "empty input" [] (t "," "")
+
+let test_errors () =
+  (match m "(unclosed" "x" with
+   | exception Sedna_util.Error.Sedna_error (Sedna_util.Error.Xquery_dynamic, _) -> ()
+   | _ -> Alcotest.fail "unclosed group accepted");
+  match m "*bad" "x" with
+  | exception Sedna_util.Error.Sedna_error (Sedna_util.Error.Xquery_dynamic, _) -> ()
+  | _ -> Alcotest.fail "leading * accepted"
+
+let test_via_xquery () =
+  Test_util.with_doc {|<r><w>apple pie</w><w>banana</w></r>|} (fun _db run ->
+      Alcotest.(check string) "matches in query" "1"
+        (run {|count(doc("d")//w[matches(., "^a")])|});
+      Alcotest.(check string) "replace in query" "APPLE pie"
+        (run {|replace(string(doc("d")//w[1]), "apple", "APPLE")|});
+      Alcotest.(check string) "tokenize in query" "apple pie"
+        (run {|string-join(tokenize(string(doc("d")//w[1]), "\s+"), " ")|}))
+
+let suite =
+  [
+    Alcotest.test_case "literals" `Quick test_literals;
+    Alcotest.test_case "anchors" `Quick test_anchors;
+    Alcotest.test_case "classes" `Quick test_classes;
+    Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+    Alcotest.test_case "alternation/groups" `Quick test_alternation_groups;
+    Alcotest.test_case "replace" `Quick test_replace;
+    Alcotest.test_case "tokenize" `Quick test_tokenize;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "via xquery" `Quick test_via_xquery;
+  ]

@@ -1,0 +1,89 @@
+(* Introspection tooling: the sedna:schema() function and the \explain
+   plan printer. *)
+
+let fixture = {|<shop><item id="1"><name>apple</name></item><item id="2"><name>pear</name></item><note>hi</note></shop>|}
+
+let test_schema_function () =
+  Test_util.with_doc fixture (fun _db run ->
+      let s = run {|schema("d")|} in
+      (* the descriptive schema has exactly one path per distinct
+         document path *)
+      let count_sub needle hay =
+        let n = String.length needle and h = String.length hay in
+        let c = ref 0 in
+        for i = 0 to h - n do
+          if String.sub hay i n = needle then incr c
+        done;
+        !c
+      in
+      Alcotest.(check int) "one item schema node" 1
+        (count_sub {|name="item"|} s);
+      Alcotest.(check int) "item population is 2" 1 (count_sub {|name="item" count="2"|} s);
+      Alcotest.(check int) "one note schema node" 1 (count_sub {|name="note"|} s);
+      (* schema queries compose with path expressions *)
+      Alcotest.(check string) "countable" "1"
+        (run {|count(schema("d")/element[@name="shop"])|}))
+
+let test_statistics_function () =
+  Test_util.with_doc fixture (fun db run ->
+      ignore
+        (Test_util.exec db
+           {|CREATE INDEX "byname" ON doc("d")/shop/item BY name AS xs:string|});
+      Alcotest.(check string) "one document row" "1"
+        (run {|count(statistics()/document)|});
+      Alcotest.(check string) "node count plausible" "true"
+        (run {|statistics()/document[@name="d"]/@nodes > 5|});
+      Alcotest.(check string) "index row present" "1"
+        (run {|count(statistics()/index[@name="byname"])|}))
+
+let test_explain () =
+  let out =
+    Sedna_xquery.Xq_pp.explain {|for $x in doc("d")//item return $x/name|}
+  in
+  let contains needle =
+    let n = String.length needle and h = String.length out in
+    let rec go i = i + n <= h && (String.sub out i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "shows normalized DDOs" true (contains "DDO");
+  Alcotest.(check bool) "shows schema path after rewrite" true
+    (contains "SCHEMA-PATH");
+  Alcotest.(check bool) "DDOs removed" true (contains "(0 DDO op(s))")
+
+let test_explain_keeps_ddo_when_needed () =
+  let out = Sedna_xquery.Xq_pp.explain {|doc("d")//name/..|} in
+  let contains needle =
+    let n = String.length needle and h = String.length out in
+    let rec go i = i + n <= h && (String.sub out i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "parent path keeps its DDO" true
+    (contains "after rewriting (1 DDO op(s))")
+
+let test_plan_printer_total () =
+  (* the printer must handle every construct without raising *)
+  List.iter
+    (fun q -> ignore (Sedna_xquery.Xq_pp.explain q))
+    [
+      {|1 + 2 * 3|};
+      {|if (1 < 2) then "a" else "b"|};
+      {|some $x in (1,2) satisfies $x > 1|};
+      {|<a b="{1}">{2}</a>|};
+      {|element x { attribute y { 1 }, text { "t" } }|};
+      {|for $a at $i in (1,2) let $b := $a where $b > 0 order by $b descending return ($b, $i)|};
+      {|doc("d")//x[position() = last()]|};
+      {|(1,2) = (2,3) and not(true())|};
+      {|"5" cast as xs:integer|};
+      {|$u instance of xs:string|} |> String.map (fun c -> if c = '$' then 'v' else c);
+      {|(//a, .//b)[1]|};
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "schema()" `Quick test_schema_function;
+    Alcotest.test_case "statistics()" `Quick test_statistics_function;
+    Alcotest.test_case "explain" `Quick test_explain;
+    Alcotest.test_case "explain keeps needed DDO" `Quick
+      test_explain_keeps_ddo_when_needed;
+    Alcotest.test_case "plan printer total" `Quick test_plan_printer_total;
+  ]

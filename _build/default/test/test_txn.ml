@@ -1,0 +1,189 @@
+(* Transaction tests (paper §6): atomicity, S2PL locking with deadlock
+   detection, snapshot reads, version purging. *)
+
+open Sedna_core
+
+let test_commit_visible () =
+  Test_util.with_db (fun db ->
+      ignore (Test_util.load db "d" "<a><v>1</v></a>");
+      ignore (Test_util.exec db {|UPDATE replace $v in doc("d")/a/v with <v>2</v>|});
+      Alcotest.(check string) "committed" "2"
+        (Test_util.exec db {|string(doc("d")/a/v)|}))
+
+let test_abort_restores () =
+  Test_util.with_db (fun db ->
+      ignore (Test_util.load db "d" "<a><v>1</v></a>");
+      let s = Sedna_db.Session.connect db in
+      Sedna_db.Session.begin_txn s;
+      ignore (Sedna_db.Session.execute s {|UPDATE replace $v in doc("d")/a/v with <v>99</v>|});
+      ignore (Sedna_db.Session.execute s {|UPDATE insert <w/> into doc("d")/a|});
+      Sedna_db.Session.rollback s;
+      Alcotest.(check string) "value restored" "1"
+        (Test_util.exec db {|string(doc("d")/a/v)|});
+      Alcotest.(check string) "no w" "0" (Test_util.exec db {|count(doc("d")/a/w)|});
+      (* the store is structurally sound after the rollback *)
+      Database.with_txn db (fun txn st ->
+          Database.lock_exn db txn ~doc:"d" ~mode:Lock_mgr.Shared;
+          Test_util.check_invariants st "d"))
+
+let test_abort_restores_catalog () =
+  Test_util.with_db (fun db ->
+      ignore (Test_util.load db "d" "<a/>");
+      let s = Sedna_db.Session.connect db in
+      Sedna_db.Session.begin_txn s;
+      ignore (Sedna_db.Session.execute s {|CREATE DOCUMENT "temp"|});
+      Sedna_db.Session.rollback s;
+      Alcotest.(check bool) "temp gone" true
+        (Catalog.find_document (Database.catalog db) "temp" = None))
+
+let test_lock_conflicts () =
+  Test_util.with_db (fun db ->
+      ignore (Test_util.load db "d" "<a/>");
+      let t1 = Database.begin_txn db in
+      let t2 = Database.begin_txn db in
+      Alcotest.(check bool) "t1 S granted" true
+        (Database.lock db t1 ~doc:"d" ~mode:Lock_mgr.Shared = Lock_mgr.Granted);
+      Alcotest.(check bool) "t2 S granted" true
+        (Database.lock db t2 ~doc:"d" ~mode:Lock_mgr.Shared = Lock_mgr.Granted);
+      (* t2 upgrade blocks behind t1's shared lock *)
+      Alcotest.(check bool) "t2 X blocked" true
+        (Database.lock db t2 ~doc:"d" ~mode:Lock_mgr.Exclusive = Lock_mgr.Blocked);
+      (* releasing t1 promotes t2 *)
+      Database.commit db t1;
+      Alcotest.(check bool) "t2 now exclusive" true
+        (Lock_mgr.holds (Database.lock_manager db) "d" t2.Txn.id
+         = Some Lock_mgr.Exclusive);
+      Database.commit db t2)
+
+let test_deadlock_detection () =
+  Test_util.with_db (fun db ->
+      ignore (Test_util.load db "x" "<a/>");
+      ignore (Test_util.load db "y" "<a/>");
+      let t1 = Database.begin_txn db in
+      let t2 = Database.begin_txn db in
+      Alcotest.(check bool) "t1 X x" true
+        (Database.lock db t1 ~doc:"x" ~mode:Lock_mgr.Exclusive = Lock_mgr.Granted);
+      Alcotest.(check bool) "t2 X y" true
+        (Database.lock db t2 ~doc:"y" ~mode:Lock_mgr.Exclusive = Lock_mgr.Granted);
+      Alcotest.(check bool) "t1 waits for y" true
+        (Database.lock db t1 ~doc:"y" ~mode:Lock_mgr.Exclusive = Lock_mgr.Blocked);
+      Alcotest.(check bool) "t2 -> x is a deadlock" true
+        (Database.lock db t2 ~doc:"x" ~mode:Lock_mgr.Exclusive
+         = Lock_mgr.Deadlock_detected);
+      Database.abort db t2;
+      (* t1's queued request for y is granted once t2 dies *)
+      Alcotest.(check bool) "t1 got y" true
+        (Lock_mgr.holds (Database.lock_manager db) "y" t1.Txn.id
+         = Some Lock_mgr.Exclusive);
+      Database.commit db t1)
+
+let test_snapshot_reader () =
+  Test_util.with_db (fun db ->
+      ignore (Test_util.load db "d" "<a><v>old</v></a>");
+      let reader = Database.begin_txn ~read_only:true db in
+      let read () =
+        Database.run db reader (fun () ->
+            let st = Database.txn_store db reader in
+            let dd = Test_util.doc_desc st "d" in
+            Node_ser.string_value st dd)
+      in
+      Alcotest.(check string) "before update" "old" (read ());
+      ignore (Test_util.exec db {|UPDATE replace $v in doc("d")/a/v with <v>new</v>|});
+      Alcotest.(check string) "reader keeps snapshot" "old" (read ());
+      Alcotest.(check string) "others see new" "new"
+        (Test_util.exec db {|string(doc("d")/a/v)|});
+      Database.commit db reader;
+      (* after the snapshot is released, versions are purged *)
+      Alcotest.(check int) "versions purged" 0
+        (Versions.version_count (Database.versions db)))
+
+let test_snapshot_sees_schema_of_its_time () =
+  Test_util.with_db (fun db ->
+      ignore (Test_util.load db "d" "<a><v>1</v></a>");
+      let reader = Database.begin_txn ~read_only:true db in
+      (* an updater introduces a brand new element kind (schema change) *)
+      ignore (Test_util.exec db {|UPDATE insert <brandnew/> into doc("d")/a|});
+      let seen =
+        Database.run db reader (fun () ->
+            let st = Database.txn_store db reader in
+            let dd = Test_util.doc_desc st "d" in
+            let a = List.hd (Node.children st dd) in
+            List.length (Node.children st a))
+      in
+      Alcotest.(check int) "old child count" 1 seen;
+      Database.commit db reader)
+
+let test_reader_sees_uncommitted_nothing () =
+  Test_util.with_db (fun db ->
+      ignore (Test_util.load db "d" "<a><v>1</v></a>");
+      let s = Sedna_db.Session.connect db in
+      Sedna_db.Session.begin_txn s;
+      ignore (Sedna_db.Session.execute s {|UPDATE replace $v in doc("d")/a/v with <v>dirty</v>|});
+      (* a snapshot reader started now must not see the uncommitted data *)
+      let reader = Database.begin_txn ~read_only:true db in
+      let seen =
+        Database.run db reader (fun () ->
+            let st = Database.txn_store db reader in
+            Node_ser.string_value st (Test_util.doc_desc st "d"))
+      in
+      Alcotest.(check string) "no dirty read" "1" seen;
+      Database.commit db reader;
+      Sedna_db.Session.commit s;
+      Alcotest.(check string) "committed now" "dirty"
+        (Test_util.exec db {|string(doc("d")/a/v)|}))
+
+let test_readonly_cannot_write () =
+  Test_util.with_db (fun db ->
+      ignore (Test_util.load db "d" "<a/>");
+      let s = Sedna_db.Session.connect db in
+      Sedna_db.Session.begin_txn ~read_only:true s;
+      (match Sedna_db.Session.execute s {|UPDATE insert <x/> into doc("d")/a|} with
+       | exception Sedna_util.Error.Sedna_error (Sedna_util.Error.Txn_read_only, _) -> ()
+       | _ -> Alcotest.fail "read-only transaction accepted an update");
+      Sedna_db.Session.rollback s)
+
+let test_two_writers_serialize () =
+  Test_util.with_db (fun db ->
+      ignore (Test_util.load db "d" "<a><n>0</n></a>");
+      let s1 = Sedna_db.Session.connect db in
+      let s2 = Sedna_db.Session.connect db in
+      Sedna_db.Session.begin_txn s1;
+      ignore (Sedna_db.Session.execute s1 {|UPDATE replace $n in doc("d")/a/n with <n>1</n>|});
+      Sedna_db.Session.begin_txn s2;
+      (* s2 blocks on the X lock held by s1 *)
+      (match Sedna_db.Session.execute s2 {|UPDATE replace $n in doc("d")/a/n with <n>2</n>|} with
+       | exception Sedna_util.Error.Sedna_error (Sedna_util.Error.Lock_timeout, _) -> ()
+       | _ -> Alcotest.fail "second writer was not blocked");
+      Sedna_db.Session.commit s1;
+      (* after s1 commits, s2 can retry *)
+      ignore (Sedna_db.Session.execute s2 {|UPDATE replace $n in doc("d")/a/n with <n>2</n>|});
+      Sedna_db.Session.commit s2;
+      Alcotest.(check string) "final" "2" (Test_util.exec db {|string(doc("d")/a/n)|}))
+
+let test_version_purge_on_creation () =
+  Test_util.with_db (fun db ->
+      ignore (Test_util.load db "d" "<a><v>0</v></a>");
+      (* no snapshot registered: commits must not accumulate versions *)
+      for i = 1 to 5 do
+        ignore
+          (Test_util.exec db
+             (Printf.sprintf {|UPDATE replace $v in doc("d")/a/v with <v>%d</v>|} i))
+      done;
+      Alcotest.(check int) "no stale versions" 0
+        (Versions.version_count (Database.versions db)))
+
+let suite =
+  [
+    Alcotest.test_case "commit visible" `Quick test_commit_visible;
+    Alcotest.test_case "abort restores pages" `Quick test_abort_restores;
+    Alcotest.test_case "abort restores catalog" `Quick test_abort_restores_catalog;
+    Alcotest.test_case "lock conflicts and upgrade" `Quick test_lock_conflicts;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "snapshot reader" `Quick test_snapshot_reader;
+    Alcotest.test_case "snapshot schema isolation" `Quick
+      test_snapshot_sees_schema_of_its_time;
+    Alcotest.test_case "no dirty reads" `Quick test_reader_sees_uncommitted_nothing;
+    Alcotest.test_case "read-only rejects writes" `Quick test_readonly_cannot_write;
+    Alcotest.test_case "writers serialize" `Quick test_two_writers_serialize;
+    Alcotest.test_case "version purge" `Quick test_version_purge_on_creation;
+  ]

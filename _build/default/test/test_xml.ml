@@ -1,0 +1,176 @@
+(* XML parser and serializer tests. *)
+
+open Sedna_xml
+
+let events_of ?options s = Xml_parser.events ?options s
+
+let count_kind pred s =
+  List.length (List.filter pred (events_of s))
+
+let test_simple () =
+  let evs = events_of "<a><b>hi</b></a>" in
+  Alcotest.(check int) "event count" 7 (List.length evs);
+  match evs with
+  | [ Xml_event.Start_document;
+      Xml_event.Start_element (a, []);
+      Xml_event.Start_element (b, []);
+      Xml_event.Text "hi";
+      Xml_event.End_element;
+      Xml_event.End_element;
+      Xml_event.End_document ] ->
+    Alcotest.(check string) "a" "a" (Sedna_util.Xname.local a);
+    Alcotest.(check string) "b" "b" (Sedna_util.Xname.local b)
+  | _ -> Alcotest.fail "unexpected event shape"
+
+let test_attributes () =
+  match events_of {|<a x="1" y="two&amp;half"/>|} with
+  | [ _; Xml_event.Start_element (_, atts); Xml_event.End_element; _ ] ->
+    Alcotest.(check int) "attrs" 2 (List.length atts);
+    let y = List.nth atts 1 in
+    Alcotest.(check string) "entity in attr" "two&half" y.Xml_event.value
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_entities () =
+  match events_of "<a>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</a>" with
+  | [ _; _; Xml_event.Text t; _; _ ] ->
+    Alcotest.(check string) "entities" "<>&'\"AB" t
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_cdata () =
+  match events_of "<a><![CDATA[x < y & z]]></a>" with
+  | [ _; _; Xml_event.Text t; _; _ ] ->
+    Alcotest.(check string) "cdata" "x < y & z" t
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_comment_pi () =
+  let evs = events_of "<a><!--note--><?target data?></a>" in
+  Alcotest.(check bool) "comment" true
+    (List.exists (function Xml_event.Comment "note" -> true | _ -> false) evs);
+  Alcotest.(check bool) "pi" true
+    (List.exists
+       (function
+         | Xml_event.Processing_instruction ("target", "data?" ) -> false
+         | Xml_event.Processing_instruction ("target", "data") -> true
+         | _ -> false)
+       evs)
+
+let test_namespaces () =
+  match events_of {|<a xmlns="urn:d" xmlns:p="urn:p"><p:b/></a>|} with
+  | [ _; Xml_event.Start_element (a, atts); Xml_event.Start_element (b, _); _; _; _ ] ->
+    Alcotest.(check string) "default ns" "urn:d" (Sedna_util.Xname.uri a);
+    Alcotest.(check string) "prefixed ns" "urn:p" (Sedna_util.Xname.uri b);
+    Alcotest.(check int) "xmlns not an attribute" 0 (List.length atts)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_whitespace_strip_preserve () =
+  Alcotest.(check int) "stripped" 0
+    (count_kind (function Xml_event.Text _ -> true | _ -> false) "<a>\n  <b/>\n</a>");
+  let options = { Xml_parser.default_options with strip_boundary_whitespace = false } in
+  let evs = events_of ~options "<a>\n  <b/>\n</a>" in
+  Alcotest.(check int) "preserved" 2
+    (List.length (List.filter (function Xml_event.Text _ -> true | _ -> false) evs))
+
+let test_doctype_skipped () =
+  let evs = events_of "<!DOCTYPE library [<!ELEMENT a (b)>]><a><b/></a>" in
+  Alcotest.(check bool) "parsed past doctype" true
+    (List.exists (function Xml_event.Start_element _ -> true | _ -> false) evs)
+
+let test_self_closing () =
+  let evs = events_of "<a><b/><c/></a>" in
+  Alcotest.(check int) "elements" 3
+    (List.length
+       (List.filter (function Xml_event.Start_element _ -> true | _ -> false) evs))
+
+let expect_parse_error s =
+  match events_of s with
+  | exception Sedna_util.Error.Sedna_error (Sedna_util.Error.Xml_parse, _) -> ()
+  | _ -> Alcotest.failf "expected a parse error for %S" s
+
+let test_errors () =
+  expect_parse_error "<a><b></a>";
+  expect_parse_error "<a>";
+  expect_parse_error "<a x=1/>";
+  expect_parse_error "<a>&unknown;</a>";
+  expect_parse_error "text outside";
+  expect_parse_error "<a x='1' x='2'/>";
+  expect_parse_error "<a><b attr='<'/></a>"
+
+let test_roundtrip () =
+  let src = {|<lib n="1"><b t="x&amp;y">text<c/>more</b><!--c--><?p d?></lib>|} in
+  let out = Serializer.to_string (events_of src) in
+  let again = Serializer.to_string (events_of out) in
+  Alcotest.(check string) "fixed point" out again
+
+let test_escaping () =
+  Alcotest.(check string) "text" "a&lt;b&gt;c&amp;d" (Escape.escape_text "a<b>c&d");
+  Alcotest.(check string) "attr" "a&quot;b&amp;c" (Escape.escape_attribute "a\"b&c")
+
+let test_indent () =
+  let options = { Serializer.indent = true; xml_declaration = false } in
+  let out = Serializer.to_string ~options (events_of "<a><b>x</b></a>") in
+  Alcotest.(check bool) "has newline" true (String.contains out '\n')
+
+let test_tree_parser () =
+  match Xml_parser.parse_tree "<a><b>x</b><b>y</b></a>" with
+  | [ Xml_parser.Element (_, _, kids) ] ->
+    Alcotest.(check int) "two children" 2 (List.length kids)
+  | _ -> Alcotest.fail "unexpected tree"
+
+(* round-trip property over generated documents *)
+let arb_doc =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "c"; "data"; "x1" ] in
+  let text = oneofl [ "t"; "hello world"; "a<b&c"; "  spaced  " ] in
+  let rec doc depth =
+    if depth = 0 then map (fun t -> Xml_parser.Tree_text t) text
+    else
+      frequency
+        [
+          (2, map (fun t -> Xml_parser.Tree_text t) text);
+          ( 3,
+            map2
+              (fun n kids -> Xml_parser.Element (Sedna_util.Xname.make n, [], kids))
+              name
+              (list_size (int_range 0 4) (doc (depth - 1))) );
+        ]
+  in
+  QCheck.make
+    (QCheck.Gen.map2
+       (fun n kids -> Xml_parser.Element (Sedna_util.Xname.make n, [], kids))
+       name
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 0 5) (doc 3)))
+
+let rec tree_to_events (t : Xml_parser.tree) : Xml_event.t list =
+  match t with
+  | Xml_parser.Element (n, atts, kids) ->
+    (Xml_event.Start_element (n, atts) :: List.concat_map tree_to_events kids)
+    @ [ Xml_event.End_element ]
+  | Xml_parser.Tree_text s -> [ Xml_event.Text s ]
+  | Xml_parser.Tree_comment s -> [ Xml_event.Comment s ]
+  | Xml_parser.Tree_pi (t', d) -> [ Xml_event.Processing_instruction (t', d) ]
+
+let prop_roundtrip tree =
+  let s = Serializer.to_string (tree_to_events tree) in
+  let options = { Xml_parser.default_options with strip_boundary_whitespace = false } in
+  let s2 = Serializer.to_string (Xml_parser.events ~options s) in
+  String.equal s s2
+
+let suite =
+  [
+    Alcotest.test_case "simple" `Quick test_simple;
+    Alcotest.test_case "attributes" `Quick test_attributes;
+    Alcotest.test_case "entities" `Quick test_entities;
+    Alcotest.test_case "cdata" `Quick test_cdata;
+    Alcotest.test_case "comment and pi" `Quick test_comment_pi;
+    Alcotest.test_case "namespaces" `Quick test_namespaces;
+    Alcotest.test_case "whitespace modes" `Quick test_whitespace_strip_preserve;
+    Alcotest.test_case "doctype skipped" `Quick test_doctype_skipped;
+    Alcotest.test_case "self closing" `Quick test_self_closing;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "escaping" `Quick test_escaping;
+    Alcotest.test_case "indent" `Quick test_indent;
+    Alcotest.test_case "tree parser" `Quick test_tree_parser;
+    Test_util.qcheck_case ~count:100 "serialize/parse fixed point" arb_doc
+      prop_roundtrip;
+  ]
