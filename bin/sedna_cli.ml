@@ -47,7 +47,9 @@ let run_statement session text =
   | "\\quit" | "\\q" -> raise Exit
   | text when String.length text > 9 && String.sub text 0 9 = "\\explain " -> (
     let q = String.sub text 9 (String.length text - 9) in
-    try print_endline (Sedna_xquery.Xq_pp.explain q)
+    try
+      let cat = Database.catalog (Sedna_db.Session.database session) in
+      print_endline (Sedna_xquery.Xq_pp.explain ~catalog:cat q)
     with e -> Printf.printf "error: %s\n" (Sedna_util.Error.to_string e))
   | text -> (
     try print_endline (Sedna_db.Session.execute_string session text)

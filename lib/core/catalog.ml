@@ -76,6 +76,10 @@ type t = {
   mutable indir_free_head : Xptr.t; (* first free cell, chained in-page *)
   mutable indir_pages : int64 list;
   mutable dirty : bool; (* changed since last persisted *)
+  mutable epoch : int;
+    (* bumped by every DDL-visible change (documents, collections,
+       indexes, new schema paths); compiled plans are keyed by it and
+       recompiled when it moves *)
 }
 
 let create () =
@@ -89,11 +93,18 @@ let create () =
     indir_free_head = Xptr.null;
     indir_pages = [];
     dirty = false;
+    epoch = 0;
   }
 
 let mark_dirty t = t.dirty <- true
 let is_dirty t = t.dirty
 let clear_dirty t = t.dirty <- false
+
+let epoch t = t.epoch
+
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  mark_dirty t
 
 (* ---- schema -------------------------------------------------------- *)
 
@@ -131,7 +142,9 @@ let new_snode t ~parent ~kind ~name =
   (match parent with
    | Some p -> p.children <- p.children @ [ s ]
    | None -> ());
-  mark_dirty t;
+  (* a new schema path changes which schema nodes a structural path
+     resolves to, so plans compiled against the old schema are stale *)
+  bump_epoch t;
   s
 
 let name_matches name = function
@@ -177,7 +190,7 @@ let add_document t ~name ~schema_root_id =
     { doc_name = name; in_collection = None; schema_root_id; doc_indir = Xptr.null }
   in
   Hashtbl.add t.documents name d;
-  mark_dirty t;
+  bump_epoch t;
   d
 
 let find_document t name = Hashtbl.find_opt t.documents name
@@ -195,7 +208,7 @@ let remove_document t name =
      Hashtbl.replace t.collections c (List.filter (( <> ) name) docs)
    | None -> ());
   Hashtbl.remove t.documents name;
-  mark_dirty t
+  bump_epoch t
 
 let document_names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.documents [] |> List.sort compare
@@ -206,7 +219,7 @@ let add_collection t name =
   if Hashtbl.mem t.collections name then
     Error.raise_error Error.Collection_exists "collection %S already exists" name;
   Hashtbl.add t.collections name [];
-  mark_dirty t
+  bump_epoch t
 
 let collection_documents t name =
   match Hashtbl.find_opt t.collections name with
@@ -217,7 +230,7 @@ let add_document_to_collection t ~collection ~doc =
   let docs = collection_documents t collection in
   Hashtbl.replace t.collections collection (docs @ [ doc ]);
   (get_document t doc).in_collection <- Some collection;
-  mark_dirty t
+  bump_epoch t
 
 let collection_names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.collections [] |> List.sort compare
@@ -225,7 +238,7 @@ let collection_names t =
 let remove_collection t name =
   List.iter (fun d -> remove_document t d) (collection_documents t name);
   Hashtbl.remove t.collections name;
-  mark_dirty t
+  bump_epoch t
 
 (* ---- indexes --------------------------------------------------------- *)
 
@@ -233,7 +246,7 @@ let add_index t def =
   if Hashtbl.mem t.indexes def.idx_name then
     Error.raise_error Error.Index_exists "index %S already exists" def.idx_name;
   Hashtbl.add t.indexes def.idx_name def;
-  mark_dirty t
+  bump_epoch t
 
 let find_index t name = Hashtbl.find_opt t.indexes name
 
@@ -245,12 +258,51 @@ let get_index t name =
 let remove_index t name =
   ignore (get_index t name);
   Hashtbl.remove t.indexes name;
-  mark_dirty t
+  bump_epoch t
 
 let indexes_for_document t doc =
   Hashtbl.fold
     (fun _ d acc -> if d.idx_doc = doc then d :: acc else acc)
     t.indexes []
+
+(* ---- schema path resolution ------------------------------------------ *)
+
+(* Element-name matching for query-side path resolution: queries usually
+   carry unprefixed names, so an empty uri matches any namespace. *)
+let snode_matches_name (want : Xname.t) (s : snode) =
+  s.kind = Element
+  &&
+  match s.name with
+  | Some m ->
+    String.equal (Xname.local want) (Xname.local m)
+    && (Xname.uri want = "" || String.equal (Xname.uri want) (Xname.uri m))
+  | None -> false
+
+(* Resolve a structural path of element-name steps ([descendant] = true
+   for a descendant step, false for a child step) against the schema
+   tree.  Main-memory only — no data block is touched (paper §5.1.4).
+   Result is sorted by schema-node id and duplicate-free. *)
+let resolve_steps _t ~(root : snode) (steps : (bool * Xname.t) list) :
+    snode list =
+  List.fold_left
+    (fun frontier (descendant, name) ->
+      let candidates s = if descendant then schema_descendants s else s.children in
+      List.concat_map
+        (fun s -> List.filter (snode_matches_name name) (candidates s))
+        frontier
+      |> List.sort_uniq (fun a b -> compare a.id b.id))
+    [ root ] steps
+
+(* The schema nodes an index definition covers: its element path, child
+   steps below the document node.  Used by the rewriter to decide
+   whether an index answers exactly the nodes a query path reaches. *)
+let index_target_snodes t (def : index_def) : snode list =
+  match find_document t def.idx_doc with
+  | None -> []
+  | Some d ->
+    let root = snode_by_id t d.schema_root_id in
+    resolve_steps t ~root
+      (List.map (fun n -> (false, Xname.of_string n)) def.idx_path)
 
 (* ---- text / indirection allocation state ----------------------------- *)
 

@@ -61,6 +61,7 @@ type t = {
   mutable indir_free_head : Xptr.t;
   mutable indir_pages : int64 list;
   mutable dirty : bool;
+  mutable epoch : int;
 }
 
 val create : unit -> t
@@ -68,6 +69,14 @@ val create : unit -> t
 val mark_dirty : t -> unit
 val is_dirty : t -> bool
 val clear_dirty : t -> unit
+
+val epoch : t -> int
+(** The catalog epoch: bumped by every DDL-visible change (document
+    load/drop, collection changes, index create/drop, and first
+    appearance of a new schema path).  Compiled plans are keyed by it
+    and recompiled when it moves. *)
+
+val bump_epoch : t -> unit
 
 (** {1 Schema} *)
 
@@ -115,6 +124,22 @@ val find_index : t -> string -> index_def option
 val get_index : t -> string -> index_def
 val remove_index : t -> string -> unit
 val indexes_for_document : t -> string -> index_def list
+
+(** {1 Schema path resolution} *)
+
+val snode_matches_name : Sedna_util.Xname.t -> snode -> bool
+(** Element-name match with query-side namespace leniency: an empty uri
+    on the wanted name matches any namespace. *)
+
+val resolve_steps :
+  t -> root:snode -> (bool * Sedna_util.Xname.t) list -> snode list
+(** Resolve a structural path against the schema tree ([true] = a
+    descendant step, [false] = a child step).  Main-memory only; result
+    sorted by schema-node id, duplicate-free. *)
+
+val index_target_snodes : t -> index_def -> snode list
+(** The schema nodes an index's element path covers (empty if the
+    indexed document does not exist). *)
 
 (** {1 Allocation state} *)
 

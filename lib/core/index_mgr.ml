@@ -13,11 +13,22 @@ let encode_key (def : Catalog.index_def) (raw : string) : string option =
     | Some f -> Some (Btree.encode_number f)
     | None -> None (* non-numeric values are not indexed *))
 
-(* nodes reached from [d] by a path of child element names *)
+(* nodes reached from [d] by a path of child element names; a step of
+   the form "@name" selects attributes and must be last *)
 let rec walk_path (st : Store.t) (d : Node.desc) (path : string list) :
     Node.desc list =
   match path with
   | [] -> [ d ]
+  | name :: rest when String.length name > 0 && name.[0] = '@' ->
+    if rest <> [] then []
+    else
+      let want = Xname.of_string (String.sub name 1 (String.length name - 1)) in
+      Traverse.attributes st d
+      |> Seq.filter (fun a ->
+             match Node.name st a with
+             | Some n -> String.equal (Xname.local n) (Xname.local want)
+             | None -> false)
+      |> List.of_seq
   | name :: rest ->
     let test = Traverse.element_test (Some (Xname.of_string name)) in
     Traverse.children st d
@@ -25,19 +36,22 @@ let rec walk_path (st : Store.t) (d : Node.desc) (path : string list) :
     |> Seq.fold_left (fun acc c -> acc @ walk_path st c rest) []
 
 (* (key, handle) pairs contributed by the subtree rooted at the
-   document node [doc_desc] *)
+   document node [doc_desc].  Every key node below a target contributes
+   an entry (general-comparison semantics are existential); duplicate
+   (key, handle) pairs are collapsed so maintenance stays symmetric. *)
 let entries_for (st : Store.t) (def : Catalog.index_def) (doc_desc : Node.desc)
     : (string * Xptr.t) list =
   let targets = walk_path st doc_desc def.Catalog.idx_path in
-  List.filter_map
+  List.concat_map
     (fun target ->
-      let key_nodes = walk_path st target def.Catalog.idx_key_path in
-      match key_nodes with
-      | [] -> None
-      | k :: _ ->
-        let raw = Node_ser.string_value st k in
-        Option.map (fun key -> (key, Node.handle st target)) (encode_key def raw))
+      walk_path st target def.Catalog.idx_key_path
+      |> List.filter_map (fun k ->
+             let raw = Node_ser.string_value st k in
+             Option.map
+               (fun key -> (key, Node.handle st target))
+               (encode_key def raw)))
     targets
+  |> List.sort_uniq compare
 
 (* Build (or rebuild) the index for its document. *)
 let build (st : Store.t) (def : Catalog.index_def) =
@@ -86,6 +100,13 @@ let range_number (st : Store.t) (def : Catalog.index_def) ?lo ?hi () :
   Btree.range
     (Btree.of_root st.Store.bm def.Catalog.idx_root)
     ?lo:(enc lo) ?hi:(enc hi) ()
+  |> List.map snd
+
+let range_string (st : Store.t) (def : Catalog.index_def) ?lo ?hi () :
+    Xptr.t list =
+  (* string keys are stored raw, so the B-tree's lexicographic key order
+     is the comparison order *)
+  Btree.range (Btree.of_root st.Store.bm def.Catalog.idx_root) ?lo ?hi ()
   |> List.map snd
 
 (* Incremental maintenance: called by the update executor around

@@ -24,6 +24,10 @@ val lookup_number : Store.t -> Catalog.index_def -> float -> Xptr.t list
 val range_number :
   Store.t -> Catalog.index_def -> ?lo:float -> ?hi:float -> unit -> Xptr.t list
 
+val range_string :
+  Store.t -> Catalog.index_def -> ?lo:string -> ?hi:string -> unit -> Xptr.t list
+(** Inclusive lexicographic range over a string index. *)
+
 val entries_for :
   Store.t -> Catalog.index_def -> Node.desc -> (string * Xptr.t) list
 (** The (key, handle) pairs a document currently contributes. *)

@@ -20,18 +20,48 @@ let result_to_string = function
   | Updated n -> Printf.sprintf "update succeeded (%d nodes)" n
   | Message m -> m
 
+(* A compiled plan: the statement after parse -> static analysis ->
+   function inlining -> optimizing rewrite.  Valid while the catalog
+   epoch it was compiled under stands — any DDL (index create/drop,
+   document load/drop, new schema path) bumps the epoch and the next
+   execution recompiles. *)
+type plan = {
+  c_stmt : Ast.statement;
+  c_epoch : int;
+  c_opts : Sedna_xquery.Rewriter.options;
+}
+
+let plan_cache_capacity = 256
+
 type t = {
   db : Database.t;
   mutable txn : Txn.t option;
   mutable rewriter_options : Sedna_xquery.Rewriter.options;
+  plans : (string, plan) Hashtbl.t; (* keyed by statement text *)
+  mutable plan_hits : int;
+  mutable plan_misses : int;
 }
 
 let connect db =
-  { db; txn = None; rewriter_options = Sedna_xquery.Rewriter.default_options }
+  {
+    db;
+    txn = None;
+    rewriter_options = Sedna_xquery.Rewriter.default_options;
+    plans = Hashtbl.create 32;
+    plan_hits = 0;
+    plan_misses = 0;
+  }
 
 let database t = t.db
 
-let set_rewriter_options t o = t.rewriter_options <- o
+let set_rewriter_options t o =
+  t.rewriter_options <- o;
+  (* plans compiled under other options are useless now *)
+  Hashtbl.reset t.plans
+
+let plan_cache_stats t = (t.plan_hits, t.plan_misses)
+
+let clear_plan_cache t = Hashtbl.reset t.plans
 
 (* ---- lock-set inference ----------------------------------------------- *)
 
@@ -45,6 +75,9 @@ let rec doc_refs (e : Ast.expr) : string list =
   | Ast.Call (n, [ Ast.Str_lit _c ]) when Xname.local n = "collection" ->
     [] (* collections resolved to documents at lock time, below *)
   | Ast.Schema_path (d, _) -> [ d ]
+  | Ast.Index_probe p ->
+    (p.Ast.ip_doc :: doc_refs p.Ast.ip_key)
+    @ doc_refs p.Ast.ip_residual @ doc_refs p.Ast.ip_fallback
   | Ast.Int_lit _ | Ast.Dbl_lit _ | Ast.Str_lit _ | Ast.Empty_seq
   | Ast.Context_item | Ast.Var _ -> []
   | Ast.Sequence es -> List.concat_map doc_refs es
@@ -167,49 +200,36 @@ let rollback t =
 let in_transaction t =
   match t.txn with Some txn -> Txn.is_active txn | None -> false
 
-(* ---- statement pipeline ------------------------------------------------ *)
+(* ---- statement compilation -------------------------------------------- *)
 
-let build_ctx _t (st : Store.t) (prolog : Ast.prolog) : Sedna_engine.Executor.ctx =
-  let funcs =
-    List.map (fun (f : Ast.fun_def) -> (Xname.local f.Ast.fn_name, f)) prolog.Ast.functions
+(* static analysis + function inlining + optimizing rewrite on one
+   expression, with the live catalog feeding automatic index selection *)
+let optimize_expr t (prolog : Ast.prolog) (e : Ast.expr) : Ast.expr =
+  let e =
+    if t.rewriter_options.Sedna_xquery.Rewriter.inline_functions then
+      Sedna_xquery.Rewriter.inline_functions prolog.Ast.functions e
+    else e
   in
-  let ctx0 = Sedna_engine.Executor.initial_ctx ~funcs st in
-  (* prolog variables are evaluated eagerly, in declaration order *)
-  let vars =
-    List.fold_left
-      (fun vars (v, e) ->
-        let ctx = { ctx0 with Sedna_engine.Executor.vars = vars } in
-        (v, List.of_seq (Sedna_engine.Executor.eval ctx (Sedna_xquery.Rewriter.optimize e)))
-        :: vars)
-      [] prolog.Ast.variables
-  in
-  { ctx0 with Sedna_engine.Executor.vars = vars }
+  Sedna_xquery.Rewriter.rewrite_with
+    ~catalog:(Database.catalog t.db)
+    t.rewriter_options e
 
-let run_statement t (stmt : Ast.statement) (txn : Txn.t) : result =
-  let st = Database.txn_store t.db txn in
+(* Compile a parsed statement: everything that does not depend on the
+   data — so a cached plan skips it all.  Prolog variable initializers
+   are rewritten here too; [build_ctx] below only evaluates them. *)
+let compile t (stmt : Ast.statement) : Ast.statement =
   match stmt with
   | Ast.Query (prolog, e) ->
     ignore (Sedna_xquery.Static.analyse prolog e);
-    let e =
-      if t.rewriter_options.Sedna_xquery.Rewriter.inline_functions then
-        Sedna_xquery.Rewriter.inline_functions prolog.Ast.functions e
-      else e
+    let prolog =
+      { prolog with
+        Ast.variables =
+          List.map (fun (v, e') -> (v, optimize_expr t prolog e')) prolog.Ast.variables
+      }
     in
-    let e = Sedna_xquery.Rewriter.rewrite_with t.rewriter_options e in
-    let ctx = build_ctx t st prolog in
-    Items (Sedna_engine.Xdm.serialize st (Sedna_engine.Executor.eval ctx e))
+    Ast.Query (prolog, optimize_expr t prolog e)
   | Ast.Update (prolog, u) ->
-    if txn.Txn.read_only then
-      Error.raise_error Error.Txn_read_only
-        "update statement in a read-only transaction";
-    let opt e =
-      let e =
-        if t.rewriter_options.Sedna_xquery.Rewriter.inline_functions then
-          Sedna_xquery.Rewriter.inline_functions prolog.Ast.functions e
-        else e
-      in
-      Sedna_xquery.Rewriter.rewrite_with t.rewriter_options e
-    in
+    let opt = optimize_expr t prolog in
     let u =
       match u with
       | Ast.Insert_into (a, b) -> Ast.Insert_into (opt a, opt b)
@@ -220,6 +240,69 @@ let run_statement t (stmt : Ast.statement) (txn : Txn.t) : result =
       | Ast.Replace (v, a, b) -> Ast.Replace (v, opt a, opt b)
       | Ast.Rename (a, n) -> Ast.Rename (opt a, n)
     in
+    let prolog =
+      { prolog with
+        Ast.variables =
+          List.map (fun (v, e') -> (v, optimize_expr t prolog e')) prolog.Ast.variables
+      }
+    in
+    Ast.Update (prolog, u)
+  | Ast.Ddl _ -> stmt
+
+(* The compiled-plan cache: parse + compile once per (statement text,
+   catalog epoch, rewriter options).  DDL is never cached — it is
+   compilation-free and always bumps the epoch anyway. *)
+let compiled_statement t (text : string) : Ast.statement =
+  let epoch = Catalog.epoch (Database.catalog t.db) in
+  match Hashtbl.find_opt t.plans text with
+  | Some p when p.c_epoch = epoch && p.c_opts = t.rewriter_options ->
+    t.plan_hits <- t.plan_hits + 1;
+    Counters.bump Counters.plan_hit;
+    p.c_stmt
+  | _ ->
+    t.plan_misses <- t.plan_misses + 1;
+    Counters.bump Counters.plan_miss;
+    let stmt = compile t (Sedna_xquery.Xq_parser.parse_statement text) in
+    (match stmt with
+     | Ast.Ddl _ -> ()
+     | Ast.Query _ | Ast.Update _ ->
+       if
+         Hashtbl.length t.plans >= plan_cache_capacity
+         && not (Hashtbl.mem t.plans text)
+       then Hashtbl.reset t.plans;
+       Hashtbl.replace t.plans text
+         { c_stmt = stmt; c_epoch = epoch; c_opts = t.rewriter_options });
+    stmt
+
+(* ---- statement execution ----------------------------------------------- *)
+
+let build_ctx _t (st : Store.t) (prolog : Ast.prolog) : Sedna_engine.Executor.ctx =
+  let funcs =
+    List.map (fun (f : Ast.fun_def) -> (Xname.local f.Ast.fn_name, f)) prolog.Ast.functions
+  in
+  let ctx0 = Sedna_engine.Executor.initial_ctx ~funcs st in
+  (* prolog variables (already rewritten by [compile]) are evaluated
+     eagerly, in declaration order *)
+  let vars =
+    List.fold_left
+      (fun vars (v, e) ->
+        let ctx = { ctx0 with Sedna_engine.Executor.vars = vars } in
+        (v, List.of_seq (Sedna_engine.Executor.eval ctx e)) :: vars)
+      [] prolog.Ast.variables
+  in
+  { ctx0 with Sedna_engine.Executor.vars = vars }
+
+(* Run an already-compiled statement. *)
+let run_statement t (stmt : Ast.statement) (txn : Txn.t) : result =
+  let st = Database.txn_store t.db txn in
+  match stmt with
+  | Ast.Query (prolog, e) ->
+    let ctx = build_ctx t st prolog in
+    Items (Sedna_engine.Xdm.serialize st (Sedna_engine.Executor.eval ctx e))
+  | Ast.Update (prolog, u) ->
+    if txn.Txn.read_only then
+      Error.raise_error Error.Txn_read_only
+        "update statement in a read-only transaction";
     let ctx = build_ctx t st prolog in
     Txn.log_op txn "update";
     Updated (Sedna_engine.Update_exec.execute ctx u)
@@ -235,7 +318,7 @@ let is_query = function Ast.Query _ -> true | _ -> false
    statement joins it; otherwise it runs in an auto-commit transaction
    of the appropriate kind. *)
 let execute t (text : string) : result =
-  let stmt = Sedna_xquery.Xq_parser.parse_statement text in
+  let stmt = compiled_statement t text in
   let locks = statement_locks t.db stmt in
   match t.txn with
   | Some txn when Txn.is_active txn ->

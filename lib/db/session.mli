@@ -22,7 +22,15 @@ val database : t -> Sedna_core.Database.t
 
 val set_rewriter_options : t -> Sedna_xquery.Rewriter.options -> unit
 (** Per-session optimizer switches (benches/tests use this for
-    ablations). *)
+    ablations).  Clears the compiled-plan cache. *)
+
+val plan_cache_stats : t -> int * int
+(** [(hits, misses)] of this session's compiled-plan cache.  A hit
+    means the statement skipped parse → static analysis → rewrite
+    entirely.  Plans are keyed by statement text and invalidated when
+    the catalog epoch moves (any DDL) or the rewriter options change. *)
+
+val clear_plan_cache : t -> unit
 
 val begin_txn : ?read_only:bool -> t -> unit
 val commit : t -> unit

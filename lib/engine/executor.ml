@@ -292,6 +292,7 @@ let rec eval (ctx : ctx) (e : Ast.expr) : item Seq.t =
         Seq.concat_map (fun n -> eval_step ctx step n) nodes)
       start steps
   | Ast.Schema_path (doc, steps) -> eval_schema_path ctx doc steps
+  | Ast.Index_probe p -> eval_index_probe ctx p
   | Ast.Filter (p, preds) ->
     List.fold_left (fun seq pred -> apply_predicate ctx pred seq) (eval ctx p) preds
   | Ast.Flwor (clauses, ret) -> eval_flwor ctx clauses ret
@@ -477,26 +478,10 @@ and eval_schema_path ctx (doc_name : string) (steps : (Ast.axis * Xname.t) list)
   let root_snode = Catalog.snode_by_id st.Store.cat doc.Catalog.schema_root_id in
   (* resolve the step names against the schema tree: this happens in
      main memory, no data block is touched (paper §5.1.4) *)
-  let matches name (s : Catalog.snode) =
-    s.Catalog.kind = Catalog.Element
-    &&
-    match s.Catalog.name with
-    | Some m ->
-      String.equal (Xname.local name) (Xname.local m)
-      && (Xname.uri name = "" || String.equal (Xname.uri name) (Xname.uri m))
-    | None -> false
+  let final =
+    Catalog.resolve_steps st.Store.cat ~root:root_snode
+      (List.map (fun (axis, name) -> (axis = Ast.Descendant, name)) steps)
   in
-  let step_snodes (frontier : Catalog.snode list) (axis, name) =
-    let candidates (s : Catalog.snode) =
-      match axis with
-      | Ast.Child -> s.Catalog.children
-      | Ast.Descendant -> Catalog.schema_descendants s
-      | _ -> []
-    in
-    List.concat_map (fun s -> List.filter (matches name) (candidates s)) frontier
-    |> List.sort_uniq (fun a b -> compare a.Catalog.id b.Catalog.id)
-  in
-  let final = List.fold_left step_snodes [ root_snode ] steps in
   let seqs = List.map (fun s -> Traverse.scan_snode st s) final in
   let merged =
     match seqs with
@@ -505,6 +490,58 @@ and eval_schema_path ctx (doc_name : string) (steps : (Ast.axis * Xname.t) list)
     | seqs -> Traverse.merge_by_doc_order st seqs
   in
   Seq.map (fun d -> N (Stored d)) merged
+
+(* ---- automatic index selection: the physical probe ------------------------------- *)
+
+(* Evaluate a probe produced by the rewriter: look the key(s) up in the
+   B-tree, then re-apply the original predicate to every candidate (it
+   filters index false positives and enforces strict bounds).  When the
+   index is unusable at run time — dropped since compilation, or the
+   key is of an atomic kind whose comparison order differs from the
+   index's key order — fall back to the unrewritten path. *)
+and eval_index_probe ctx (p : Ast.index_probe) : item Seq.t =
+  let st = ctx.st in
+  match Catalog.find_index st.Store.cat p.Ast.ip_index with
+  | None -> eval ctx p.Ast.ip_fallback
+  | Some def ->
+    let keys = List.map (atomize st) (List.of_seq (eval ctx p.Ast.ip_key)) in
+    let compatible (a : atomic) =
+      match (def.Catalog.idx_kind, a) with
+      | Catalog.Number_index, (AInt _ | ADbl _) -> true
+      | Catalog.String_index, (AStr _ | AUntyped _) -> true
+      | _ -> false
+    in
+    if not (List.for_all compatible keys) then eval ctx p.Ast.ip_fallback
+    else begin
+      Counters.bump Counters.index_probe;
+      let handles_for (a : atomic) =
+        match def.Catalog.idx_kind with
+        | Catalog.Number_index -> (
+          let f = float_of_atomic a in
+          match p.Ast.ip_mode with
+          | Ast.Probe_eq -> Index_mgr.lookup_number st def f
+          | Ast.Probe_ge | Ast.Probe_gt -> Index_mgr.range_number st def ~lo:f ()
+          | Ast.Probe_le | Ast.Probe_lt -> Index_mgr.range_number st def ~hi:f ())
+        | Catalog.String_index -> (
+          let s = string_of_atomic a in
+          match p.Ast.ip_mode with
+          | Ast.Probe_eq -> Index_mgr.lookup_string st def s
+          | Ast.Probe_ge | Ast.Probe_gt -> Index_mgr.range_string st def ~lo:s ()
+          | Ast.Probe_le | Ast.Probe_lt -> Index_mgr.range_string st def ~hi:s ())
+      in
+      (* multi-key probes (general comparison against a sequence) may hit
+         the same node through several keys: collapse before the residual
+         runs; a surviving DDO above restores document order *)
+      let handles = List.sort_uniq compare (List.concat_map handles_for keys) in
+      List.to_seq handles
+      |> Seq.map (fun h -> Indirection.get st.Store.bm h)
+      |> Seq.filter (fun d ->
+             let ctx' =
+               { ctx with item = Some (N (Stored d)); pos = 1; size = lazy 1 }
+             in
+             pred_holds ctx' p.Ast.ip_residual)
+      |> Seq.map (fun d -> N (Stored d))
+    end
 
 (* ---- FLWOR ------------------------------------------------------------------------ *)
 
@@ -1232,6 +1269,9 @@ and eval_index_scan ctx (args : Ast.expr list) : item Seq.t =
         | None -> "EQ")
       | _ -> "EQ"
     in
+    (match mode with
+     | "EQ" | "GE" | "LE" -> ()
+     | m -> dynamic_error "index-scan: unknown mode %S (expected EQ, GE or LE)" m);
     let key = singleton_atomic ctx (eval ctx key_e) in
     let handles =
       match (def.Catalog.idx_kind, key) with
@@ -1242,8 +1282,12 @@ and eval_index_scan ctx (args : Ast.expr list) : item Seq.t =
         | "GE" -> Index_mgr.range_number ctx.st def ~lo:f ()
         | "LE" -> Index_mgr.range_number ctx.st def ~hi:f ()
         | _ -> Index_mgr.lookup_number ctx.st def f)
-      | Catalog.String_index, Some k ->
-        Index_mgr.lookup_string ctx.st def (string_of_atomic k)
+      | Catalog.String_index, Some k -> (
+        let s = string_of_atomic k in
+        match mode with
+        | "GE" -> Index_mgr.range_string ctx.st def ~lo:s ()
+        | "LE" -> Index_mgr.range_string ctx.st def ~hi:s ()
+        | _ -> Index_mgr.lookup_string ctx.st def s)
     in
     List.to_seq handles
     |> Seq.map (fun h -> N (Stored (Indirection.get ctx.st.Store.bm h)))

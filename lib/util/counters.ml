@@ -40,6 +40,9 @@ let relabels = "nid.relabel"
 let deep_copies = "constructor.deep_copy"
 let page_reads = "disk.read"
 let page_writes = "disk.write"
+let plan_hit = "plan.hit"
+let plan_miss = "plan.miss"
+let index_probe = "index.probe"
 
 (* Pre-resolved cells for the hot-path counters: incrementing these is
    a plain [incr], so instrumentation does not distort the pointer-

@@ -29,6 +29,15 @@ val deep_copies : string
 val page_reads : string
 val page_writes : string
 
+val plan_hit : string
+(** Session plan-cache hit: statement executed without re-compilation. *)
+
+val plan_miss : string
+(** Session plan-cache miss: statement parsed, analysed and rewritten. *)
+
+val index_probe : string
+(** A value predicate answered from a B-tree index instead of a scan. *)
+
 (** {1 Pre-resolved hot-path cells (same storage as the names above)} *)
 
 val vas_fast_hit_cell : int ref

@@ -23,48 +23,68 @@ open Xq_ast
 
 (* ---- position/size dependence (for //-combining and DDO in preds) ---- *)
 
-let rec uses_position (e : expr) : bool =
+let rec positional ~numeric (e : expr) : bool =
   match e with
   | Call (n, []) ->
     let l = Sedna_util.Xname.local n in
     l = "position" || l = "last"
-  | Int_lit _ | Dbl_lit _ -> true (* numeric predicate = positional *)
+  | Int_lit _ | Dbl_lit _ -> numeric (* numeric predicate = positional *)
   | Str_lit _ | Empty_seq | Context_item | Var _ | Schema_path _ -> false
-  | Sequence es -> List.exists uses_position es
+  | Index_probe p ->
+    positional ~numeric p.ip_key || positional ~numeric p.ip_residual
+    || positional ~numeric p.ip_fallback
+  | Sequence es -> List.exists (positional ~numeric) es
   | Range (a, b) | Binop (_, a, b) | And (a, b) | Or (a, b)
   | Comp_elem (a, b) | Comp_attr (a, b) | Comp_pi (a, b) ->
-    uses_position a || uses_position b
+    positional ~numeric a || positional ~numeric b
   | Neg a | Not a | Ddo a | Ordered a | Unordered a | Comp_text a
   | Comp_comment a | Virtual_constr a
   | Castable (a, _) | Cast (a, _) | Instance_of (a, _) | Treat_as (a, _) ->
-    uses_position a
-  | If (c, t, f) -> uses_position c || uses_position t || uses_position f
-  | Call (_, args) -> List.exists uses_position args
-  | Filter (p, preds) -> uses_position p || List.exists uses_position preds
+    positional ~numeric a
+  | If (c, t, f) -> positional ~numeric c || positional ~numeric t || positional ~numeric f
+  | Call (_, args) -> List.exists (positional ~numeric) args
+  | Filter (p, preds) -> positional ~numeric p || List.exists (positional ~numeric) preds
   | Path (p, steps) ->
-    uses_position p
-    || List.exists (fun s -> List.exists uses_position s.preds) steps
+    positional ~numeric p
+    || List.exists (fun s -> List.exists (positional ~numeric) s.preds) steps
   | Elem_constr (_, atts, content) ->
-    List.exists (fun a -> List.exists uses_position a.attr_value) atts
-    || List.exists uses_position content
+    List.exists (fun a -> List.exists (positional ~numeric) a.attr_value) atts
+    || List.exists (positional ~numeric) content
   | Quantified (_, binds, cond) ->
-    List.exists (fun (_, e') -> uses_position e') binds || uses_position cond
+    List.exists (fun (_, e') -> positional ~numeric e') binds || positional ~numeric cond
   | Flwor (clauses, ret) ->
     List.exists
       (function
-        | For binds -> List.exists (fun (_, _, e') -> uses_position e') binds
-        | Let binds -> List.exists (fun (_, e') -> uses_position e') binds
-        | Where c -> uses_position c
-        | Order_by keys -> List.exists (fun (k, _) -> uses_position k) keys)
+        | For binds -> List.exists (fun (_, _, e') -> positional ~numeric e') binds
+        | Let binds -> List.exists (fun (_, e') -> positional ~numeric e') binds
+        | Where c -> positional ~numeric c
+        | Order_by keys -> List.exists (fun (k, _) -> positional ~numeric k) keys)
       clauses
-    || uses_position ret
+    || positional ~numeric ret
+
+let uses_position = positional ~numeric:true
+
+(* Strict variant: only explicit position()/last() calls count, numeric
+   literals do not. *)
+let calls_position = positional ~numeric:false
 
 (* A whole predicate is positional if it may depend on context position
-   or size: numeric-valued predicates select by position. *)
+   or size: numeric-valued predicates select by position.  A predicate
+   whose top is a comparison or boolean connective is boolean-valued,
+   so only explicit position()/last() calls inside can make it
+   positional — numeric literals there are plain values ([n = 50]). *)
 let predicate_is_positional (p : expr) =
   match p with
   | Int_lit _ | Dbl_lit _ -> true
   | Binop ((Add | Sub | Mul | Div | Idiv | Mod), _, _) -> true
+  | Binop
+      ( ( Eq | Ne | Lt | Le | Gt | Ge | Gen_eq | Gen_ne | Gen_lt | Gen_le
+        | Gen_gt | Gen_ge ),
+        a,
+        b ) ->
+    calls_position a || calls_position b
+  | And (a, b) | Or (a, b) -> calls_position a || calls_position b
+  | Not a -> calls_position a
   | _ -> uses_position p
 
 (* ---- rule 2: descendant-or-self combining ----------------------------- *)
@@ -130,6 +150,9 @@ let rec props_of (env : venv) (e : expr) : props =
     let p = props_of env x in
     { in_ddo = true; disjoint = false; single = p.single }
   | Schema_path _ -> { in_ddo = true; disjoint = false; single = false }
+  | Index_probe _ ->
+    (* B-tree order, not document order; multi-key probes may duplicate *)
+    { in_ddo = false; disjoint = false; single = false }
   | Filter (p, _) -> props_of env p
   | Path (init, steps) ->
     let p0 = props_of env init in
@@ -176,6 +199,9 @@ let rec contains_context (e : expr) : bool =
   | Context_item -> true
   | Int_lit _ | Dbl_lit _ | Str_lit _ | Empty_seq | Var _ | Schema_path _ ->
     false
+  | Index_probe p ->
+    (* the residual rebinds the context like a predicate does *)
+    contains_context p.ip_key || contains_context p.ip_fallback
   | Sequence es -> List.exists contains_context es
   | Range (a, b) | Binop (_, a, b) | And (a, b) | Or (a, b)
   | Comp_elem (a, b) | Comp_attr (a, b) | Comp_pi (a, b) ->
@@ -213,7 +239,7 @@ let is_worth_hoisting (e : expr) : bool =
 let rec normalize (e : expr) : expr =
   match e with
   | Int_lit _ | Dbl_lit _ | Str_lit _ | Empty_seq | Context_item | Var _
-  | Schema_path _ -> e
+  | Schema_path _ | Index_probe _ -> e
   | Path (init, steps) ->
     let steps' =
       List.map (fun s -> { s with preds = List.map normalize s.preds }) steps
@@ -297,6 +323,14 @@ let map_expr (f : expr -> expr) (e : expr) : expr =
   match e with
   | Int_lit _ | Dbl_lit _ | Str_lit _ | Empty_seq | Context_item | Var _
   | Schema_path _ -> e
+  | Index_probe p ->
+    Index_probe
+      {
+        p with
+        ip_key = f p.ip_key;
+        ip_residual = f p.ip_residual;
+        ip_fallback = f p.ip_fallback;
+      }
   | Sequence es -> Sequence (List.map f es)
   | Range (a, b) -> Range (f a, f b)
   | Binop (op, a, b) -> Binop (op, f a, f b)
@@ -402,6 +436,11 @@ type options = {
   hoist_for : bool;
   virtual_constructors : bool;
   inline_functions : bool;
+  use_indexes : bool; (* automatic index selection *)
+  index_min_count : int;
+    (* pushdown only when the candidate schema nodes together hold at
+       least this many data nodes — below it a block-chain scan is
+       cheaper than a B-tree descent *)
 }
 
 let default_options =
@@ -412,6 +451,8 @@ let default_options =
     hoist_for = true;
     virtual_constructors = true;
     inline_functions = true;
+    use_indexes = true;
+    index_min_count = 16;
   }
 
 let no_options =
@@ -422,12 +463,165 @@ let no_options =
     hoist_for = false;
     virtual_constructors = false;
     inline_functions = false;
+    use_indexes = false;
+    index_min_count = 16;
   }
+
+(* ---- rule 7: automatic index selection ---------------------------------- *)
+
+(* A comparison predicate [path op key] maps to a B-tree probe mode.
+   [flipped] = the key is on the left ([key op path]). *)
+let probe_mode_of (op : binop) ~flipped : probe_mode option =
+  match (op, flipped) with
+  | (Eq | Gen_eq), _ -> Some Probe_eq
+  | (Ge | Gen_ge), false | (Le | Gen_le), true -> Some Probe_ge
+  | (Gt | Gen_gt), false | (Lt | Gen_lt), true -> Some Probe_gt
+  | (Le | Gen_le), false | (Ge | Gen_ge), true -> Some Probe_le
+  | (Lt | Gen_lt), false | (Gt | Gen_gt), true -> Some Probe_lt
+  | _ -> None
+
+(* Numeric comparisons adapt untyped values by parsing them as numbers,
+   with NaN for non-numeric text — and NaN compares below every number,
+   so [path <= k] holds for non-numeric values that a number index does
+   not contain.  Only the modes whose scan semantics agree with the
+   index contents are pushed down per key kind. *)
+let mode_fits_kind (kind : Sedna_core.Catalog.index_kind) (mode : probe_mode) =
+  match kind with
+  | Sedna_core.Catalog.String_index -> true
+  | Sedna_core.Catalog.Number_index -> (
+    match mode with
+    | Probe_eq | Probe_ge | Probe_gt -> true
+    | Probe_le | Probe_lt -> false)
+
+(* The relative key path of a predicate side: child element name steps,
+   optionally ending in an attribute step, with no predicates — the
+   shape CREATE INDEX ... BY accepts. *)
+let key_path_of (e : expr) : string list option =
+  match e with
+  | Path (Context_item, steps) when steps <> [] ->
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | [ { axis = Attribute_axis; test = Kind_attribute (Some n); preds = [] } ]
+        -> Some (List.rev (("@" ^ Sedna_util.Xname.local n) :: acc))
+      | { axis = Child; test = Name_test n; preds = [] } :: rest ->
+        go (Sedna_util.Xname.local n :: acc) rest
+      | _ -> None
+    in
+    go [] steps
+  | _ -> None
+
+(* Leading structural steps: descending name steps without predicates. *)
+let structural_prefix (steps : step list) :
+    (axis * Sedna_util.Xname.t) list option =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | { axis = (Child | Descendant) as a; test = Name_test n; preds = [] }
+      :: rest -> go ((a, n) :: acc) rest
+    | _ -> None
+  in
+  go [] steps
+
+(* Try to rewrite [Path (init, steps)] — with steps and predicates
+   already rewritten — around an index probe.  Fires when:
+   - the path starts at doc("D") with descending predicate-free name
+     steps up to the first step that carries predicates;
+   - that step carries exactly one predicate, a comparison between a
+     relative key path and a context-free key expression;
+   - the schema nodes the path reaches at that step hold enough data
+     nodes for pushdown to pay (cardinality gate on
+     [Catalog.node_count]); and
+   - some index on D covers exactly those schema nodes with the same
+     key path and a kind compatible with the comparison's probe mode.
+   Steps after the predicate step are re-applied on top of the probe.
+   The original predicate is kept as a residual filter, and the
+   unrewritten path as a runtime fallback, so the probe is always
+   semantically safe. *)
+let try_index_rewrite (cat : Sedna_core.Catalog.t) (opts : options)
+    (init : expr) (steps : step list) : expr option =
+  let module C = Sedna_core.Catalog in
+  match doc_name_of_init init with
+  | None -> None
+  | Some doc_name -> (
+    (* split at the first step carrying predicates *)
+    let rec split acc = function
+      | [] -> None
+      | ({ preds = []; _ } as s) :: rest -> split (s :: acc) rest
+      | s :: rest -> Some (List.rev acc, s, rest)
+    in
+    match split [] steps with
+    | Some
+        ( prefix_steps,
+          ({ axis = (Child | Descendant) as probe_axis;
+             test = Name_test probe_name;
+             preds = [ (Binop (op, lhs, rhs) as pred) ];
+           } as probe_step),
+          suffix ) -> (
+      let pick ~flipped path_side value_side =
+        match (key_path_of path_side, probe_mode_of op ~flipped) with
+        | Some kp, Some mode when not (contains_context value_side) ->
+          Some (kp, mode, value_side)
+        | _ -> None
+      in
+      let candidate =
+        match pick ~flipped:false lhs rhs with
+        | Some c -> Some c
+        | None -> pick ~flipped:true rhs lhs
+      in
+      match (candidate, structural_prefix prefix_steps) with
+      | Some (key_path, mode, key_expr), Some prefix -> (
+        match C.find_document cat doc_name with
+        | None -> None
+        | Some d ->
+          let root = C.snode_by_id cat d.C.schema_root_id in
+          let qset =
+            C.resolve_steps cat ~root
+              (List.map
+                 (fun (a, n) -> (a = Descendant, n))
+                 (prefix @ [ (probe_axis, probe_name) ]))
+          in
+          if qset = [] then None
+          else begin
+            let total =
+              List.fold_left (fun a (s : C.snode) -> a + s.C.node_count) 0 qset
+            in
+            if total < opts.index_min_count then None
+            else
+              let qids = List.map (fun (s : C.snode) -> s.C.id) qset in
+              C.indexes_for_document cat doc_name
+              |> List.find_map (fun (def : C.index_def) ->
+                     if
+                       def.C.idx_key_path = key_path
+                       && mode_fits_kind def.C.idx_kind mode
+                       && List.map
+                            (fun (s : C.snode) -> s.C.id)
+                            (C.index_target_snodes cat def)
+                          = qids
+                     then
+                       let probe =
+                         Index_probe
+                           {
+                             ip_index = def.C.idx_name;
+                             ip_doc = doc_name;
+                             ip_mode = mode;
+                             ip_key = key_expr;
+                             ip_residual = pred;
+                             ip_fallback =
+                               Path (init, prefix_steps @ [ probe_step ]);
+                           }
+                       in
+                       Some
+                         (if suffix = [] then probe else Path (probe, suffix))
+                     else None)
+          end)
+      | _ -> None)
+    | _ -> None)
 
 (* A rewrite pass with rules disabled replaces the corresponding
    transformation with identity; normalization (DDO insertion) always
-   runs so that un-optimized plans carry their DDO operations. *)
-let rewrite_with (opts : options) (e : expr) : expr =
+   runs so that un-optimized plans carry their DDO operations.
+   [catalog] enables automatic index selection (rule 7): without it the
+   rewriter has no index definitions or cardinalities to consult. *)
+let rewrite_with ?catalog (opts : options) (e : expr) : expr =
   let e = normalize e in
   (* The main pass is monolithic; options gate each rule inside. *)
   let rec gated env need e =
@@ -455,11 +649,20 @@ let rewrite_with (opts : options) (e : expr) : expr =
                   s.preds })
           steps
       in
-      if opts.extract_structural then
-        match (doc_name_of_init init', structural_steps steps) with
-        | Some doc, Some named -> Schema_path (doc, named)
-        | _ -> Path (init', steps)
-      else Path (init', steps)
+      let indexed =
+        match catalog with
+        | Some cat when opts.use_indexes ->
+          try_index_rewrite cat opts init' steps
+        | _ -> None
+      in
+      (match indexed with
+       | Some probe -> probe
+       | None ->
+         if opts.extract_structural then
+           match (doc_name_of_init init', structural_steps steps) with
+           | Some doc, Some named -> Schema_path (doc, named)
+           | _ -> Path (init', steps)
+         else Path (init', steps))
     | Flwor (clauses0, ret) ->
       let clauses =
         if not opts.hoist_for then clauses0
@@ -538,7 +741,7 @@ let rewrite_with (opts : options) (e : expr) : expr =
     (* dispatch structurally, recursing through [k] *)
     match e with
     | Int_lit _ | Dbl_lit _ | Str_lit _ | Empty_seq | Context_item | Var _
-    | Schema_path _ -> e
+    | Schema_path _ | Index_probe _ -> e
     | Sequence es -> Sequence (List.map (k env Full) es)
     | Range (a, b) -> Range (k env Full a, k env Full b)
     | Binop (((Gen_eq | Gen_ne | Gen_lt | Gen_le | Gen_gt | Gen_ge) as op), a, b)
@@ -592,12 +795,28 @@ let rewrite_with (opts : options) (e : expr) : expr =
 
 let optimize e = rewrite_with default_options e
 
+(* count index probes in a tree (tests, benches, \explain) *)
+let rec count_index_probes (e : expr) : int =
+  match e with
+  | Index_probe p -> 1 + count_index_probes p.ip_key
+  | e ->
+    let acc = ref 0 in
+    ignore
+      (map_expr
+         (fun sub ->
+           acc := !acc + count_index_probes sub;
+           sub)
+         e);
+    !acc
+
 (* count DDO operations remaining in a tree (tests, benches) *)
 let rec count_ddo (e : expr) : int =
   match e with
   | Ddo a -> 1 + count_ddo a
   | Int_lit _ | Dbl_lit _ | Str_lit _ | Empty_seq | Context_item | Var _
   | Schema_path _ -> 0
+  | Index_probe p ->
+    count_ddo p.ip_key + count_ddo p.ip_residual + count_ddo p.ip_fallback
   | Sequence es -> List.fold_left (fun a e' -> a + count_ddo e') 0 es
   | Range (a, b) | Binop (_, a, b) | And (a, b) | Or (a, b)
   | Comp_elem (a, b) | Comp_attr (a, b) | Comp_pi (a, b) ->

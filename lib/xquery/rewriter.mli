@@ -29,6 +29,14 @@ type options = {
   hoist_for : bool;
   virtual_constructors : bool;
   inline_functions : bool;
+  use_indexes : bool;
+      (** rule 7: rewrite selective value predicates over structural
+          paths into B-tree index probes ({!Xq_ast.Index_probe}) when a
+          matching index exists; needs the [?catalog] argument of
+          {!rewrite_with} *)
+  index_min_count : int;
+      (** cardinality gate for rule 7: pushdown only when the candidate
+          schema nodes together hold at least this many data nodes *)
 }
 
 val default_options : options
@@ -41,11 +49,15 @@ val no_options : options
 val normalize : Xq_ast.expr -> Xq_ast.expr
 (** Insert explicit DDO operations over every path expression. *)
 
-val rewrite_with : options -> Xq_ast.expr -> Xq_ast.expr
-(** Normalize, then apply the enabled rules. *)
+val rewrite_with :
+  ?catalog:Sedna_core.Catalog.t -> options -> Xq_ast.expr -> Xq_ast.expr
+(** Normalize, then apply the enabled rules.  [catalog] supplies index
+    definitions and schema cardinalities for automatic index selection
+    (rule 7); without it that rule never fires. *)
 
 val optimize : Xq_ast.expr -> Xq_ast.expr
-(** [rewrite_with default_options]. *)
+(** [rewrite_with default_options] (no catalog, so no index
+    selection). *)
 
 val inline_functions : Xq_ast.fun_def list -> Xq_ast.expr -> Xq_ast.expr
 (** Rule 6, applied before {!rewrite_with} by the session when
@@ -70,3 +82,7 @@ val contains_context : Xq_ast.expr -> bool
 
 val count_ddo : Xq_ast.expr -> int
 (** Number of DDO operations in a tree (tests and benches). *)
+
+val count_index_probes : Xq_ast.expr -> int
+(** Number of {!Xq_ast.Index_probe} operations in a tree — lets tests
+    and benches assert that automatic index selection fired. *)

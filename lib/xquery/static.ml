@@ -128,6 +128,10 @@ let rec check env (e : expr) : unit =
   match e with
   | Int_lit _ | Dbl_lit _ | Str_lit _ | Empty_seq | Context_item
   | Schema_path _ -> ()
+  | Index_probe p ->
+    check env p.ip_key;
+    check env p.ip_residual;
+    check env p.ip_fallback
   | Var v ->
     if not (List.mem v env.bound_vars) then
       Error.raise_error Error.Xquery_static "unbound variable $%s" v

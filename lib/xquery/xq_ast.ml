@@ -78,6 +78,10 @@ type expr =
   | Schema_path of string * (axis * Xname.t) list
     (* structural location path resolved against the descriptive schema
        (rewriter §5.1.4): document name + descending name steps *)
+  | Index_probe of index_probe
+    (* physical plan node produced by the rewriter's automatic index
+       selection: a selective value predicate over a structural path is
+       answered from a B-tree value index instead of a block-chain scan *)
   | Virtual_constr of expr
     (* a constructor whose result is never navigated against identity /
        parent / order: may reference stored content instead of deep-
@@ -88,6 +92,21 @@ type expr =
   | Treat_as of expr * string
 
 and step = { axis : axis; test : node_test; preds : expr list }
+
+and index_probe = {
+  ip_index : string; (* index name in the catalog *)
+  ip_doc : string; (* document the index covers (for lock inference) *)
+  ip_mode : probe_mode;
+  ip_key : expr; (* probe key; context-free by construction *)
+  ip_residual : expr;
+    (* the original predicate, re-applied to every candidate: filters
+       index false positives and enforces strict bounds *)
+  ip_fallback : expr;
+    (* the unrewritten path, evaluated when the index is unusable at
+       run time (dropped, or key of an incompatible atomic kind) *)
+}
+
+and probe_mode = Probe_eq | Probe_ge | Probe_le | Probe_gt | Probe_lt
 
 and attr_constr = { attr_name : Xname.t; attr_value : expr list }
 (* attribute value template: literal strings and enclosed expressions *)
@@ -171,6 +190,8 @@ let rec free_vars (e : expr) : string list =
   | Castable (a, _) | Cast (a, _) | Instance_of (a, _) | Treat_as (a, _) ->
     free_vars a
   | Schema_path _ -> []
+  | Index_probe p ->
+    free_vars p.ip_key @@@ free_vars p.ip_residual @@@ free_vars p.ip_fallback
   | If (c, t, e') -> free_vars c @@@ free_vars t @@@ free_vars e'
   | Call (_, args) -> List.concat_map free_vars args
   | Filter (p, preds) -> free_vars p @@@ List.concat_map free_vars preds

@@ -1173,7 +1173,9 @@ let parse_ddl st : ddl_stmt option =
           end
           else if peek st = '@' then begin
             advance st;
-            go (Xname.to_string (read_qname st) :: acc)
+            (* keep the attribute marker: the index walks attributes,
+               not child elements, for this (necessarily last) step *)
+            List.rev (("@" ^ Xname.to_string (read_qname st)) :: acc)
           end
           else if is_name_start (peek st) then begin
             let n = Xname.to_string (read_qname st) in

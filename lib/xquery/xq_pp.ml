@@ -102,6 +102,20 @@ let rec pp ?(indent = 0) buf (e : expr) =
             (fun (a, n) ->
               Printf.sprintf "%s::%s" (axis_name a) (Sedna_util.Xname.to_string n))
             steps))
+  | Index_probe p ->
+    line "INDEX-PROBE %S mode=%s  (automatic index selection, doc %S)"
+      p.ip_index
+      (match p.ip_mode with
+       | Probe_eq -> "EQ"
+       | Probe_ge -> "GE"
+       | Probe_le -> "LE"
+       | Probe_gt -> "GT"
+       | Probe_lt -> "LT")
+      p.ip_doc;
+    line "  key";
+    pp ~indent:(indent + 2) buf p.ip_key;
+    line "  residual";
+    pp ~indent:(indent + 2) buf p.ip_residual
   | Path (init, steps) ->
     line "path";
     child init;
@@ -198,7 +212,8 @@ let to_string (e : expr) : string =
   Buffer.contents buf
 
 (* \explain: parse, show the raw logical tree and the optimized one *)
-let explain ?(options = Rewriter.default_options) (query : string) : string =
+let explain ?catalog ?(options = Rewriter.default_options) (query : string) :
+    string =
   let prolog, e = Xq_parser.parse_query query in
   let normalized = Rewriter.normalize e in
   let e' =
@@ -206,7 +221,7 @@ let explain ?(options = Rewriter.default_options) (query : string) : string =
       Rewriter.inline_functions prolog.functions e
     else e
   in
-  let optimized = Rewriter.rewrite_with options e' in
+  let optimized = Rewriter.rewrite_with ?catalog options e' in
   Printf.sprintf
     "-- logical tree (normalized, %d DDO op(s)) --\n%s\n-- after rewriting (%d DDO op(s)) --\n%s"
     (Rewriter.count_ddo normalized)

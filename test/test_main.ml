@@ -15,6 +15,7 @@ let () =
       ("scale", Test_scale.suite);
       ("updates", Test_updates.suite);
       ("session", Test_session.suite);
+      ("plan-cache", Test_plan_cache.suite);
       ("baselines", Test_baselines.suite);
       ("fuzz", Test_fuzz.suite);
       ("hier-lock", Test_hier_lock.suite);

@@ -1,0 +1,275 @@
+(* Automatic index selection (rewriter rule 7) and the session's
+   compiled-plan cache: pushdown firing conditions, probe/scan result
+   agreement, epoch-based invalidation, index maintenance under
+   updates, and the index-scan bound modes. *)
+
+open Sedna_xquery
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* a database pre-loaded with the library workload document "lib" *)
+let with_library ?(books = 200) f =
+  Test_util.with_db (fun db ->
+      let events = Sedna_workloads.Generators.library ~books () in
+      ignore (Test_util.load_events db "lib" events);
+      f db)
+
+let create_price_index db =
+  ignore
+    (Test_util.exec db
+       {|CREATE INDEX "price" ON doc("lib")/library/book BY price AS xs:integer|})
+
+let create_year_index db =
+  ignore
+    (Test_util.exec db
+       {|CREATE INDEX "yr" ON doc("lib")/library/book BY @year AS xs:string|})
+
+(* how many Index_probe nodes the optimizer produces for [q] *)
+let probes_in ?(opts = Rewriter.default_options) db q =
+  let _prolog, e = Xq_parser.parse_query q in
+  Rewriter.count_index_probes
+    (Rewriter.rewrite_with ~catalog:(Sedna_core.Database.catalog db) opts e)
+
+(* ---- rewriter-level: when does rule 7 fire? ------------------------ *)
+
+let test_rewrite_fires () =
+  with_library (fun db ->
+      create_price_index db;
+      create_year_index db;
+      (* element key, both comparison orders *)
+      check_int "eq" 1 (probes_in db {|doc("lib")/library/book[price = 50]|});
+      check_int "eq flipped" 1
+        (probes_in db {|doc("lib")/library/book[50 = price]|});
+      check_int "ge" 1 (probes_in db {|doc("lib")/library/book[price >= 80]|});
+      check_int "gt" 1 (probes_in db {|doc("lib")/library/book[price > 80]|});
+      (* LE/LT on a number index are unsound (untyped keys order as NaN,
+         which sorts below every number) — must stay a scan *)
+      check_int "le number stays scan" 0
+        (probes_in db {|doc("lib")/library/book[price <= 30]|});
+      check_int "lt number stays scan" 0
+        (probes_in db {|doc("lib")/library/book[price < 30]|});
+      (* attribute key on a string index: all five modes allowed *)
+      check_int "attr eq" 1
+        (probes_in db {|doc("lib")/library/book[@year = "2001"]|});
+      check_int "attr le" 1
+        (probes_in db {|doc("lib")/library/book[@year <= "2001"]|});
+      (* probe step in the middle of a longer path *)
+      check_int "suffix steps" 1
+        (probes_in db {|doc("lib")/library/book[price = 50]/title|});
+      (* descendant step (rule 2 combines //book first) *)
+      check_int "descendant" 1 (probes_in db {|doc("lib")//book[price = 50]|});
+      (* non-key path, unknown doc, ablation, cardinality gate *)
+      check_int "no index on title" 0
+        (probes_in db {|doc("lib")/library/book[title = "x"]|});
+      check_int "unknown doc" 0
+        (probes_in db {|doc("nope")/library/book[price = 50]|});
+      check_int "ablation" 0
+        (probes_in db
+           ~opts:{ Rewriter.default_options with use_indexes = false }
+           {|doc("lib")/library/book[price = 50]|});
+      check_int "cardinality gate" 0
+        (probes_in db
+           ~opts:{ Rewriter.default_options with index_min_count = 1_000_000 }
+           {|doc("lib")/library/book[price = 50]|}))
+
+(* ---- executor-level: probe results = scan results ------------------ *)
+
+let test_probe_agrees_with_scan () =
+  with_library (fun db ->
+      create_price_index db;
+      create_year_index db;
+      let s_idx = Sedna_db.Session.connect db in
+      let s_scan = Sedna_db.Session.connect db in
+      Sedna_db.Session.set_rewriter_options s_scan
+        { Rewriter.default_options with use_indexes = false };
+      let agree ?(expect_probe = true) q =
+        let before = Sedna_util.Counters.get Sedna_util.Counters.index_probe in
+        let via_index = Sedna_db.Session.execute_string s_idx q in
+        let after = Sedna_util.Counters.get Sedna_util.Counters.index_probe in
+        let via_scan = Sedna_db.Session.execute_string s_scan q in
+        check_str q via_scan via_index;
+        Alcotest.(check bool)
+          (q ^ " used the index") expect_probe
+          (after > before)
+      in
+      agree {|count(doc("lib")/library/book[price = 42])|};
+      agree {|count(doc("lib")/library/book[price >= 80])|};
+      agree {|count(doc("lib")/library/book[price > 80])|};
+      agree {|count(doc("lib")//book[price = 42])|};
+      (* multi-key probe: results are deduplicated and doc-ordered *)
+      agree {|count(doc("lib")/library/book[price = (15, 16)])|};
+      (* suffix steps after the probe, serialized in document order *)
+      agree {|doc("lib")/library/book[price = 42]/title|};
+      agree {|count(doc("lib")/library/book[@year = "2001"])|};
+      agree {|count(doc("lib")/library/book[@year >= "2010"])|};
+      agree {|count(doc("lib")/library/book[@year <= "2001"])|};
+      (* number LE keeps the sequential plan but stays correct *)
+      agree ~expect_probe:false
+        {|count(doc("lib")/library/book[price <= 30])|};
+      (* empty result through the probe *)
+      agree {|count(doc("lib")/library/book[price = 7777])|})
+
+(* ---- plan cache: hits, misses, epoch invalidation ------------------ *)
+
+let test_plan_cache_hits () =
+  with_library (fun db ->
+      let s = Sedna_db.Session.connect db in
+      let q = {|count(doc("lib")/library/book[price >= 90])|} in
+      let r1 = Sedna_db.Session.execute_string s q in
+      check_int "first run misses" 0 (fst (Sedna_db.Session.plan_cache_stats s));
+      let r2 = Sedna_db.Session.execute_string s q in
+      let r3 = Sedna_db.Session.execute_string s q in
+      check_str "cached result equal" r1 r2;
+      check_str "cached result equal" r1 r3;
+      let hits, misses = Sedna_db.Session.plan_cache_stats s in
+      check_int "hits" 2 hits;
+      check_int "misses" 1 misses;
+      (* clearing the cache forces a recompile *)
+      Sedna_db.Session.clear_plan_cache s;
+      ignore (Sedna_db.Session.execute_string s q);
+      let _, misses' = Sedna_db.Session.plan_cache_stats s in
+      check_int "miss after clear" (misses + 1) misses';
+      (* changing rewriter options also drops the cache *)
+      Sedna_db.Session.set_rewriter_options s Rewriter.default_options;
+      ignore (Sedna_db.Session.execute_string s q);
+      let _, misses'' = Sedna_db.Session.plan_cache_stats s in
+      check_int "miss after option change" (misses' + 1) misses'')
+
+let test_ddl_invalidates_plan () =
+  with_library (fun db ->
+      let s = Sedna_db.Session.connect db in
+      let q = {|count(doc("lib")/library/book[price = 42])|} in
+      let probe_count () =
+        Sedna_util.Counters.get Sedna_util.Counters.index_probe
+      in
+      let r_scan = Sedna_db.Session.execute_string s q in
+      ignore (Sedna_db.Session.execute_string s q);
+      check_int "warm before DDL" 1 (fst (Sedna_db.Session.plan_cache_stats s));
+      (* no index yet: the cached plan is a scan *)
+      let before = probe_count () in
+      ignore (Sedna_db.Session.execute_string s q);
+      check_int "no probe without index" before (probe_count ());
+      (* CREATE INDEX bumps the catalog epoch: the stale scan plan must
+         not be reused, and the recompiled plan must use the index *)
+      ignore
+        (Sedna_db.Session.execute_string s
+           {|CREATE INDEX "price" ON doc("lib")/library/book BY price AS xs:integer|});
+      let hits_before, misses_before = Sedna_db.Session.plan_cache_stats s in
+      let before = probe_count () in
+      let r_idx = Sedna_db.Session.execute_string s q in
+      let hits_after, misses_after = Sedna_db.Session.plan_cache_stats s in
+      check_str "same answer after recompile" r_scan r_idx;
+      check_int "stale plan not reused" hits_before hits_after;
+      check_int "recompiled" (misses_before + 1) misses_after;
+      Alcotest.(check bool) "new plan probes the index" true
+        (probe_count () > before);
+      (* the probe plan is itself cached and keeps probing *)
+      let before = probe_count () in
+      ignore (Sedna_db.Session.execute_string s q);
+      Alcotest.(check bool) "cached probe plan" true (probe_count () > before);
+      check_int "hit on probe plan" (hits_after + 1)
+        (fst (Sedna_db.Session.plan_cache_stats s));
+      (* DROP INDEX bumps the epoch again: back to a scan, same answer *)
+      ignore (Sedna_db.Session.execute_string s {|DROP INDEX "price"|});
+      let before = probe_count () in
+      let r_back = Sedna_db.Session.execute_string s q in
+      check_str "same answer after drop" r_scan r_back;
+      check_int "no probe after drop" before (probe_count ()))
+
+(* ---- index maintenance under a cached probe plan ------------------- *)
+
+let test_maintenance_under_updates () =
+  with_library (fun db ->
+      create_price_index db;
+      let s = Sedna_db.Session.connect db in
+      let s_scan = Sedna_db.Session.connect db in
+      Sedna_db.Session.set_rewriter_options s_scan
+        { Rewriter.default_options with use_indexes = false };
+      let q = {|count(doc("lib")/library/book[price = 7777])|} in
+      check_str "initially empty" "0" (Sedna_db.Session.execute_string s q);
+      (* inserting a book of an existing shape adds no schema node, so
+         the epoch stays put and the cached plan is reused — it must
+         still see the new entry through the maintained index *)
+      ignore
+        (Sedna_db.Session.execute_string s
+           {|UPDATE insert <book><title>New</title><price>7777</price></book> into doc("lib")/library|});
+      let before_hits = fst (Sedna_db.Session.plan_cache_stats s) in
+      check_str "cached plan sees insert" "1"
+        (Sedna_db.Session.execute_string s q);
+      check_int "reused cached plan" (before_hits + 1)
+        (fst (Sedna_db.Session.plan_cache_stats s));
+      check_str "scan agrees" "1" (Sedna_db.Session.execute_string s_scan q);
+      (* deleting through an indexed predicate removes the entries *)
+      ignore
+        (Sedna_db.Session.execute_string s
+           {|UPDATE delete doc("lib")/library/book[price = 7777]|});
+      check_str "deleted" "0" (Sedna_db.Session.execute_string s q);
+      check_str "scan agrees" "0" (Sedna_db.Session.execute_string s_scan q);
+      (* replace changes a key in place *)
+      ignore
+        (Sedna_db.Session.execute_string s
+           {|UPDATE insert <book><title>K</title><price>8888</price></book> into doc("lib")/library|});
+      ignore
+        (Sedna_db.Session.execute_string s
+           {|UPDATE replace $p in doc("lib")/library/book[price = 8888]/price with <p>9999</p>|});
+      check_str "old key gone" "0"
+        (Sedna_db.Session.execute_string s
+           {|count(doc("lib")/library/book[price = 8888])|}))
+
+(* ---- index-scan bound modes (string and numeric keys) -------------- *)
+
+let test_index_scan_modes_string () =
+  Test_util.with_db (fun db ->
+      ignore
+        (Test_util.load db "f"
+           {|<items><item><nm>apple</nm></item><item><nm>pear</nm></item><item><nm>apple</nm></item><item><nm>banana</nm></item></items>|});
+      ignore
+        (Test_util.exec db
+           {|CREATE INDEX "nm" ON doc("f")/items/item BY nm AS xs:string|});
+      let count q = Test_util.exec db (Printf.sprintf "count(%s)" q) in
+      (* duplicate keys *)
+      check_str "eq dup" "2" (count {|index-scan("nm", "apple")|});
+      check_str "eq dup explicit" "2" (count {|index-scan("nm", "apple", "EQ")|});
+      check_str "eq single" "1" (count {|index-scan("nm", "pear")|});
+      check_str "eq absent" "0" (count {|index-scan("nm", "mango")|});
+      (* inclusive bounds *)
+      check_str "ge" "2" (count {|index-scan("nm", "banana", "GE")|});
+      check_str "le" "3" (count {|index-scan("nm", "banana", "LE")|});
+      check_str "ge all" "4" (count {|index-scan("nm", "a", "GE")|});
+      (* empty ranges *)
+      check_str "ge empty" "0" (count {|index-scan("nm", "zzz", "GE")|});
+      check_str "le empty" "0" (count {|index-scan("nm", "a", "LE")|}))
+
+let test_index_scan_modes_number () =
+  Test_util.with_db (fun db ->
+      ignore
+        (Test_util.load db "ps"
+           {|<ps><p><v>1</v></p><p><v>5</v></p><p><v>5</v></p><p><v>9</v></p></ps>|});
+      ignore
+        (Test_util.exec db
+           {|CREATE INDEX "pv" ON doc("ps")/ps/p BY v AS xs:integer|});
+      let count q = Test_util.exec db (Printf.sprintf "count(%s)" q) in
+      check_str "eq dup" "2" (count {|index-scan("pv", 5)|});
+      check_str "eq absent" "0" (count {|index-scan("pv", 4)|});
+      check_str "ge" "3" (count {|index-scan("pv", 5, "GE")|});
+      check_str "le" "3" (count {|index-scan("pv", 5, "LE")|});
+      check_str "ge all" "4" (count {|index-scan("pv", 0, "GE")|});
+      check_str "ge empty" "0" (count {|index-scan("pv", 100, "GE")|});
+      check_str "le empty" "0" (count {|index-scan("pv", 0, "LE")|}))
+
+let suite =
+  [
+    Alcotest.test_case "rule 7 firing conditions" `Quick test_rewrite_fires;
+    Alcotest.test_case "probe agrees with scan" `Quick
+      test_probe_agrees_with_scan;
+    Alcotest.test_case "plan cache hits and misses" `Quick test_plan_cache_hits;
+    Alcotest.test_case "DDL invalidates cached plans" `Quick
+      test_ddl_invalidates_plan;
+    Alcotest.test_case "index maintenance under cached plans" `Quick
+      test_maintenance_under_updates;
+    Alcotest.test_case "index-scan bound modes (string)" `Quick
+      test_index_scan_modes_string;
+    Alcotest.test_case "index-scan bound modes (number)" `Quick
+      test_index_scan_modes_number;
+  ]
