@@ -558,7 +558,9 @@ let try_index_rewrite (cat : Sedna_core.Catalog.t) (opts : options)
           suffix ) -> (
       let pick ~flipped path_side value_side =
         match (key_path_of path_side, probe_mode_of op ~flipped) with
-        | Some kp, Some mode when not (contains_context value_side) ->
+        | Some kp, Some mode
+          when (not (contains_context value_side))
+               && not (calls_position value_side) ->
           Some (kp, mode, value_side)
         | _ -> None
       in
@@ -798,7 +800,10 @@ let optimize e = rewrite_with default_options e
 (* count index probes in a tree (tests, benches, \explain) *)
 let rec count_index_probes (e : expr) : int =
   match e with
-  | Index_probe p -> 1 + count_index_probes p.ip_key
+  | Index_probe p ->
+    1 + count_index_probes p.ip_key
+    + count_index_probes p.ip_residual
+    + count_index_probes p.ip_fallback
   | e ->
     let acc = ref 0 in
     ignore

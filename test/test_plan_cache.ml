@@ -59,6 +59,12 @@ let test_rewrite_fires () =
         (probes_in db {|doc("lib")/library/book[price = 50]/title|});
       (* descendant step (rule 2 combines //book first) *)
       check_int "descendant" 1 (probes_in db {|doc("lib")//book[price = 50]|});
+      (* positional key expressions depend on the predicate's context:
+         the probe would evaluate them once at pos=1/size=1 *)
+      check_int "position() key stays scan" 0
+        (probes_in db {|doc("lib")/library/book[price = position()]|});
+      check_int "last() key stays scan" 0
+        (probes_in db {|doc("lib")/library/book[price = last()]|});
       (* non-key path, unknown doc, ablation, cardinality gate *)
       check_int "no index on title" 0
         (probes_in db {|doc("lib")/library/book[title = "x"]|});
@@ -71,7 +77,12 @@ let test_rewrite_fires () =
       check_int "cardinality gate" 0
         (probes_in db
            ~opts:{ Rewriter.default_options with index_min_count = 1_000_000 }
-           {|doc("lib")/library/book[price = 50]|}))
+           {|doc("lib")/library/book[price = 50]|});
+      (* a probe nested in the key expression also appears in the
+         residual predicate and the fallback path: outer + 3 copies *)
+      check_int "nested probes counted" 4
+        (probes_in db
+           {|doc("lib")/library/book[price = doc("lib")/library/book[@year = "2001"]/price]|}))
 
 (* ---- executor-level: probe results = scan results ------------------ *)
 
@@ -107,6 +118,11 @@ let test_probe_agrees_with_scan () =
       (* number LE keeps the sequential plan but stays correct *)
       agree ~expect_probe:false
         {|count(doc("lib")/library/book[price <= 30])|};
+      (* positional key: both sessions must run the sequential plan *)
+      agree ~expect_probe:false
+        {|count(doc("lib")/library/book[price = position()])|};
+      agree ~expect_probe:false
+        {|count(doc("lib")/library/book[price = last()])|};
       (* empty result through the probe *)
       agree {|count(doc("lib")/library/book[price = 7777])|})
 
@@ -217,6 +233,46 @@ let test_maintenance_under_updates () =
         (Sedna_db.Session.execute_string s
            {|count(doc("lib")/library/book[price = 8888])|}))
 
+(* A scan plan compiled below the cardinality gate must not be reused
+   forever on a growing document: a schema-node population crossing a
+   power-of-two boundary bumps the catalog epoch, so the next run
+   recompiles and re-evaluates the gate. *)
+let test_growth_reenables_pushdown () =
+  Test_util.with_db (fun db ->
+      let xml =
+        "<items>"
+        ^ String.concat ""
+            (List.init 10 (fun i -> Printf.sprintf "<item><v>%d</v></item>" i))
+        ^ "</items>"
+      in
+      ignore (Test_util.load db "g" xml);
+      ignore
+        (Test_util.exec db
+           {|CREATE INDEX "gv" ON doc("g")/items/item BY v AS xs:integer|});
+      let s = Sedna_db.Session.connect db in
+      let q = {|count(doc("g")/items/item[v = 3])|} in
+      let probe_count () =
+        Sedna_util.Counters.get Sedna_util.Counters.index_probe
+      in
+      (* 10 items < index_min_count (16): the cached plan is a scan *)
+      let before = probe_count () in
+      check_str "below gate" "1" (Sedna_db.Session.execute_string s q);
+      ignore (Sedna_db.Session.execute_string s q);
+      check_int "scan below gate" before (probe_count ());
+      check_int "scan plan cached" 1 (fst (Sedna_db.Session.plan_cache_stats s));
+      (* grow past the gate: the item population crossing 16 bumps the
+         epoch, invalidating the cached scan *)
+      for i = 10 to 16 do
+        ignore
+          (Sedna_db.Session.execute_string s
+             (Printf.sprintf
+                {|UPDATE insert <item><v>%d</v></item> into doc("g")/items|} i))
+      done;
+      let before = probe_count () in
+      check_str "after growth" "1" (Sedna_db.Session.execute_string s q);
+      Alcotest.(check bool) "grown document probes the index" true
+        (probe_count () > before))
+
 (* ---- index-scan bound modes (string and numeric keys) -------------- *)
 
 let test_index_scan_modes_string () =
@@ -268,6 +324,8 @@ let suite =
       test_ddl_invalidates_plan;
     Alcotest.test_case "index maintenance under cached plans" `Quick
       test_maintenance_under_updates;
+    Alcotest.test_case "growth past the gate re-enables pushdown" `Quick
+      test_growth_reenables_pushdown;
     Alcotest.test_case "index-scan bound modes (string)" `Quick
       test_index_scan_modes_string;
     Alcotest.test_case "index-scan bound modes (number)" `Quick
