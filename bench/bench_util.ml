@@ -2,7 +2,14 @@
 
    Wall-clock measurements use repeated runs with a warmup and report
    the median; counter-based measurements (disk reads, buffer faults,
-   fields updated) come from Sedna_util.Counters and are exact. *)
+   fields updated) come from Sedna_util.Metrics snapshots/diffs and are
+   exact — deltas, not resets, so the global totals survive.
+
+   Besides the text output every experiment can [record] values; [main]
+   writes them as one machine-readable JSON file at the end
+   (BENCH_metrics.json, or $SEDNA_BENCH_JSON). *)
+
+module Metrics = Sedna_util.Metrics
 
 let time_once f =
   let t0 = Unix.gettimeofday () in
@@ -34,6 +41,9 @@ let header title claim =
 let row3 a b c = pf "  %-34s %14s %14s\n" a b c
 let row4 a b c d = pf "  %-26s %12s %12s %14s\n" a b c d
 
+(* quick mode: CI smoke runs with scaled-down populations *)
+let quick () = Sys.getenv_opt "SEDNA_BENCH_QUICK" <> None
+
 let fresh_db ?(buffer_frames = 1024) () =
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -59,13 +69,57 @@ let exec s q = Sedna_db.Session.execute_string s q
 
 (* run under a cold buffer: drop every frame first, count disk reads *)
 let cold_reads db f =
-  Sedna_core.Buffer_mgr.flush_all (Sedna_core.Database.buffer db);
+  ignore (Sedna_core.Buffer_mgr.flush_all (Sedna_core.Database.buffer db));
   Sedna_core.Buffer_mgr.drop_all (Sedna_core.Database.buffer db);
-  Sedna_util.Counters.reset Sedna_util.Counters.page_reads;
+  let before = Sedna_util.Counters.get Sedna_util.Counters.page_reads in
   let r = f () in
-  (Sedna_util.Counters.get Sedna_util.Counters.page_reads, r)
+  (Sedna_util.Counters.get Sedna_util.Counters.page_reads - before, r)
 
 let counter_during name f =
-  Sedna_util.Counters.reset name;
+  let before = Sedna_util.Counters.get name in
   let r = f () in
-  (Sedna_util.Counters.get name, r)
+  (Sedna_util.Counters.get name - before, r)
+
+(* every global counter that moved while [f] ran *)
+let deltas_during f =
+  let before = Metrics.snapshot ~zeros:true Metrics.global in
+  let r = f () in
+  let after = Metrics.snapshot ~zeros:true Metrics.global in
+  (Metrics.diff ~before ~after, r)
+
+(* ---- machine-readable metrics output -------------------------------- *)
+
+let recorded : (string * Metrics.json) list ref = ref []
+
+let record key j = recorded := (key, j) :: !recorded
+let record_ms key seconds = record key (Metrics.Float (ms seconds))
+let record_int key n = record key (Metrics.Int n)
+
+let metrics_json_path () =
+  Option.value (Sys.getenv_opt "SEDNA_BENCH_JSON") ~default:"BENCH_metrics.json"
+
+(* One JSON document: everything the experiments recorded, plus the
+   final global counters and registered histograms. *)
+let write_metrics_json () =
+  let doc =
+    Metrics.Obj
+      [
+        ("quick", Metrics.Bool (quick ()));
+        ("experiments", Metrics.Obj (List.rev !recorded));
+        ( "counters",
+          Metrics.Obj
+            (List.map (fun (k, v) -> (k, Metrics.Int v)) (Sedna_util.Counters.snapshot ()))
+        );
+        ( "histograms",
+          Metrics.Obj
+            (List.map
+               (fun h -> (Metrics.hist_name h, Metrics.hist_to_json h))
+               (Metrics.histograms ())) );
+      ]
+  in
+  let path = metrics_json_path () in
+  let oc = open_out path in
+  output_string oc (Metrics.json_to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  pf "\nmetrics json written to %s\n" path

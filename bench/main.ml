@@ -48,6 +48,8 @@ let e1 () =
     (fun (name, q) ->
       let t_opt = time_median (fun () -> exec s_opt q) in
       let t_raw = time_median (fun () -> exec s_raw q) in
+      record_ms (Printf.sprintf "e1.%s.optimized_ms" name) t_opt;
+      record_ms (Printf.sprintf "e1.%s.raw_ms" name) t_raw;
       row3 name
         (Printf.sprintf "%.2f ms" (ms t_opt))
         (Printf.sprintf "%.2f ms" (ms t_raw)))
@@ -459,7 +461,11 @@ let e7 () =
   let sw, start = Sedna_baselines.Swizzle.build n_cells in
   let t_sw = time_median (fun () -> Sedna_baselines.Swizzle.chase sw start hops) in
   row3 (Printf.sprintf "dereference kernel (%d hops)" hops) "time" "ns/hop";
-  let per t = Printf.sprintf "%.1f ns" (t *. 1e9 /. float_of_int hops) in
+  let ns_per t = t *. 1e9 /. float_of_int hops in
+  record "e7.vas_ns_per_hop" (Sedna_util.Metrics.Float (ns_per t_vas));
+  record "e7.hash_ns_per_hop" (Sedna_util.Metrics.Float (ns_per t_hash));
+  record "e7.swizzle_ns_per_hop" (Sedna_util.Metrics.Float (ns_per t_sw));
+  let per t = Printf.sprintf "%.1f ns" (ns_per t) in
   row3 "  VAS equality mapping (sedna)" (Printf.sprintf "%.2f ms" (ms t_vas)) (per t_vas);
   row3 "  per-deref translation (hash)" (Printf.sprintf "%.2f ms" (ms t_hash)) (per t_hash);
   row3 "  bare table chase (floor)" (Printf.sprintf "%.2f ms" (ms t_sw)) (per t_sw);
@@ -647,7 +653,8 @@ let e13 () =
      probe (rewriter rule 7) instead of a block scan; repeated \
      statements skip parse/analysis/rewrite via the session plan cache";
   let db = fresh_db ~buffer_frames:256 () in
-  let _, n = load_events db "lib" (Sedna_workloads.Generators.library ~books:5000 ()) in
+  let books = if quick () then 1200 else 5000 in
+  let _, n = load_events db "lib" (Sedna_workloads.Generators.library ~books ()) in
   pf "  document: %d nodes\n" n;
   ignore
     (exec (session db)
@@ -661,12 +668,9 @@ let e13 () =
   in
   (* page touches = buffer pins, hit or fault *)
   let touches f =
-    Sedna_util.Counters.reset Sedna_util.Counters.buffer_hit;
-    Sedna_util.Counters.reset Sedna_util.Counters.buffer_fault;
-    let r = f () in
-    ( Sedna_util.Counters.get Sedna_util.Counters.buffer_hit
-      + Sedna_util.Counters.get Sedna_util.Counters.buffer_fault,
-      r )
+    let d, r = deltas_during f in
+    let get k = Option.value (List.assoc_opt k d) ~default:0 in
+    (get Sedna_util.Counters.buffer_hit + get Sedna_util.Counters.buffer_fault, r)
   in
   pf "\n";
   pf "  %-30s %10s %10s %8s %9s %9s\n" "query" "probe ms" "scan ms" "speedup"
@@ -683,6 +687,10 @@ let e13 () =
       let t_seq = time_median (fun () -> exec s_seq q) in
       let pg_idx, _ = touches (fun () -> exec s_idx q) in
       let pg_seq, _ = touches (fun () -> exec s_seq q) in
+      record_ms (Printf.sprintf "e13.%s.probe_ms" name) t_idx;
+      record_ms (Printf.sprintf "e13.%s.scan_ms" name) t_seq;
+      record_int (Printf.sprintf "e13.%s.probe_pages" name) pg_idx;
+      record_int (Printf.sprintf "e13.%s.scan_pages" name) pg_seq;
       pf "  %-30s %10s %10s %8s %9d %9d\n" name
         (Printf.sprintf "%.3f" (ms t_idx))
         (Printf.sprintf "%.3f" (ms t_seq))
@@ -702,7 +710,9 @@ let e13 () =
   let wide_union =
     "count(("
     ^ String.concat ", "
-        (List.init 40 (fun i -> Printf.sprintf {|doc("t")//name%d[v = %d]|} i i))
+        (List.init
+           (if quick () then 12 else 40)
+           (fun i -> Printf.sprintf {|doc("t")//name%d[v = %d]|} i i))
     ^ "))"
   in
   let s = session db in
@@ -715,6 +725,8 @@ let e13 () =
             exec s q)
       in
       let t_warm = time_median (fun () -> exec s q) in
+      record_ms (Printf.sprintf "e13.%s.cold_ms" name) t_cold;
+      record_ms (Printf.sprintf "e13.%s.cached_ms" name) t_warm;
       row3 name
         (Printf.sprintf "cold %.3f ms" (ms t_cold))
         (Printf.sprintf "cached %.3f ms (%.1fx)" (ms t_warm) (t_cold /. t_warm)))
@@ -724,6 +736,8 @@ let e13 () =
       ("wide union (compile-bound)", wide_union);
     ];
   let hits, misses = Sedna_db.Session.plan_cache_stats s in
+  record_int "e13.plan_cache.hits" hits;
+  record_int "e13.plan_cache.misses" misses;
   row3 "plan cache" (Printf.sprintf "%d hits" hits)
     (Printf.sprintf "%d misses" misses);
   pf "\n  (ablation: use_indexes = false restores the sequential plans in\n";
@@ -762,4 +776,5 @@ let () =
     (if hits + faults = 0 then 0.0
      else 100.0 *. float_of_int hits /. float_of_int (hits + faults))
     (c Sedna_util.Counters.page_reads)
-    (c Sedna_util.Counters.page_writes)
+    (c Sedna_util.Counters.page_writes);
+  write_metrics_json ()

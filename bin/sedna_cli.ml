@@ -31,6 +31,16 @@ let run_statement session text =
     List.iter
       (fun (k, v) -> Printf.printf "%-24s %d\n" k v)
       (Sedna_util.Counters.snapshot ())
+  | "\\counters reset" ->
+    Sedna_util.Counters.reset_all ();
+    print_endline "counters reset"
+  | "\\trace" -> (
+    match Sedna_util.Trace.to_json_lines () with
+    | "" -> print_endline "trace buffer is empty"
+    | lines -> print_endline lines)
+  | "\\trace clear" ->
+    Sedna_util.Trace.clear ();
+    print_endline "trace buffer cleared"
   | "\\checkpoint" ->
     Database.checkpoint (Sedna_db.Session.database session);
     print_endline "checkpoint complete"
@@ -45,6 +55,12 @@ let run_statement session text =
           List.iter (fun e -> Printf.printf "  %s\n" e) errs)
         problems)
   | "\\quit" | "\\q" -> raise Exit
+  | text when String.length text > 9 && String.sub text 0 9 = "\\profile " -> (
+    let q = String.sub text 9 (String.length text - 9) in
+    try
+      print_endline
+        (Sedna_db.Session.render_profile (Sedna_db.Session.profile session q))
+    with e -> Printf.printf "error: %s\n" (Sedna_util.Error.to_string e))
   | text when String.length text > 9 && String.sub text 0 9 = "\\explain " -> (
     let q = String.sub text 9 (String.length text - 9) in
     try
@@ -58,8 +74,9 @@ let run_statement session text =
 let interactive session =
   print_endline
     "Sedna shell. Statements end with '&' on its own line; \\q quits.\n\
-     Commands: \\begin \\begin-ro \\commit \\rollback \\documents \\counters\n\
-     \\checkpoint \\check (integrity) \\explain <query>";
+     Commands: \\begin \\begin-ro \\commit \\rollback \\documents\n\
+     \\counters (\\counters reset) \\trace (\\trace clear)\n\
+     \\checkpoint \\check (integrity) \\explain <query> \\profile <query>";
   let buf = Buffer.create 256 in
   try
     while true do

@@ -123,6 +123,13 @@ let victim t =
    pages). *)
 let install t pid ~load =
   let fi = victim t in
+  let v = t.frames.(fi) in
+  if v.pid >= 0 then begin
+    (* off the deref fast path: only faults that displace a resident
+       page get here *)
+    Counters.bump "buffer.evict";
+    Trace.emit (Trace.Buffer_evict { pid = v.pid; dirty = v.dirty })
+  end;
   flush_frame t fi;
   unmap t fi;
   let f = t.frames.(fi) in
@@ -279,8 +286,14 @@ let free_page t (p : Xptr.t) =
   File_store.free t.store pid
 
 let flush_all t =
-  Array.iteri (fun fi _ -> flush_frame t fi) t.frames;
-  File_store.sync t.store
+  let flushed = ref 0 in
+  Array.iteri
+    (fun fi f ->
+      if f.pid >= 0 && f.dirty then incr flushed;
+      flush_frame t fi)
+    t.frames;
+  File_store.sync t.store;
+  !flushed
 
 (* Drop every frame without writing (crash simulation in tests). *)
 let drop_all t =

@@ -76,8 +76,9 @@ val pin_pid : t -> int -> unit
 
 val unpin_pid : t -> int -> unit
 
-val flush_all : t -> unit
-(** Write every dirty frame to the data file and sync (checkpoint). *)
+val flush_all : t -> int
+(** Write every dirty frame to the data file and sync (checkpoint);
+    returns the number of frames written. *)
 
 val drop_all : t -> unit
 (** Drop all frames without writing — crash simulation in tests. *)

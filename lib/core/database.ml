@@ -105,11 +105,12 @@ let checkpoint db =
   if Hashtbl.length db.active > 0 then
     Error.raise_error Error.Txn_not_active
       "checkpoint with active transactions is not supported";
-  Buffer_mgr.flush_all db.bm;
+  let flushed = Buffer_mgr.flush_all db.bm in
   write_catalog_file db;
   Wal.reset db.wal;
   Wal.append db.wal Wal.Checkpoint;
-  Wal.sync db.wal
+  Wal.sync db.wal;
+  Trace.emit (Trace.Checkpoint { pages_flushed = flushed })
 
 let create ?(buffer_frames = 256) dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
@@ -222,22 +223,14 @@ let begin_txn ?(read_only = false) db : Txn.t =
     else (0, None)
   in
   let txn =
-    {
-      Txn.id;
-      read_only;
-      snapshot_ts;
-      reader_catalog;
-      status = Txn.Active;
-      dirty = Hashtbl.create 16;
-      logical_ops = [];
-      cat_backup =
+    Txn.make ~id ~read_only ~snapshot_ts ~reader_catalog
+      ~cat_backup:
         (if read_only then ""
          else
            Catalog.serialize db.cat ~page_count:(File_store.page_count db.fs)
-             ~free_pages:(File_store.free_list db.fs));
-      fs_page_count = File_store.page_count db.fs;
-      fs_free = File_store.free_list db.fs;
-    }
+             ~free_pages:(File_store.free_list db.fs))
+      ~fs_page_count:(File_store.page_count db.fs)
+      ~fs_free:(File_store.free_list db.fs)
   in
   Hashtbl.add db.active id txn;
   Wal.append db.wal (Wal.Begin id);
@@ -284,7 +277,7 @@ let commit db (txn : Txn.t) =
     Error.raise_error Error.Txn_not_active "commit of inactive transaction";
   if txn.Txn.read_only then begin
     Versions.release_snapshot db.versions txn.Txn.snapshot_ts;
-    txn.Txn.status <- Txn.Committed;
+    Txn.mark_committed txn;
     Hashtbl.remove db.active txn.Txn.id;
     Lock_mgr.release_all db.locks ~txn:txn.Txn.id
   end
@@ -314,7 +307,7 @@ let commit db (txn : Txn.t) =
     Versions.install_commit db.versions ~commit_ts pages;
     (* unpin so committed pages become evictable *)
     List.iter (fun (pid, _) -> Buffer_mgr.unpin_pid db.bm pid) pages;
-    txn.Txn.status <- Txn.Committed;
+    Txn.mark_committed txn;
     Hashtbl.remove db.active txn.Txn.id;
     Lock_mgr.release_all db.locks ~txn:txn.Txn.id
   end
@@ -341,7 +334,7 @@ let abort db (txn : Txn.t) =
     Wal.append db.wal (Wal.Abort txn.Txn.id)
   end
   else Versions.release_snapshot db.versions txn.Txn.snapshot_ts;
-  txn.Txn.status <- Txn.Aborted;
+  Txn.mark_aborted txn;
   Hashtbl.remove db.active txn.Txn.id;
   Lock_mgr.release_all db.locks ~txn:txn.Txn.id
 

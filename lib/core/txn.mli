@@ -19,6 +19,24 @@ type t = {
   fs_free : int list;
 }
 
+val make :
+  id:int ->
+  read_only:bool ->
+  snapshot_ts:int ->
+  reader_catalog:Catalog.t option ->
+  cat_backup:string ->
+  fs_page_count:int ->
+  fs_free:int list ->
+  t
+(** Fresh [Active] transaction; emits a [Txn_begin] trace event. *)
+
+val mark_committed : t -> unit
+(** Flip to [Committed] and emit [Txn_commit].  State cleanup (WAL,
+    locks, versions) stays with {!Database}. *)
+
+val mark_aborted : t -> unit
+(** Flip to [Aborted] and emit [Txn_rollback]. *)
+
 val is_active : t -> bool
 val touched : t -> int -> bool
 val before_image : t -> int -> Bytes.t option

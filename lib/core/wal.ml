@@ -117,7 +117,17 @@ let append t record =
     if off < len then drain (off + Unix.write t.fd frame off (len - off))
   in
   drain 0;
-  t.size <- t.size + len
+  t.size <- t.size + len;
+  let tag =
+    match record with
+    | Begin _ -> "begin"
+    | Image _ -> "image"
+    | Commit _ -> "commit"
+    | Abort _ -> "abort"
+    | Checkpoint -> "checkpoint"
+    | Logical _ -> "logical"
+  in
+  Trace.emit (Trace.Wal_append { tag; bytes = len })
 
 let sync t = Unix.fsync t.fd
 

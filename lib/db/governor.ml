@@ -59,3 +59,48 @@ let shutdown t =
   List.iter (fun (id, _) -> disconnect t id) t.sessions;
   Hashtbl.iter (fun _ db -> Database.close db) t.databases;
   Hashtbl.reset t.databases
+
+(* Aggregate observability report across everything the governor
+   manages: per-session plan-cache and latency figures, the registered
+   latency histograms, the non-zero global counters and the retained
+   trace events by type. *)
+let observability_report t =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "=== governor observability report ===";
+  line "databases: %d, sessions: %d" (Hashtbl.length t.databases)
+    (List.length t.sessions);
+  List.iter
+    (fun (gid, s) ->
+      let hits, misses = Session.plan_cache_stats s in
+      let h = Session.latency s in
+      line
+        "  session %d (governor id %d): %d stmts, plan cache %d hit / %d miss, \
+         latency p50 %.3f ms p95 %.3f ms p99 %.3f ms"
+        (Session.id s) gid
+        (Metrics.hist_count h)
+        hits misses
+        (Metrics.percentile h 0.5 *. 1000.)
+        (Metrics.percentile h 0.95 *. 1000.)
+        (Metrics.percentile h 0.99 *. 1000.))
+    (List.sort (fun (a, _) (b', _) -> compare a b') t.sessions);
+  (match Metrics.histograms () with
+   | [] -> ()
+   | hs ->
+     line "histograms:";
+     List.iter
+       (fun h ->
+         line "  %-20s count %d mean %.3f ms p50 %.3f ms p95 %.3f ms p99 %.3f ms"
+           (Metrics.hist_name h) (Metrics.hist_count h)
+           (Metrics.hist_mean h *. 1000.)
+           (Metrics.percentile h 0.5 *. 1000.)
+           (Metrics.percentile h 0.95 *. 1000.)
+           (Metrics.percentile h 0.99 *. 1000.))
+       hs);
+  line "global counters:";
+  List.iter (fun (k, v) -> line "  %-24s %d" k v) (Counters.snapshot ());
+  line "trace: %d events emitted, %d retained (capacity %d)" (Trace.emitted ())
+    (List.length (Trace.dump ()))
+    (Trace.capacity ());
+  List.iter (fun (k, v) -> line "  %-24s %d" k v) (Trace.counts_by_type ());
+  Buffer.contents b

@@ -34,32 +34,50 @@ type plan = {
 let plan_cache_capacity = 256
 
 type t = {
+  id : int;
   db : Database.t;
   mutable txn : Txn.t option;
   mutable rewriter_options : Sedna_xquery.Rewriter.options;
   plans : (string, plan) Hashtbl.t; (* keyed by statement text *)
-  mutable plan_hits : int;
-  mutable plan_misses : int;
+  metrics : Metrics.set; (* per-session scope, parent = Metrics.global *)
+  latency : Metrics.histogram; (* per-session statement latency *)
 }
 
+(* All sessions feed one registered latency histogram besides their
+   private ones; the governor report reads percentiles from it. *)
+let stmt_latency = Metrics.histogram "stmt.latency"
+
+let next_session_id = ref 0
+
 let connect db =
+  incr next_session_id;
+  let id = !next_session_id in
   {
+    id;
     db;
     txn = None;
     rewriter_options = Sedna_xquery.Rewriter.default_options;
     plans = Hashtbl.create 32;
-    plan_hits = 0;
-    plan_misses = 0;
+    metrics =
+      Metrics.create ~name:(Printf.sprintf "session-%d" id) ~parent:Metrics.global ();
+    latency = Metrics.histogram ~register:false "session.latency";
   }
 
 let database t = t.db
+let id t = t.id
+let metrics t = t.metrics
+let latency t = t.latency
 
 let set_rewriter_options t o =
   t.rewriter_options <- o;
   (* plans compiled under other options are useless now *)
   Hashtbl.reset t.plans
 
-let plan_cache_stats t = (t.plan_hits, t.plan_misses)
+(* Hits/misses come from the same scoped set whose bumps propagate into
+   the global plan.hit / plan.miss counters — one bump site, no way for
+   the per-session and global views to drift. *)
+let plan_cache_stats t =
+  (Metrics.get t.metrics Counters.plan_hit, Metrics.get t.metrics Counters.plan_miss)
 
 let clear_plan_cache t = Hashtbl.reset t.plans
 
@@ -216,53 +234,82 @@ let optimize_expr t (prolog : Ast.prolog) (e : Ast.expr) : Ast.expr =
 
 (* Compile a parsed statement: everything that does not depend on the
    data — so a cached plan skips it all.  Prolog variable initializers
-   are rewritten here too; [build_ctx] below only evaluates them. *)
-let compile t (stmt : Ast.statement) : Ast.statement =
+   are rewritten here too; [build_ctx] below only evaluates them.
+   Returns the compiled statement plus (analyze, rewrite) seconds for
+   the statement trace. *)
+let compile t (stmt : Ast.statement) : Ast.statement * float * float =
   match stmt with
   | Ast.Query (prolog, e) ->
-    ignore (Sedna_xquery.Static.analyse prolog e);
-    let prolog =
-      { prolog with
-        Ast.variables =
-          List.map (fun (v, e') -> (v, optimize_expr t prolog e')) prolog.Ast.variables
-      }
+    let ta, () =
+      Metrics.time (fun () -> ignore (Sedna_xquery.Static.analyse prolog e))
     in
-    Ast.Query (prolog, optimize_expr t prolog e)
+    let tr, stmt =
+      Metrics.time (fun () ->
+          let prolog =
+            { prolog with
+              Ast.variables =
+                List.map
+                  (fun (v, e') -> (v, optimize_expr t prolog e'))
+                  prolog.Ast.variables
+            }
+          in
+          Ast.Query (prolog, optimize_expr t prolog e))
+    in
+    (stmt, ta, tr)
   | Ast.Update (prolog, u) ->
-    let opt = optimize_expr t prolog in
-    let u =
-      match u with
-      | Ast.Insert_into (a, b) -> Ast.Insert_into (opt a, opt b)
-      | Ast.Insert_preceding (a, b) -> Ast.Insert_preceding (opt a, opt b)
-      | Ast.Insert_following (a, b) -> Ast.Insert_following (opt a, opt b)
-      | Ast.Delete a -> Ast.Delete (opt a)
-      | Ast.Delete_undeep a -> Ast.Delete_undeep (opt a)
-      | Ast.Replace (v, a, b) -> Ast.Replace (v, opt a, opt b)
-      | Ast.Rename (a, n) -> Ast.Rename (opt a, n)
+    let tr, stmt =
+      Metrics.time (fun () ->
+          let opt = optimize_expr t prolog in
+          let u =
+            match u with
+            | Ast.Insert_into (a, b) -> Ast.Insert_into (opt a, opt b)
+            | Ast.Insert_preceding (a, b) -> Ast.Insert_preceding (opt a, opt b)
+            | Ast.Insert_following (a, b) -> Ast.Insert_following (opt a, opt b)
+            | Ast.Delete a -> Ast.Delete (opt a)
+            | Ast.Delete_undeep a -> Ast.Delete_undeep (opt a)
+            | Ast.Replace (v, a, b) -> Ast.Replace (v, opt a, opt b)
+            | Ast.Rename (a, n) -> Ast.Rename (opt a, n)
+          in
+          let prolog =
+            { prolog with
+              Ast.variables =
+                List.map
+                  (fun (v, e') -> (v, optimize_expr t prolog e'))
+                  prolog.Ast.variables
+            }
+          in
+          Ast.Update (prolog, u))
     in
-    let prolog =
-      { prolog with
-        Ast.variables =
-          List.map (fun (v, e') -> (v, optimize_expr t prolog e')) prolog.Ast.variables
-      }
-    in
-    Ast.Update (prolog, u)
-  | Ast.Ddl _ -> stmt
+    (stmt, 0., tr)
+  | Ast.Ddl _ -> (stmt, 0., 0.)
+
+(* Phase timings of one statement's compilation, for the trace. *)
+type compile_info = {
+  ci_cached : bool;
+  ci_parse_s : float;
+  ci_analyze_s : float;
+  ci_rewrite_s : float;
+}
+
+let cached_info = { ci_cached = true; ci_parse_s = 0.; ci_analyze_s = 0.; ci_rewrite_s = 0. }
 
 (* The compiled-plan cache: parse + compile once per (statement text,
    catalog epoch, rewriter options).  DDL is never cached — it is
    compilation-free and always bumps the epoch anyway. *)
-let compiled_statement t (text : string) : Ast.statement =
+let compiled_statement t (text : string) : Ast.statement * compile_info =
   let epoch = Catalog.epoch (Database.catalog t.db) in
   match Hashtbl.find_opt t.plans text with
   | Some p when p.c_epoch = epoch && p.c_opts = t.rewriter_options ->
-    t.plan_hits <- t.plan_hits + 1;
-    Counters.bump Counters.plan_hit;
-    p.c_stmt
+    Metrics.bump t.metrics Counters.plan_hit;
+    Trace.emit (Trace.Plan_cache { session = t.id; hit = true });
+    (p.c_stmt, cached_info)
   | _ ->
-    t.plan_misses <- t.plan_misses + 1;
-    Counters.bump Counters.plan_miss;
-    let stmt = compile t (Sedna_xquery.Xq_parser.parse_statement text) in
+    Metrics.bump t.metrics Counters.plan_miss;
+    Trace.emit (Trace.Plan_cache { session = t.id; hit = false });
+    let tp, parsed =
+      Metrics.time (fun () -> Sedna_xquery.Xq_parser.parse_statement text)
+    in
+    let stmt, ta, tr = compile t parsed in
     (match stmt with
      | Ast.Ddl _ -> ()
      | Ast.Query _ | Ast.Update _ ->
@@ -272,7 +319,7 @@ let compiled_statement t (text : string) : Ast.statement =
        then Hashtbl.reset t.plans;
        Hashtbl.replace t.plans text
          { c_stmt = stmt; c_epoch = epoch; c_opts = t.rewriter_options });
-    stmt
+    (stmt, { ci_cached = false; ci_parse_s = tp; ci_analyze_s = ta; ci_rewrite_s = tr })
 
 (* ---- statement execution ----------------------------------------------- *)
 
@@ -314,31 +361,149 @@ let run_statement t (stmt : Ast.statement) (txn : Txn.t) : result =
 
 let is_query = function Ast.Query _ -> true | _ -> false
 
+let statement_kind = function
+  | Ast.Query _ -> "query"
+  | Ast.Update _ -> "update"
+  | Ast.Ddl _ -> "ddl"
+
 (* Execute one statement string.  Within an explicit transaction the
    statement joins it; otherwise it runs in an auto-commit transaction
    of the appropriate kind. *)
 let execute t (text : string) : result =
-  let stmt = compiled_statement t text in
-  let locks = statement_locks t.db stmt in
-  match t.txn with
-  | Some txn when Txn.is_active txn ->
-    List.iter
-      (fun (doc, mode) -> Database.lock_exn t.db txn ~doc ~mode)
-      locks;
-    Database.run t.db txn (fun () -> run_statement t stmt txn)
-  | _ ->
-    let read_only = is_query stmt in
-    let txn = Database.begin_txn ~read_only t.db in
-    (try
-       if not read_only then
-         List.iter
-           (fun (doc, mode) -> Database.lock_exn t.db txn ~doc ~mode)
-           locks;
-       let r = Database.run t.db txn (fun () -> run_statement t stmt txn) in
-       Database.commit t.db txn;
-       r
-     with e ->
-       (if Txn.is_active txn then try Database.abort t.db txn with _ -> ());
-       raise e)
+  Trace.emit (Trace.Statement_start { session = t.id; text });
+  let t0 = Metrics.now () in
+  let ms s = s *. 1000. in
+  let finish ~kind ~ok ~ci ~execute_s =
+    let total = Metrics.now () -. t0 in
+    Metrics.observe t.latency total;
+    Metrics.observe stmt_latency total;
+    Trace.emit
+      (Trace.Statement_end
+         {
+           session = t.id;
+           kind;
+           ok;
+           cached = ci.ci_cached;
+           parse_ms = ms ci.ci_parse_s;
+           analyze_ms = ms ci.ci_analyze_s;
+           rewrite_ms = ms ci.ci_rewrite_s;
+           execute_ms = ms execute_s;
+           total_ms = ms total;
+         })
+  in
+  try
+    let stmt, ci = compiled_statement t text in
+    let locks = statement_locks t.db stmt in
+    let execute_s, r =
+      Metrics.time (fun () ->
+          match t.txn with
+          | Some txn when Txn.is_active txn ->
+            List.iter
+              (fun (doc, mode) -> Database.lock_exn t.db txn ~doc ~mode)
+              locks;
+            Database.run t.db txn (fun () -> run_statement t stmt txn)
+          | _ ->
+            let read_only = is_query stmt in
+            let txn = Database.begin_txn ~read_only t.db in
+            (try
+               if not read_only then
+                 List.iter
+                   (fun (doc, mode) -> Database.lock_exn t.db txn ~doc ~mode)
+                   locks;
+               let r = Database.run t.db txn (fun () -> run_statement t stmt txn) in
+               Database.commit t.db txn;
+               r
+             with e ->
+               (if Txn.is_active txn then try Database.abort t.db txn with _ -> ());
+               raise e))
+    in
+    finish ~kind:(statement_kind stmt) ~ok:true ~ci ~execute_s;
+    r
+  with e ->
+    finish ~kind:"error" ~ok:false ~ci:cached_info ~execute_s:0.;
+    raise e
 
 let execute_string t text = result_to_string (execute t text)
+
+(* ---- profiling (EXPLAIN ANALYZE) --------------------------------------- *)
+
+type profiled_plan = {
+  pp_statement : string;
+  pp_parse_ms : float;
+  pp_analyze_ms : float;
+  pp_rewrite_ms : float;
+  pp_execute_ms : float;
+  pp_rows : int; (* result cardinality = root operator row count *)
+  pp_result : string; (* serialized result *)
+  pp_plan : Sedna_engine.Profiler.op;
+}
+
+(* Profile one query: compile it with per-phase timing (the plan cache
+   is deliberately bypassed so the compile phases are real), attach a
+   profiler to the executor context, run to completion and return the
+   annotated operator tree.  Joins the session's explicit transaction
+   if one is active; otherwise runs read-only auto-commit like any
+   other query. *)
+let profile t (text : string) : profiled_plan =
+  let ms s = s *. 1000. in
+  let tp, parsed =
+    Metrics.time (fun () -> Sedna_xquery.Xq_parser.parse_statement text)
+  in
+  match parsed with
+  | Ast.Update _ | Ast.Ddl _ ->
+    Error.raise_error Error.Unsupported "\\profile supports queries only"
+  | Ast.Query _ ->
+    let stmt, ta, tr = compile t parsed in
+    let prolog, body =
+      match stmt with
+      | Ast.Query (prolog, e) -> (prolog, e)
+      | _ -> assert false
+    in
+    let prof, root = Sedna_engine.Profiler.instrument body in
+    let run txn =
+      Database.run t.db txn (fun () ->
+          let st = Database.txn_store t.db txn in
+          let ctx =
+            { (build_ctx t st prolog) with Sedna_engine.Executor.prof = Some prof }
+          in
+          Metrics.time (fun () ->
+              Sedna_engine.Xdm.serialize st (Sedna_engine.Executor.eval ctx body)))
+    in
+    let te, result =
+      match t.txn with
+      | Some txn when Txn.is_active txn ->
+        List.iter
+          (fun (doc, mode) -> Database.lock_exn t.db txn ~doc ~mode)
+          (statement_locks t.db stmt);
+        run txn
+      | _ ->
+        let txn = Database.begin_txn ~read_only:true t.db in
+        (try
+           let r = run txn in
+           Database.commit t.db txn;
+           r
+         with e ->
+           (if Txn.is_active txn then try Database.abort t.db txn with _ -> ());
+           raise e)
+    in
+    {
+      pp_statement = text;
+      pp_parse_ms = ms tp;
+      pp_analyze_ms = ms ta;
+      pp_rewrite_ms = ms tr;
+      pp_execute_ms = ms te;
+      pp_rows = root.Sedna_engine.Profiler.rows;
+      pp_result = result;
+      pp_plan = root;
+    }
+
+let render_profile (pp : profiled_plan) : string =
+  Printf.sprintf
+    "profile: %s\n\
+     phases (ms): parse %.3f | analyze %.3f | rewrite %.3f | execute %.3f\n\
+     %s\n\
+     result cardinality: %d item(s)"
+    pp.pp_statement pp.pp_parse_ms pp.pp_analyze_ms pp.pp_rewrite_ms
+    pp.pp_execute_ms
+    (Sedna_engine.Profiler.render pp.pp_plan)
+    pp.pp_rows

@@ -20,6 +20,18 @@ val result_to_string : result -> string
 val connect : Sedna_core.Database.t -> t
 val database : t -> Sedna_core.Database.t
 
+val id : t -> int
+(** Process-unique session number (used in trace events). *)
+
+val metrics : t -> Sedna_util.Metrics.set
+(** The session's scoped counter set; its parent is
+    {!Sedna_util.Metrics.global}, so session bumps also appear in the
+    global counters. *)
+
+val latency : t -> Sedna_util.Metrics.histogram
+(** Statement latency of this session only (all sessions also feed the
+    registered ["stmt.latency"] histogram). *)
+
 val set_rewriter_options : t -> Sedna_xquery.Rewriter.options -> unit
 (** Per-session optimizer switches (benches/tests use this for
     ablations).  Clears the compiled-plan cache. *)
@@ -41,6 +53,28 @@ val execute : t -> string -> result
 (** Run one statement string: XQuery query, XUpdate statement or DDL. *)
 
 val execute_string : t -> string -> string
+
+(** {1 Profiling — EXPLAIN ANALYZE} *)
+
+type profiled_plan = {
+  pp_statement : string;
+  pp_parse_ms : float;
+  pp_analyze_ms : float;
+  pp_rewrite_ms : float;
+  pp_execute_ms : float;
+  pp_rows : int;  (** result cardinality = the root operator's rows *)
+  pp_result : string;  (** the serialized query result *)
+  pp_plan : Sedna_engine.Profiler.op;  (** annotated operator tree *)
+}
+
+val profile : t -> string -> profiled_plan
+(** Compile (bypassing the plan cache, so phase timings are real) and
+    run one query with operator-level profiling attached: per-operator
+    elapsed time, rows, buffer hits/faults, xptr dereferences and index
+    probes.  Queries only; raises [Unsupported] for updates and DDL. *)
+
+val render_profile : profiled_plan -> string
+(** What the CLI's [\profile] prints. *)
 
 val statement_locks :
   Sedna_core.Database.t -> Sedna_xquery.Xq_ast.statement -> (string * Sedna_core.Lock_mgr.mode) list

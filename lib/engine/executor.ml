@@ -21,6 +21,7 @@ type ctx = {
   pos : int;
   size : int Lazy.t;
   virtual_ok : bool;
+  prof : Profiler.t option;
 }
 
 let initial_ctx ?(vars = []) ?(funcs = []) (st : Store.t) =
@@ -32,6 +33,7 @@ let initial_ctx ?(vars = []) ?(funcs = []) (st : Store.t) =
     pos = 0;
     size = lazy 0;
     virtual_ok = false;
+    prof = None;
   }
 
 let dynamic_error fmt = Error.raise_error Error.Xquery_dynamic fmt
@@ -242,7 +244,18 @@ let numeric_binop op (a : atomic) (b : atomic) : atomic =
 
 (* ---- the evaluator ------------------------------------------------------------ *)
 
+(* [eval] dispatches through the profiler when one is attached to the
+   context; the only cost with profiling off is the option match.
+   [eval_core] is the evaluator proper. *)
 let rec eval (ctx : ctx) (e : Ast.expr) : item Seq.t =
+  match ctx.prof with
+  | None -> eval_core ctx e
+  | Some p -> (
+    match Profiler.find_expr p e with
+    | Some node -> Profiler.wrap_eval p node (fun () -> eval_core ctx e)
+    | None -> eval_core ctx e)
+
+and eval_core (ctx : ctx) (e : Ast.expr) : item Seq.t =
   match e with
   | Ast.Int_lit i -> Seq.return (A (AInt i))
   | Ast.Dbl_lit f -> Seq.return (A (ADbl f))
@@ -289,7 +302,13 @@ let rec eval (ctx : ctx) (e : Ast.expr) : item Seq.t =
               | A _ -> type_error "path step applied to an atomic value")
             seq
         in
-        Seq.concat_map (fun n -> eval_step ctx step n) nodes)
+        let out = Seq.concat_map (fun n -> eval_step ctx step n) nodes in
+        match ctx.prof with
+        | None -> out
+        | Some p -> (
+          match Profiler.find_step p step with
+          | Some node -> Profiler.wrap_seq p node out
+          | None -> out))
       start steps
   | Ast.Schema_path (doc, steps) -> eval_schema_path ctx doc steps
   | Ast.Index_probe p -> eval_index_probe ctx p

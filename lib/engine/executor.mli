@@ -17,6 +17,9 @@ type ctx = {
   virtual_ok : bool;
       (** inside a [Virtual_constr]: constructors may reference stored
           content instead of deep-copying it (paper §5.2.1) *)
+  prof : Profiler.t option;
+      (** operator-level profiling context ([Session.profile]); [None]
+          keeps evaluation on the unobserved path *)
 }
 
 val initial_ctx :

@@ -1,0 +1,47 @@
+(** Operator-level profiling for the Volcano executor (EXPLAIN
+    ANALYZE).
+
+    {!instrument} pre-builds a tree of stat nodes mirroring the
+    interesting operators of a rewritten expression, keyed by physical
+    identity of the AST nodes; the executor looks up its current
+    expression on each [eval] only when a profile context is active and
+    wraps the operator's lazy sequence to record open/next time, rows
+    produced and storage counter deltas (buffer hits/faults, xptr
+    dereferences, index probes).
+
+    Times and counters are inclusive of children; operators evaluated
+    repeatedly (predicates, FLWOR bodies) accumulate. *)
+
+type op = {
+  label : string;
+  mutable rows : int;
+  mutable time_s : float;
+  mutable hits : int;
+  mutable faults : int;
+  mutable derefs : int;
+  mutable probes : int;
+  mutable children : op list;
+}
+
+type t
+
+val instrument : Sedna_xquery.Xq_ast.expr -> t * op
+(** Build the stat tree for a (rewritten) query body.  Returns the
+    profile context and the root node; the root's [rows] after
+    execution equals the query's result cardinality. *)
+
+val find_expr : t -> Sedna_xquery.Xq_ast.expr -> op option
+val find_step : t -> Sedna_xquery.Xq_ast.step -> op option
+
+val wrap_eval : t -> op -> (unit -> 'a Seq.t) -> 'a Seq.t
+(** Time the construction of the sequence (open) and then each forcing
+    step (next), attributing rows and counter deltas to [op]. *)
+
+val wrap_seq : t -> op -> 'a Seq.t -> 'a Seq.t
+(** Like {!wrap_eval} for a sequence that already exists: forcing cost
+    and row counts only. *)
+
+val render : op -> string
+(** The annotated plan tree, one operator per line. *)
+
+val to_json : op -> Sedna_util.Metrics.json

@@ -24,9 +24,17 @@ let reset name = match Hashtbl.find_opt global name with Some r -> r := 0 | None
 
 let reset_all () = Hashtbl.iter (fun _ r -> r := 0) global
 
-let snapshot () =
+(* The hot-path [*_cell] bindings below pre-register their counters at
+   module init, so the table always holds some cells that were never
+   bumped.  [snapshot] hides those zero rows; [snapshot_all] keeps them
+   for callers that care about registration itself. *)
+let snapshot_all () =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) global []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () = List.filter (fun (_, v) -> v <> 0) (snapshot_all ())
+
+let global_table = global
 
 (* Well-known counter names, centralised so benches and storage agree. *)
 let buffer_fault = "buffer.fault"

@@ -10,7 +10,19 @@ val bump : ?n:int -> string -> unit
 val get : string -> int
 val reset : string -> unit
 val reset_all : unit -> unit
+
 val snapshot : unit -> (string * int) list
+(** Sorted [(name, value)] pairs for every counter with a non-zero
+    value.  Registered-but-never-bumped cells (the hot-path [*_cell]
+    bindings register theirs at module init) are omitted. *)
+
+val snapshot_all : unit -> (string * int) list
+(** Like {!snapshot} but including zero-valued registered cells. *)
+
+val global_table : (string, int ref) Hashtbl.t
+(** The raw storage behind the global counters.  {!Metrics.global}
+    wraps this table so scoped metric sets and the legacy [Counters]
+    API observe the same cells. *)
 
 val cell : string -> int ref
 (** The underlying cell of a named counter (creates it on first use). *)

@@ -1,0 +1,95 @@
+(** Scoped metric sets, timers and fixed-bucket latency histograms.
+
+    The measurement layer behind [\counters], [\profile], the trace
+    subsystem, the governor report and the bench harness.  Counters live
+    in named {!set}s arranged in a parent chain: bumping a key in a
+    child set also bumps the same key in every ancestor, so per-session
+    and global views of the same event share a single bump site.  The
+    root {!global} set is backed by the legacy {!Counters} table — both
+    APIs observe the same cells. *)
+
+(** {1 JSON}
+
+    A minimal JSON document type shared by metrics snapshots, trace
+    events and the bench harness (no external dependency). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+val json_escape : string -> string
+
+(** {1 Timers} *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]). *)
+
+val time : (unit -> 'a) -> float * 'a
+(** [time f] runs [f] and returns [(elapsed_seconds, result)]. *)
+
+(** {1 Scoped counter sets} *)
+
+type set
+
+val global : set
+(** Root of every parent chain; shares storage with {!Counters}. *)
+
+val create : ?name:string -> ?parent:set -> unit -> set
+val name : set -> string
+
+val bump : ?n:int -> set -> string -> unit
+(** Bump [key] in this set and, transitively, in every ancestor. *)
+
+val get : set -> string -> int
+(** Value of [key] in this set only (0 if never bumped here). *)
+
+val cell : set -> string -> int ref
+(** Pre-resolved cell of [key] in this set.  Bumping the cell directly
+    skips parent propagation — reserve it for hot paths. *)
+
+val reset : set -> unit
+(** Zero every counter in this set (ancestors keep their totals). *)
+
+val snapshot : ?zeros:bool -> set -> (string * int) list
+(** Sorted [(key, value)] pairs; zero cells omitted unless [~zeros]. *)
+
+val diff :
+  before:(string * int) list -> after:(string * int) list -> (string * int) list
+(** Per-key [after - before], dropping zero deltas. *)
+
+val to_json : set -> json
+
+(** {1 Fixed-bucket histograms} *)
+
+type histogram
+
+val default_buckets : float array
+(** 10 µs .. 10 s in a 1 / 2.5 / 5 ladder (seconds). *)
+
+val histogram : ?register:bool -> ?buckets:float array -> string -> histogram
+(** Find-or-create the named histogram in the global registry.
+    [~register:false] always creates a fresh anonymous one (used for
+    per-session latency so names don't collide). *)
+
+val histograms : unit -> histogram list
+(** All registered histograms, sorted by name. *)
+
+val observe : histogram -> float -> unit
+val hist_name : histogram -> string
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_mean : histogram -> float
+val hist_reset : histogram -> unit
+
+val percentile : histogram -> float -> float
+(** [percentile h q] for [q] in [0,1]: the upper bound of the bucket
+    holding the q-quantile observation; [infinity] if it overflowed the
+    last bucket, [nan] if the histogram is empty. *)
+
+val hist_to_json : histogram -> json

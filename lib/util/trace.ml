@@ -1,0 +1,143 @@
+(* Structured trace events: a bounded global ring buffer of typed
+   events emitted from the session pipeline and the storage layers
+   (buffer manager, WAL, lock manager, transactions).  The ring keeps
+   the most recent [capacity] events; [\trace] in the CLI dumps them as
+   JSON lines, and the governor report aggregates them per type.
+
+   Emission sites are off the storage hot paths (statement boundaries,
+   page faults/evictions, WAL framing, lock transitions), so a
+   timestamp per event is affordable.  Single-domain, like Counters. *)
+
+type event =
+  | Statement_start of { session : int; text : string }
+  | Statement_end of {
+      session : int;
+      kind : string; (* "query" | "update" | "ddl" *)
+      ok : bool;
+      cached : bool; (* plan came from the session plan cache *)
+      parse_ms : float;
+      analyze_ms : float;
+      rewrite_ms : float;
+      execute_ms : float;
+      total_ms : float;
+    }
+  | Plan_cache of { session : int; hit : bool }
+  | Buffer_evict of { pid : int; dirty : bool }
+  | Wal_append of { tag : string; bytes : int }
+  | Checkpoint of { pages_flushed : int }
+  | Lock_acquire of {
+      txn : int;
+      doc : string;
+      mode : string; (* "shared" | "exclusive" *)
+      outcome : string; (* "granted" | "blocked" | "deadlock" *)
+    }
+  | Lock_release of { txn : int; count : int }
+  | Txn_begin of { txn : int; read_only : bool }
+  | Txn_commit of { txn : int; dirty_pages : int }
+  | Txn_rollback of { txn : int }
+
+type entry = { seq : int; at : float; event : event }
+
+let enabled = ref true
+let ring = ref (Array.make 4096 None)
+let next_seq = ref 0
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+let clear () =
+  Array.fill !ring 0 (Array.length !ring) None;
+  next_seq := 0
+
+let set_capacity n =
+  ring := Array.make (max 1 n) None;
+  next_seq := 0
+
+let capacity () = Array.length !ring
+let emitted () = !next_seq
+
+let emit event =
+  if !enabled then begin
+    let seq = !next_seq in
+    !ring.(seq mod Array.length !ring) <- Some { seq; at = Metrics.now (); event };
+    next_seq := seq + 1
+  end
+
+(* Retained entries, oldest first. *)
+let dump () =
+  let n = Array.length !ring in
+  let first = max 0 (!next_seq - n) in
+  let rec go seq acc =
+    if seq < first then acc
+    else
+      match !ring.(seq mod n) with
+      | Some e when e.seq = seq -> go (seq - 1) (e :: acc)
+      | _ -> go (seq - 1) acc
+  in
+  go (!next_seq - 1) []
+
+let event_name = function
+  | Statement_start _ -> "statement.start"
+  | Statement_end _ -> "statement.end"
+  | Plan_cache _ -> "plan.cache"
+  | Buffer_evict _ -> "buffer.evict"
+  | Wal_append _ -> "wal.append"
+  | Checkpoint _ -> "wal.checkpoint"
+  | Lock_acquire _ -> "lock.acquire"
+  | Lock_release _ -> "lock.release"
+  | Txn_begin _ -> "txn.begin"
+  | Txn_commit _ -> "txn.commit"
+  | Txn_rollback _ -> "txn.rollback"
+
+let event_fields : event -> (string * Metrics.json) list =
+  let open Metrics in
+  function
+  | Statement_start { session; text } ->
+    [ ("session", Int session); ("text", Str text) ]
+  | Statement_end
+      { session; kind; ok; cached; parse_ms; analyze_ms; rewrite_ms; execute_ms; total_ms }
+    ->
+    [
+      ("session", Int session);
+      ("kind", Str kind);
+      ("ok", Bool ok);
+      ("cached", Bool cached);
+      ("parse_ms", Float parse_ms);
+      ("analyze_ms", Float analyze_ms);
+      ("rewrite_ms", Float rewrite_ms);
+      ("execute_ms", Float execute_ms);
+      ("total_ms", Float total_ms);
+    ]
+  | Plan_cache { session; hit } -> [ ("session", Int session); ("hit", Bool hit) ]
+  | Buffer_evict { pid; dirty } -> [ ("pid", Int pid); ("dirty", Bool dirty) ]
+  | Wal_append { tag; bytes } -> [ ("tag", Str tag); ("bytes", Int bytes) ]
+  | Checkpoint { pages_flushed } -> [ ("pages_flushed", Int pages_flushed) ]
+  | Lock_acquire { txn; doc; mode; outcome } ->
+    [ ("txn", Int txn); ("doc", Str doc); ("mode", Str mode); ("outcome", Str outcome) ]
+  | Lock_release { txn; count } -> [ ("txn", Int txn); ("count", Int count) ]
+  | Txn_begin { txn; read_only } -> [ ("txn", Int txn); ("read_only", Bool read_only) ]
+  | Txn_commit { txn; dirty_pages } ->
+    [ ("txn", Int txn); ("dirty_pages", Int dirty_pages) ]
+  | Txn_rollback { txn } -> [ ("txn", Int txn) ]
+
+let entry_to_json e =
+  Metrics.Obj
+    (("seq", Metrics.Int e.seq)
+    :: ("at", Metrics.Float e.at)
+    :: ("event", Metrics.Str (event_name e.event))
+    :: event_fields e.event)
+
+let to_json_lines () =
+  String.concat "\n" (List.map (fun e -> Metrics.json_to_string (entry_to_json e)) (dump ()))
+
+(* Retained-event counts per event type, sorted by name — the shape the
+   governor aggregate report wants. *)
+let counts_by_type () =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let k = event_name e.event in
+      Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0))
+    (dump ());
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

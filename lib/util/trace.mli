@@ -1,0 +1,62 @@
+(** Bounded ring buffer of typed trace events.
+
+    The session pipeline and the storage layers emit these at
+    interesting transitions (statement boundaries with phase timings,
+    plan-cache hits, buffer evictions, WAL appends and checkpoints,
+    lock transitions, transaction lifecycle).  The ring keeps the most
+    recent {!capacity} events; [\trace] dumps them as JSON lines. *)
+
+type event =
+  | Statement_start of { session : int; text : string }
+  | Statement_end of {
+      session : int;
+      kind : string;  (** "query" | "update" | "ddl" *)
+      ok : bool;
+      cached : bool;  (** plan served from the session plan cache *)
+      parse_ms : float;
+      analyze_ms : float;
+      rewrite_ms : float;
+      execute_ms : float;
+      total_ms : float;
+    }
+  | Plan_cache of { session : int; hit : bool }
+  | Buffer_evict of { pid : int; dirty : bool }
+  | Wal_append of { tag : string; bytes : int }
+  | Checkpoint of { pages_flushed : int }
+  | Lock_acquire of {
+      txn : int;
+      doc : string;
+      mode : string;  (** "shared" | "exclusive" *)
+      outcome : string;  (** "granted" | "blocked" | "deadlock" *)
+    }
+  | Lock_release of { txn : int; count : int }
+  | Txn_begin of { txn : int; read_only : bool }
+  | Txn_commit of { txn : int; dirty_pages : int }
+  | Txn_rollback of { txn : int }
+
+type entry = { seq : int; at : float; event : event }
+
+val emit : event -> unit
+(** Append to the ring (drops the oldest entry once full); no-op while
+    tracing is disabled. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Replace the ring with an empty one of the given capacity (min 1). *)
+
+val capacity : unit -> int
+
+val emitted : unit -> int
+(** Total events emitted since the last {!clear}/{!set_capacity},
+    including ones the ring has already dropped. *)
+
+val clear : unit -> unit
+val dump : unit -> entry list
+(** Retained entries, oldest first. *)
+
+val event_name : event -> string
+val entry_to_json : entry -> Metrics.json
+val to_json_lines : unit -> string
+val counts_by_type : unit -> (string * int) list

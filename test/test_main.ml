@@ -16,6 +16,7 @@ let () =
       ("updates", Test_updates.suite);
       ("session", Test_session.suite);
       ("plan-cache", Test_plan_cache.suite);
+      ("metrics", Test_metrics.suite);
       ("baselines", Test_baselines.suite);
       ("fuzz", Test_fuzz.suite);
       ("hier-lock", Test_hier_lock.suite);

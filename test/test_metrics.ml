@@ -1,0 +1,257 @@
+(* The observability subsystem: scoped metric sets (session isolation,
+   parent propagation), histogram bucket edges and percentiles, the
+   trace ring buffer's wraparound, and the query profiler's row
+   accounting against actual result cardinalities. *)
+
+open Sedna_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let with_library ?(books = 120) f =
+  Test_util.with_db (fun db ->
+      ignore
+        (Test_util.load_events db "lib" (Sedna_workloads.Generators.library ~books ()));
+      f db)
+
+let create_price_index db =
+  ignore
+    (Test_util.exec db
+       {|CREATE INDEX "price" ON doc("lib")/library/book BY price AS xs:integer|})
+
+(* ---- scoped counter sets ------------------------------------------- *)
+
+let test_scoped_sets () =
+  let parent = Metrics.create ~name:"p" () in
+  let a = Metrics.create ~name:"a" ~parent () in
+  let b = Metrics.create ~name:"b" ~parent () in
+  Metrics.bump a "x";
+  Metrics.bump a "x";
+  Metrics.bump b "x";
+  Metrics.bump b "y" ~n:5;
+  check_int "a sees its own" 2 (Metrics.get a "x");
+  check_int "b not polluted by a" 1 (Metrics.get b "x");
+  check_int "a has no y" 0 (Metrics.get a "y");
+  check_int "parent aggregates x" 3 (Metrics.get parent "x");
+  check_int "parent aggregates y" 5 (Metrics.get parent "y");
+  (* a child reset keeps the parent totals *)
+  Metrics.reset a;
+  check_int "reset child" 0 (Metrics.get a "x");
+  check_int "parent keeps totals" 3 (Metrics.get parent "x");
+  (* snapshot hides zeros unless asked *)
+  check_bool "snapshot hides zeroed cells" true
+    (List.assoc_opt "x" (Metrics.snapshot a) = None);
+  check_bool "snapshot ~zeros keeps them" true
+    (List.assoc_opt "x" (Metrics.snapshot ~zeros:true a) = Some 0)
+
+let test_global_shares_counters () =
+  (* Metrics.global is the Counters table: a bump through a scoped set
+     with global as parent lands in the legacy API too *)
+  let name = "test.metrics.shared" in
+  Counters.reset name;
+  let s = Metrics.create ~name:"scope" ~parent:Metrics.global () in
+  Metrics.bump s name ~n:7;
+  check_int "legacy Counters sees the bump" 7 (Counters.get name);
+  check_int "scoped view" 7 (Metrics.get s name);
+  Counters.reset name
+
+let test_diff () =
+  let before = [ ("a", 2); ("b", 5) ] in
+  let after = [ ("a", 2); ("b", 9); ("c", 1) ] in
+  Alcotest.(check (list (pair string int)))
+    "diff drops unchanged, keeps new" [ ("b", 4); ("c", 1) ]
+    (Metrics.diff ~before ~after)
+
+let test_counters_snapshot_zero_filter () =
+  (* registered-but-never-bumped cells must not show up in snapshot *)
+  let name = "test.metrics.zero" in
+  let cell = Counters.cell name in
+  cell := 0;
+  check_bool "zero cell filtered" true
+    (List.assoc_opt name (Counters.snapshot ()) = None);
+  check_bool "snapshot_all keeps it" true
+    (List.assoc_opt name (Counters.snapshot_all ()) = Some 0);
+  Counters.bump name;
+  check_bool "appears once bumped" true
+    (List.assoc_opt name (Counters.snapshot ()) = Some 1);
+  Counters.reset name
+
+(* ---- session isolation --------------------------------------------- *)
+
+let test_session_isolation () =
+  with_library (fun db ->
+      let s1 = Sedna_db.Session.connect db in
+      let s2 = Sedna_db.Session.connect db in
+      let q = {|count(doc("lib")/library/book)|} in
+      ignore (Sedna_db.Session.execute_string s1 q);
+      ignore (Sedna_db.Session.execute_string s1 q);
+      ignore (Sedna_db.Session.execute_string s1 q);
+      ignore (Sedna_db.Session.execute_string s2 q);
+      let h1, m1 = Sedna_db.Session.plan_cache_stats s1 in
+      let h2, m2 = Sedna_db.Session.plan_cache_stats s2 in
+      check_int "s1 hits" 2 h1;
+      check_int "s1 misses" 1 m1;
+      check_int "s2 hits (not polluted by s1)" 0 h2;
+      check_int "s2 misses" 1 m2;
+      (* the same bumps propagated into the global counters *)
+      check_bool "global plan.hit >= session hits" true
+        (Counters.get Counters.plan_hit >= h1);
+      check_int "session latency observations" 3
+        (Metrics.hist_count (Sedna_db.Session.latency s1)))
+
+(* ---- histograms ----------------------------------------------------- *)
+
+let test_histogram_edges () =
+  let h = Metrics.histogram ~register:false ~buckets:[| 1.0; 2.0; 4.0 |] "edges" in
+  (* a value on a bucket's upper bound belongs to that bucket *)
+  Metrics.observe h 1.0;
+  Metrics.observe h 0.5;
+  Metrics.observe h 2.0;
+  Metrics.observe h 3.9;
+  Metrics.observe h 100.0 (* overflow *);
+  check_int "count" 5 (Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "p50 = bound of bucket 2" 2.0 (Metrics.percentile h 0.5);
+  check_bool "p99 overflows to infinity" true
+    (Metrics.percentile h 0.99 = Float.infinity);
+  Alcotest.(check (float 1e-9)) "p20 in first bucket" 1.0 (Metrics.percentile h 0.2);
+  let empty = Metrics.histogram ~register:false ~buckets:[| 1.0 |] "empty" in
+  check_bool "empty percentile is nan" true (Float.is_nan (Metrics.percentile empty 0.5))
+
+(* ---- trace ring buffer ---------------------------------------------- *)
+
+let test_trace_wraparound () =
+  let old_capacity = Trace.capacity () in
+  Trace.set_capacity 8;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_capacity old_capacity)
+    (fun () ->
+      for i = 0 to 19 do
+        Trace.emit (Trace.Checkpoint { pages_flushed = i })
+      done;
+      check_int "emitted counts everything" 20 (Trace.emitted ());
+      let retained = Trace.dump () in
+      check_int "ring keeps capacity entries" 8 (List.length retained);
+      (* oldest first, and only the 8 most recent survive *)
+      let seqs = List.map (fun (e : Trace.entry) -> e.Trace.seq) retained in
+      Alcotest.(check (list int)) "seqs 12..19" [ 12; 13; 14; 15; 16; 17; 18; 19 ] seqs;
+      let pages =
+        List.map
+          (fun (e : Trace.entry) ->
+            match e.Trace.event with
+            | Trace.Checkpoint { pages_flushed } -> pages_flushed
+            | _ -> -1)
+          retained
+      in
+      Alcotest.(check (list int)) "payloads survive" [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+        pages;
+      Trace.clear ();
+      check_int "clear empties the ring" 0 (List.length (Trace.dump ())))
+
+let test_trace_statement_events () =
+  with_library (fun db ->
+      let s = Sedna_db.Session.connect db in
+      Trace.clear ();
+      ignore (Sedna_db.Session.execute_string s {|count(doc("lib")//book)|});
+      let events = List.map (fun (e : Trace.entry) -> e.Trace.event) (Trace.dump ()) in
+      let has p = List.exists p events in
+      check_bool "statement.start emitted" true
+        (has (function Trace.Statement_start _ -> true | _ -> false));
+      check_bool "plan cache miss emitted" true
+        (has (function Trace.Plan_cache { hit = false; _ } -> true | _ -> false));
+      check_bool "txn begin emitted" true
+        (has (function Trace.Txn_begin { read_only = true; _ } -> true | _ -> false));
+      check_bool "statement.end with sane phases" true
+        (has (function
+          | Trace.Statement_end { kind = "query"; ok = true; cached = false; total_ms; _ }
+            ->
+            total_ms >= 0.
+          | _ -> false)))
+
+(* ---- profiled plans -------------------------------------------------- *)
+
+let rec flatten (op : Sedna_engine.Profiler.op) =
+  op :: List.concat_map flatten op.Sedna_engine.Profiler.children
+
+let test_profile_row_counts () =
+  with_library ~books:120 (fun db ->
+      create_price_index db;
+      let s = Sedna_db.Session.connect db in
+      (* how many books have price 42?  (library generator: price = i mod 100) *)
+      let expected =
+        int_of_string
+          (Sedna_db.Session.execute_string s
+             {|count(doc("lib")/library/book[price = 42])|})
+      in
+      check_bool "fixture has matches" true (expected >= 1);
+      (* root of a bare node query = result cardinality *)
+      let pp =
+        Sedna_db.Session.profile s {|doc("lib")/library/book[price = 42]|}
+      in
+      check_int "root rows = result cardinality" expected
+        pp.Sedna_db.Session.pp_rows;
+      (* the probe operator is in the tree and produced the rows *)
+      let ops = flatten pp.Sedna_db.Session.pp_plan in
+      let probe =
+        List.find_opt
+          (fun (o : Sedna_engine.Profiler.op) ->
+            String.length o.Sedna_engine.Profiler.label >= 11
+            && String.sub o.Sedna_engine.Profiler.label 0 11 = "index-probe")
+          ops
+      in
+      (match probe with
+       | None -> Alcotest.fail "no index-probe operator in profiled plan"
+       | Some o ->
+         check_int "probe rows" expected o.Sedna_engine.Profiler.rows;
+         check_bool "probe counted" true (o.Sedna_engine.Profiler.probes >= 1));
+      (* aggregate query: root is the count call, one row *)
+      let pp2 =
+        Sedna_db.Session.profile s {|count(doc("lib")/library/book[price = 42])|}
+      in
+      check_int "count() root rows" 1 pp2.Sedna_db.Session.pp_rows;
+      check_bool "render mentions the probe" true
+        (contains_sub (Sedna_db.Session.render_profile pp2) "index-probe"))
+
+let test_profile_rejects_updates () =
+  with_library (fun db ->
+      let s = Sedna_db.Session.connect db in
+      check_bool "update statements rejected" true
+        (try
+           ignore (Sedna_db.Session.profile s {|UPDATE delete doc("lib")//book|});
+           false
+         with _ -> true))
+
+(* ---- governor report -------------------------------------------------- *)
+
+let test_governor_report () =
+  let dir = Test_util.fresh_dir () in
+  let g = Sedna_db.Governor.create () in
+  let db = Sedna_db.Governor.create_database g ~name:"db" ~dir in
+  let _, s = Sedna_db.Governor.connect g ~database:"db" in
+  ignore (Test_util.load db "d" "<r><a/><a/></r>");
+  ignore (Sedna_db.Session.execute_string s {|count(doc("d")//a)|});
+  let report = Sedna_db.Governor.observability_report g in
+  check_bool "report lists the session" true (contains_sub report "plan cache");
+  check_bool "report lists counters" true (contains_sub report "global counters:");
+  check_bool "report lists trace section" true (contains_sub report "trace:");
+  Sedna_db.Governor.shutdown g
+
+let suite =
+  [
+    Alcotest.test_case "scoped sets" `Quick test_scoped_sets;
+    Alcotest.test_case "global set backs Counters" `Quick test_global_shares_counters;
+    Alcotest.test_case "diff" `Quick test_diff;
+    Alcotest.test_case "snapshot filters zero cells" `Quick
+      test_counters_snapshot_zero_filter;
+    Alcotest.test_case "session metric isolation" `Quick test_session_isolation;
+    Alcotest.test_case "histogram bucket edges" `Quick test_histogram_edges;
+    Alcotest.test_case "trace ring wraparound" `Quick test_trace_wraparound;
+    Alcotest.test_case "statement trace events" `Quick test_trace_statement_events;
+    Alcotest.test_case "profiled plan row counts" `Quick test_profile_row_counts;
+    Alcotest.test_case "profile rejects updates" `Quick test_profile_rejects_updates;
+    Alcotest.test_case "governor report" `Quick test_governor_report;
+  ]
