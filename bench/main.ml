@@ -746,12 +746,51 @@ let e13 () =
   Sedna_core.Database.close db
 
 (* ------------------------------------------------------------------ *)
+(* CRASH — crash-recovery matrix (crash-safety hardening)              *)
+(* ------------------------------------------------------------------ *)
+
+(* Drives the Crashkit workload once per fault spec and exits nonzero
+   on any durability/integrity failure, so CI can gate on it.  With
+   SEDNA_FAULT set ("<site>:<policy>[,...]") only those specs run;
+   otherwise every registered site is crossed with crash/torn/fail. *)
+let crash () =
+  header "CRASH  crash-recovery matrix"
+    "acked commits survive an injected crash at every fault site; \
+     injected I/O failures abort cleanly";
+  let dir_prefix =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sedna-crash-%d" (Unix.getpid ()))
+  in
+  let ops = if quick () then 8 else 24 in
+  let outcomes =
+    match Sys.getenv_opt Sedna_util.Fault.env_var with
+    | Some specs when String.trim specs <> "" ->
+      List.map
+        (fun spec -> Sedna_db.Crashkit.run_spec ~ops ~dir:(dir_prefix ^ "-env")
+            (String.trim spec))
+        (String.split_on_char ',' specs)
+    | _ -> Sedna_db.Crashkit.run_matrix ~ops ~dir_prefix ()
+  in
+  List.iter (fun o -> pf "  %s\n" (Sedna_db.Crashkit.render o)) outcomes;
+  let failed = List.filter (fun o -> not (Sedna_db.Crashkit.ok o)) outcomes in
+  pf "\n  %d/%d specs passed\n"
+    (List.length outcomes - List.length failed)
+    (List.length outcomes);
+  record_int "crash.specs" (List.length outcomes);
+  record_int "crash.failures" (List.length failed);
+  if failed <> [] then begin
+    pf "  CRASH MATRIX FAILED\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E4b", e4b);
     ("E5", e5); ("E6", e6); ("E6b", e6b); ("E7", e7); ("E7b", e7b); ("E8", e8);
     ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
+    ("CRASH", crash);
   ]
 
 let () =

@@ -9,7 +9,7 @@
 
 open Sedna_core
 
-let run_statement session text =
+let run_statement_inner session text =
   match String.trim text with
   | "" -> ()
   | "\\begin" ->
@@ -54,7 +54,24 @@ let run_statement session text =
           Printf.printf "document %S:\n" doc;
           List.iter (fun e -> Printf.printf "  %s\n" e) errs)
         problems)
+  | "\\faults" ->
+    List.iter
+      (fun (name, hits, armed) ->
+        Printf.printf "%-20s %6d hits%s\n" name hits
+          (match armed with
+           | Some p -> Printf.sprintf "  armed: %s" p
+           | None -> ""))
+      (Sedna_util.Fault.report ())
+  | "\\faults disarm" ->
+    Sedna_util.Fault.disarm_all ();
+    print_endline "all fault policies disarmed"
   | "\\quit" | "\\q" -> raise Exit
+  | text when String.length text > 12 && String.sub text 0 12 = "\\faults arm " -> (
+    let spec = String.trim (String.sub text 12 (String.length text - 12)) in
+    try
+      Sedna_util.Fault.arm_spec spec;
+      Printf.printf "armed %s\n" spec
+    with e -> Printf.printf "error: %s\n" (Printexc.to_string e))
   | text when String.length text > 9 && String.sub text 0 9 = "\\profile " -> (
     let q = String.sub text 9 (String.length text - 9) in
     try
@@ -67,16 +84,25 @@ let run_statement session text =
       let cat = Database.catalog (Sedna_db.Session.database session) in
       print_endline (Sedna_xquery.Xq_pp.explain ~catalog:cat q)
     with e -> Printf.printf "error: %s\n" (Sedna_util.Error.to_string e))
-  | text -> (
-    try print_endline (Sedna_db.Session.execute_string session text)
-    with e -> Printf.printf "error: %s\n" (Sedna_util.Error.to_string e))
+  | text -> print_endline (Sedna_db.Session.execute_string session text)
+
+(* one guard for every statement and \-command: Exit quits, a simulated
+   crash is process death, anything else is reported and the shell
+   lives on (corrupt pages included — the user's next move is likely
+   \check or a restore) *)
+let run_statement session text =
+  try run_statement_inner session text with
+  | Exit -> raise Exit
+  | Sedna_util.Fault.Injected_crash _ as c -> raise c
+  | e -> Printf.printf "error: %s\n" (Sedna_util.Error.to_string e)
 
 let interactive session =
   print_endline
     "Sedna shell. Statements end with '&' on its own line; \\q quits.\n\
      Commands: \\begin \\begin-ro \\commit \\rollback \\documents\n\
      \\counters (\\counters reset) \\trace (\\trace clear)\n\
-     \\checkpoint \\check (integrity) \\explain <query> \\profile <query>";
+     \\checkpoint \\check (integrity) \\explain <query> \\profile <query>\n\
+     \\faults (\\faults arm <site>:<policy>, \\faults disarm)";
   let buf = Buffer.create 256 in
   try
     while true do
@@ -98,16 +124,26 @@ let interactive session =
   with Exit -> ()
 
 let main db_dir create stmts =
+  (* SEDNA_FAULT=<site>:<policy>[,...] arms injection before the
+     database opens, so recovery itself can be put under fault *)
+  Sedna_util.Fault.arm_from_env ();
   let db =
     if create || not (Sys.file_exists (Filename.concat db_dir "data.sdb")) then
       Database.create db_dir
     else Database.open_existing db_dir
   in
   let session = Sedna_db.Session.connect db in
-  (match stmts with
-   | [] -> interactive session
-   | stmts -> List.iter (run_statement session) stmts);
-  Database.close db
+  match
+    match stmts with
+    | [] -> interactive session
+    | stmts -> List.iter (run_statement session) stmts
+  with
+  | () -> Database.close db
+  | exception Sedna_util.Fault.Injected_crash site ->
+    (* simulated process death: no clean shutdown — the next open runs
+       recovery, which is the point of the drill *)
+    Printf.eprintf "simulated crash at fault site %s\n" site;
+    exit 1
 
 open Cmdliner
 

@@ -13,6 +13,10 @@
 
 open Sedna_util
 
+(* fault-injection site: one hit per copied chunk, so a crash can land
+   mid-file and leave a torn backup copy (healed by the log on restore) *)
+let copy_site = Fault.site "backup.copy"
+
 let copy_file src dst =
   let ic = open_in_bin src in
   let oc = open_out_bin dst in
@@ -20,13 +24,20 @@ let copy_file src dst =
   let rec go () =
     let n = input ic buf 0 (Bytes.length buf) in
     if n > 0 then begin
-      output oc buf 0 n;
+      (match Fault.hit ~len:n copy_site with
+       | Fault.Proceed -> output oc buf 0 n
+       | Fault.Short_write k ->
+         output oc buf 0 k;
+         flush oc;
+         Fault.crash copy_site);
       go ()
     end
   in
   go ();
   close_in ic;
   close_out oc
+
+let copy_if_exists src dst = if Sys.file_exists src then copy_file src dst
 
 let ensure_dir d = if not (Sys.file_exists d) then Unix.mkdir d 0o755
 
@@ -36,6 +47,9 @@ let full db ~dest =
   let dir = Database.directory db in
   (* 1. data file (may be torn w.r.t. in-flight commits: fixed by log) *)
   copy_file (Filename.concat dir "data.sdb") (Filename.concat dest "data.sdb");
+  copy_if_exists
+    (Filename.concat dir "data.sdb.cksum")
+    (Filename.concat dest "data.sdb.cksum");
   (* 2. fixate and copy the log *)
   copy_file (Filename.concat dir "wal.sdb") (Filename.concat dest "wal.sdb");
   (* 3. additional files: the checkpointed catalog *)
@@ -60,6 +74,9 @@ let incremental db ~dest ~seq =
 let restore ~src ~dest ?up_to () =
   ensure_dir dest;
   copy_file (Filename.concat src "data.sdb") (Filename.concat dest "data.sdb");
+  copy_if_exists
+    (Filename.concat src "data.sdb.cksum")
+    (Filename.concat dest "data.sdb.cksum");
   copy_file (Filename.concat src "catalog.sdb")
     (Filename.concat dest "catalog.sdb");
   copy_file (Filename.concat src "wal.sdb") (Filename.concat dest "wal.sdb");

@@ -45,6 +45,10 @@ type t = {
 let make_frame () =
   { pid = -1; bytes = Bytes.make Page.page_size '\000'; dirty = false; pins = 0; referenced = false }
 
+(* fault-injection sites (crash-safety harness) *)
+let flush_site = Fault.site "buffer.flush"
+let evict_site = Fault.site "buffer.evict"
+
 (* shared sentinel: physical equality detects "no overlay installed"
    so the read fast path skips the closure call *)
 let no_overlay : int -> Bytes.t option = fun _ -> None
@@ -87,6 +91,7 @@ let unmap t fi =
 let flush_frame t fi =
   let f = t.frames.(fi) in
   if f.pid >= 0 && f.dirty then begin
+    Fault.check flush_site;
     File_store.write_page t.store f.pid f.bytes;
     f.dirty <- false
   end
@@ -128,7 +133,8 @@ let install t pid ~load =
     (* off the deref fast path: only faults that displace a resident
        page get here *)
     Counters.bump "buffer.evict";
-    Trace.emit (Trace.Buffer_evict { pid = v.pid; dirty = v.dirty })
+    Trace.emit (Trace.Buffer_evict { pid = v.pid; dirty = v.dirty });
+    Fault.check evict_site
   end;
   flush_frame t fi;
   unmap t fi;
@@ -264,6 +270,20 @@ let page_image t pid =
 (* Overwrite a page wholesale (version install, recovery, abort). *)
 let set_page_image t pid (img : Bytes.t) =
   let fi = frame_of_pid t pid in
+  Bytes.blit img 0 t.frames.(fi).bytes 0 Page.page_size;
+  t.frames.(fi).dirty <- true
+
+(* Overwrite a page WITHOUT faulting its current content in from disk
+   first.  This is the recovery redo path: the on-disk page may be torn
+   or checksum-stale from the crash, and its content is about to be
+   replaced by the WAL after-image anyway — reading it would surface a
+   spurious [Corrupt_page] (and waste a disk read). *)
+let overwrite_page t pid (img : Bytes.t) =
+  let fi =
+    match Hashtbl.find_opt t.table pid with
+    | Some fi -> fi
+    | None -> install t pid ~load:false
+  in
   Bytes.blit img 0 t.frames.(fi).bytes 0 Page.page_size;
   t.frames.(fi).dirty <- true
 

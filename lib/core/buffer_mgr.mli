@@ -68,6 +68,10 @@ val page_image : t -> int -> Bytes.t
 val set_page_image : t -> int -> Bytes.t -> unit
 (** Overwrite a page wholesale (version install, abort, recovery). *)
 
+val overwrite_page : t -> int -> Bytes.t -> unit
+(** Recovery redo: install the image without faulting the on-disk page
+    in first (it may be torn or checksum-stale from the crash). *)
+
 (** {1 Pinning and flushing} *)
 
 val pin_pid : t -> int -> unit

@@ -83,11 +83,9 @@ let write_catalog_file db =
     Catalog.serialize db.cat ~page_count:(File_store.page_count db.fs)
       ~free_pages:(File_store.free_list db.fs)
   in
-  let tmp = catalog_path db.dir ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc blob;
-  close_out oc;
-  Sys.rename tmp (catalog_path db.dir)
+  (* tmp + fsync + rename + dir fsync: a crash leaves the old catalog
+     or the new one, never a torn blob behind an already-renamed name *)
+  Sysutil.write_file_durable (catalog_path db.dir) blob
 
 let read_catalog_file dir =
   let ic = open_in_bin (catalog_path dir) in
@@ -141,14 +139,19 @@ let create ?(buffer_frames = 256) dir =
    and adopts the last committed catalog. *)
 let recover db =
   let records = Wal.read_all (wal_path db.dir) in
-  (* find committed transaction ids *)
+  (* find committed transaction ids.  An Abort *after* a Commit undoes
+     it: that sequence appears when the commit's fsync failed and the
+     engine rolled the transaction back — it was never acknowledged, so
+     replaying it would resurrect aborted state. *)
   let committed = Hashtbl.create 16 in
   List.iter
     (function
       | Wal.Commit (txn, _) -> Hashtbl.replace committed txn true
+      | Wal.Abort txn -> Hashtbl.remove committed txn
       | _ -> ())
     records;
   let replayed = ref 0 in
+  let skipped = ref 0 in
   let last_catalog = ref None in
   List.iter
     (function
@@ -157,8 +160,14 @@ let recover db =
         while File_store.page_count db.fs <= pid do
           ignore (File_store.allocate db.fs)
         done;
-        Buffer_mgr.set_page_image db.bm pid img;
+        (* redo installs the after-image without reading the on-disk
+           page: a page torn by the crash would fail its checksum, and
+           its content is being replaced anyway.  Absolute images also
+           make redo idempotent — a re-crash during recovery simply
+           replays them again. *)
+        Buffer_mgr.overwrite_page db.bm pid img;
         incr replayed
+      | Wal.Image (_, _, _) -> incr skipped
       | Wal.Commit (txn, Some blob) when Hashtbl.mem committed txn ->
         last_catalog := Some blob
       | _ -> ())
@@ -170,6 +179,10 @@ let recover db =
      File_store.set_page_count db.fs p.Catalog.p_page_count;
      File_store.set_free_list db.fs p.Catalog.p_free_pages
    | None -> ());
+  Counters.bump ~n:!replayed Counters.recovery_redo;
+  Counters.bump ~n:!skipped Counters.recovery_skip;
+  if !replayed > 0 || !skipped > 0 then
+    Trace.emit (Trace.Recovery_done { redo = !replayed; skipped = !skipped });
   !replayed
 
 let open_existing ?(buffer_frames = 256) dir =
@@ -232,8 +245,11 @@ let begin_txn ?(read_only = false) db : Txn.t =
       ~fs_page_count:(File_store.page_count db.fs)
       ~fs_free:(File_store.free_list db.fs)
   in
-  Hashtbl.add db.active id txn;
+  (* append before registering: if the Begin append fails, no dead
+     transaction lingers in the active table (it would block every
+     later checkpoint) *)
   Wal.append db.wal (Wal.Begin id);
+  Hashtbl.add db.active id txn;
   txn
 
 (* Route execution through a transaction: installs the write hook
@@ -262,15 +278,28 @@ let txn_store db (txn : Txn.t) : Store.t =
 let lock db (txn : Txn.t) ~doc ~mode : Lock_mgr.outcome =
   Lock_mgr.acquire db.locks ~txn:txn.Txn.id ~name:doc ~mode
 
-let lock_exn db txn ~doc ~mode =
-  match lock db txn ~doc ~mode with
-  | Lock_mgr.Granted -> ()
-  | Lock_mgr.Blocked ->
-    Error.raise_error Error.Lock_timeout
-      "transaction %d blocked on document %S" txn.Txn.id doc
-  | Lock_mgr.Deadlock_detected ->
-    Error.raise_error Error.Deadlock
-      "deadlock detected for transaction %d on document %S" txn.Txn.id doc
+(* Lock with bounded retry-and-backoff: a blocked request is retried a
+   few times (the holder may release between attempts — e.g. another
+   cooperative scheduler slot commits) before surfacing Lock_timeout.
+   Deadlocks are never retried: the cycle can only be broken by an
+   abort. *)
+let lock_exn ?(retries = 3) ?(backoff_s = 0.0005) db txn ~doc ~mode =
+  let rec go attempt =
+    match lock db txn ~doc ~mode with
+    | Lock_mgr.Granted -> ()
+    | Lock_mgr.Deadlock_detected ->
+      Error.raise_error Error.Deadlock
+        "deadlock detected for transaction %d on document %S" txn.Txn.id doc
+    | Lock_mgr.Blocked when attempt < retries ->
+      Counters.bump Counters.lock_retry;
+      Unix.sleepf (backoff_s *. float_of_int (1 lsl attempt));
+      go (attempt + 1)
+    | Lock_mgr.Blocked ->
+      Error.raise_error Error.Lock_timeout
+        "transaction %d blocked on document %S (after %d retries)" txn.Txn.id
+        doc retries
+  in
+  go 0
 
 let commit db (txn : Txn.t) =
   if not (Txn.is_active txn) then
@@ -345,13 +374,25 @@ let with_txn ?read_only db f =
   | v ->
     commit db txn;
     v
+  | exception (Fault.Injected_crash _ as e) ->
+    (* simulated process death: the database is gone, do not write an
+       abort record or touch the buffer on the way out *)
+    raise e
   | exception e ->
-    (if Txn.is_active txn then try abort db txn with _ -> ());
+    (if Txn.is_active txn then
+       try abort db txn with
+       | Fault.Injected_crash _ as c -> raise c
+       | _ -> ());
     raise e
 
-(* Crash simulation for recovery tests: drop all volatile state without
-   flushing; the caller then re-opens the directory. *)
+(* Crash simulation for recovery tests and the fault-injection harness:
+   drop all volatile state without flushing; the caller then re-opens
+   the directory.  Robust against being called while the process is
+   mid-write (an [Injected_crash] just unwound the stack) and against
+   double teardown. *)
 let crash db =
-  Buffer_mgr.drop_all db.bm;
-  Wal.close db.wal;
-  File_store.close db.fs
+  Hashtbl.reset db.active;
+  db.current <- None;
+  (try Buffer_mgr.drop_all db.bm with _ -> ());
+  (try Wal.close db.wal with Unix.Unix_error _ -> ());
+  try File_store.close db.fs with Unix.Unix_error _ -> ()

@@ -47,7 +47,14 @@ val txn_store : t -> Txn.t -> Store.t
     snapshot catalog). *)
 
 val lock : t -> Txn.t -> doc:string -> mode:Lock_mgr.mode -> Lock_mgr.outcome
-val lock_exn : t -> Txn.t -> doc:string -> mode:Lock_mgr.mode -> unit
+val lock_exn :
+  ?retries:int ->
+  ?backoff_s:float ->
+  t ->
+  Txn.t ->
+  doc:string ->
+  mode:Lock_mgr.mode ->
+  unit
 (** Raises [Lock_timeout] on block, [Deadlock] on a detected cycle. *)
 
 val commit : t -> Txn.t -> unit

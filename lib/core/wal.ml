@@ -25,15 +25,14 @@ type t = {
   mutable size : int;
 }
 
+(* fault-injection sites (crash-safety harness) *)
+let append_site = Fault.site "wal.append"
+let sync_site = Fault.site "wal.sync"
+let reset_site = Fault.site "wal.reset"
+
 let create path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   { fd; path; size = 0 }
-
-let open_existing path =
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  let size = (Unix.fstat fd).Unix.st_size in
-  ignore (Unix.lseek fd size Unix.SEEK_SET);
-  { fd; path; size }
 
 let checksum (s : string) =
   (* FNV-1a over the payload, folded to 31 bits so the value survives
@@ -113,6 +112,16 @@ let append t record =
   Bytes.blit_string payload 0 frame 5 n;
   Bytes_util.set_i32 frame (5 + n) (checksum payload);
   let len = Bytes.length frame in
+  (match Fault.hit ~len append_site with
+   | Fault.Proceed -> ()
+   | Fault.Short_write k ->
+     (* torn append: persist only a prefix of the frame, then die; the
+        checksum makes recovery drop the partial record *)
+     let rec drain off =
+       if off < k then drain (off + Unix.write t.fd frame off (k - off))
+     in
+     drain 0;
+     Fault.crash append_site);
   let rec drain off =
     if off < len then drain (off + Unix.write t.fd frame off (len - off))
   in
@@ -129,11 +138,15 @@ let append t record =
   in
   Trace.emit (Trace.Wal_append { tag; bytes = len })
 
-let sync t = Unix.fsync t.fd
+let sync t =
+  Fault.check sync_site;
+  Unix.fsync t.fd
 
-(* Read all well-formed records from the log file at [path]. *)
-let read_all path =
-  if not (Sys.file_exists path) then []
+(* Scan the well-formed prefix of the log file at [path]: the decoded
+   records plus the byte length of that prefix (the last valid frame
+   boundary — everything past it is a torn tail). *)
+let scan path =
+  if not (Sys.file_exists path) then ([], 0)
   else begin
     let ic = open_in_bin path in
     let len = in_channel_length ic in
@@ -141,27 +154,52 @@ let read_all path =
     close_in ic;
     let b = Bytes.of_string buf in
     let rec go pos acc =
-      if pos + 9 > len then List.rev acc
+      if pos + 9 > len then (List.rev acc, pos)
       else
         let n = Bytes_util.get_i32 b pos in
-        if n < 0 || pos + 9 + n > len then List.rev acc
+        if n < 0 || pos + 9 + n > len then (List.rev acc, pos)
         else
           let tag = Bytes_util.get_u8 b (pos + 4) in
           let payload = Bytes.sub_string b (pos + 5) n in
           let ck = Bytes_util.get_i32 b (pos + 5 + n) in
-          if ck <> checksum payload then List.rev acc (* torn tail *)
+          if ck <> checksum payload then (List.rev acc, pos) (* torn tail *)
           else
             match decode_record tag payload with
             | Some r -> go (pos + 9 + n) (r :: acc)
-            | None -> List.rev acc
+            | None -> (List.rev acc, pos)
     in
     go 0 []
   end
 
-(* Truncate the log after a checkpoint has made it redundant. *)
+(* Read all well-formed records from the log file at [path]. *)
+let read_all path = fst (scan path)
+
+(* Open an existing log, dropping any torn tail first: without the
+   truncation, records appended after recovery would sit behind the
+   garbage and be unreachable on the next recovery (lost commits). *)
+let open_existing path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let _, valid = scan path in
+  if valid < size then begin
+    Unix.ftruncate fd valid;
+    Unix.fsync fd;
+    Sysutil.fsync_dir (Filename.dirname path);
+    Counters.bump ~n:(size - valid) Counters.wal_truncated_bytes;
+    Trace.emit (Trace.Wal_truncated { bytes = size - valid })
+  end;
+  ignore (Unix.lseek fd valid Unix.SEEK_SET);
+  { fd; path; size = valid }
+
+(* Truncate the log after a checkpoint has made it redundant.  The file
+   and its directory are fsynced so a crash immediately after the
+   checkpoint cannot resurrect the stale tail. *)
 let reset t =
+  Fault.check reset_site;
   Unix.close t.fd;
   let fd = Unix.openfile t.path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Unix.fsync fd;
+  Sysutil.fsync_dir (Filename.dirname t.path);
   t.fd <- fd;
   t.size <- 0
 

@@ -1,0 +1,213 @@
+(* Crash-recovery harness (the systematic half of crash-safety
+   hardening).
+
+   One run = one fault spec ("<site>:<policy>").  The harness sets up a
+   fresh database, arms the spec, and drives a mutating workload whose
+   phases cover every registered site: per-statement auto-commits,
+   periodic checkpoints, and a hot backup mid-run.  Wherever the
+   injected fault lands:
+
+   - [Injected_crash] simulates process death: the database is dropped
+     without flushing ([Database.crash]) and the directory is reopened,
+     which runs recovery.  The workload then continues, so appends
+     *after* recovery land in the truncated log too (the torn-tail
+     regression).
+   - [Injected_fault] exercises statement-level abort isolation: the
+     statement fails, the transaction aborts cleanly, the session keeps
+     working.
+
+   Every run ends with one more simulated death + reopen, then checks
+   the two properties that define crash safety here:
+
+     durability — every acknowledged commit is present after recovery
+     integrity  — the storage invariants of the document hold
+
+   If the mid-run backup completed, it is also restored into a scratch
+   directory and checked (covers the torn-copy-healed-by-log path). *)
+
+open Sedna_util
+open Sedna_core
+
+type outcome = {
+  spec : string;
+  fired : bool;  (* the armed policy actually triggered *)
+  crashes : int;  (* injected process deaths (the final one excluded) *)
+  attempted : int;  (* statements attempted *)
+  acked : int;  (* commits acknowledged to the client *)
+  recovered : int;  (* acked entries still present after recovery *)
+  backup_verified : bool;
+  failures : string list;  (* empty = run passed *)
+}
+
+let ok o = o.failures = []
+
+(* each committed entry carries a unique token; durability = every
+   acked token is a substring of the document's string value *)
+let entry_token i = Printf.sprintf "|%d|" i
+
+(* entries are padded so the document quickly outgrows the small
+   buffer pool: page faults then displace resident pages and the
+   evict/flush sites stay hot for the whole armed window *)
+let entry_text i = entry_token i ^ String.make 1500 'x'
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let rm_rf dir =
+  if Sys.file_exists dir then
+    ignore (Sys.command ("rm -rf " ^ Filename.quote dir))
+
+exception Dead  (* reopen after a crash failed: abandon the run *)
+
+let run_spec ?(ops = 12) ?(checkpoint_every = 4) ?(backup_at = 8)
+    ?(buffer_frames = 2) ~dir spec =
+  Fault.disarm_all ();
+  let bak = dir ^ ".bak" in
+  let restored = dir ^ ".restored" in
+  rm_rf dir;
+  rm_rf bak;
+  rm_rf restored;
+  let db = ref (Database.create ~buffer_frames dir) in
+  ignore
+    (Database.with_txn !db (fun txn st ->
+         Database.lock_exn !db txn ~doc:"log" ~mode:Lock_mgr.Exclusive;
+         Loader.load_string st ~doc_name:"log" "<log/>"));
+  let fired = ref false in
+  let crashes = ref 0 in
+  let attempted = ref 0 in
+  let acked = ref [] in
+  let backup_ok = ref false in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  (* simulated process death: drop everything volatile, reopen (= run
+     recovery).  The armed policy is NOT re-armed — the tail of the
+     workload runs clean over the recovered state. *)
+  let reopen ~injected =
+    if injected then begin
+      fired := true;
+      incr crashes
+    end;
+    Fault.disarm_all ();
+    Database.crash !db;
+    match Database.open_existing ~buffer_frames dir with
+    | fresh -> db := fresh
+    | exception e ->
+      fail "reopen after crash failed: %s" (Printexc.to_string e);
+      raise Dead
+  in
+  (* run one phase, classifying the injected outcomes *)
+  let guarded label f =
+    match f () with
+    | () -> ()
+    | exception Fault.Injected_crash _ -> reopen ~injected:true
+    | exception Fault.Injected_fault _ -> fired := true
+    | exception e -> fail "%s failed: %s" label (Printexc.to_string e)
+  in
+  Fault.arm_spec spec;
+  (try
+     for i = 1 to ops do
+       incr attempted;
+       guarded
+         (Printf.sprintf "insert %d" i)
+         (fun () ->
+           let s = Session.connect !db in
+           ignore
+             (Session.execute s
+                (Printf.sprintf
+                   {|UPDATE insert <entry>%s</entry> into doc("log")/log|}
+                   (entry_text i)));
+           acked := i :: !acked);
+       (* a read scan keeps the small buffer pool churning: page faults
+          displace resident pages, so the evict/flush sites stay hot *)
+       guarded "scan" (fun () ->
+           let s = Session.connect !db in
+           ignore (Session.execute_string s {|count(doc("log")/log/entry)|}));
+       if i mod checkpoint_every = 0 then
+         guarded "checkpoint" (fun () -> Database.checkpoint !db);
+       if i = backup_at then
+         guarded "backup" (fun () ->
+             Backup.full !db ~dest:bak;
+             backup_ok := true)
+     done;
+     (* the run always ends in a process death: every spec, including
+        the pure-abort ones, exercises recovery *)
+     reopen ~injected:false
+   with Dead -> ());
+  let recovered = ref 0 in
+  if !failures = [] then begin
+    let s = Session.connect !db in
+    (match Session.execute_string s {|string(doc("log")/log)|} with
+     | text ->
+       List.iter
+         (fun i ->
+           if contains text (entry_token i) then incr recovered
+           else fail "acked entry %d lost after recovery" i)
+         !acked
+     | exception e ->
+       fail "post-recovery read failed: %s" (Printexc.to_string e));
+    (match Integrity.check_document (Database.store !db) "log" with
+     | [] -> ()
+     | es -> List.iter (fail "integrity: %s") es);
+    try Database.close !db with e ->
+      fail "final close failed: %s" (Printexc.to_string e)
+  end
+  else (try Database.crash !db with _ -> ());
+  (* a completed hot backup must restore to a consistent document: the
+     log replay heals any page the copy caught mid-change *)
+  if !failures = [] && !backup_ok then begin
+    match Backup.restore ~src:bak ~dest:restored () with
+    | rdb ->
+      (match Integrity.check_document (Database.store rdb) "log" with
+       | [] -> ()
+       | es -> List.iter (fail "restored backup integrity: %s") es);
+      (try Database.close rdb with _ -> ())
+    | exception e -> fail "backup restore failed: %s" (Printexc.to_string e)
+  end;
+  Fault.disarm_all ();
+  rm_rf dir;
+  rm_rf bak;
+  rm_rf restored;
+  {
+    spec;
+    fired = !fired;
+    crashes = !crashes;
+    attempted = !attempted;
+    acked = List.length !acked;
+    recovered = !recovered;
+    backup_verified = !backup_ok && !failures = [];
+    failures = List.rev !failures;
+  }
+
+(* The matrix: every registered site crossed with the default policy
+   set.  [crash@2] dies on the second hit (so the first hit's code path
+   has completed once), [torn@2] dies mid-write leaving a torn
+   page/frame/copy, [fail@1] turns the first hit into a clean abort. *)
+let default_policies = [ "crash@2"; "torn@2"; "fail@1" ]
+
+let sanitize s =
+  String.map (fun c -> match c with 'a' .. 'z' | '0' .. '9' -> c | _ -> '-')
+    (String.lowercase_ascii s)
+
+let run_matrix ?ops ?checkpoint_every ?backup_at ?buffer_frames
+    ?(policies = default_policies) ~dir_prefix () =
+  List.concat_map
+    (fun site ->
+      List.map
+        (fun pol ->
+          let spec = site ^ ":" ^ pol in
+          let dir = Printf.sprintf "%s-%s" dir_prefix (sanitize spec) in
+          run_spec ?ops ?checkpoint_every ?backup_at ?buffer_frames ~dir spec)
+        policies)
+    (Fault.sites ())
+
+let render o =
+  Printf.sprintf "%-28s %-4s fired=%b crashes=%d acked=%d/%d recovered=%d%s%s"
+    o.spec
+    (if ok o then "ok" else "FAIL")
+    o.fired o.crashes o.acked o.attempted o.recovered
+    (if o.backup_verified then " backup-ok" else "")
+    (match o.failures with
+     | [] -> ""
+     | es -> "\n    " ^ String.concat "\n    " es)

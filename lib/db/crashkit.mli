@@ -1,0 +1,46 @@
+(** Crash-recovery harness: drive a mutating workload with one fault
+    spec armed, crash wherever it lands, reopen and check that every
+    acknowledged commit survived and the storage invariants hold.
+    The workload phases (auto-commit statements, periodic checkpoints,
+    a mid-run hot backup) cover every registered fault site. *)
+
+type outcome = {
+  spec : string;  (** the "<site>:<policy>" that was armed *)
+  fired : bool;  (** the armed policy actually triggered *)
+  crashes : int;  (** injected process deaths (final clean one excluded) *)
+  attempted : int;  (** statements attempted *)
+  acked : int;  (** commits acknowledged to the client *)
+  recovered : int;  (** acked entries still present after recovery *)
+  backup_verified : bool;  (** mid-run backup completed and restored clean *)
+  failures : string list;  (** empty = run passed *)
+}
+
+val ok : outcome -> bool
+
+val run_spec :
+  ?ops:int ->
+  ?checkpoint_every:int ->
+  ?backup_at:int ->
+  ?buffer_frames:int ->
+  dir:string ->
+  string ->
+  outcome
+(** Run the workload in a fresh database under [dir] (removed and
+    recreated, removed again on the way out) with the given fault spec
+    armed.  Never raises: problems land in [failures]. *)
+
+val default_policies : string list
+(** [crash@2; torn@2; fail@1]. *)
+
+val run_matrix :
+  ?ops:int ->
+  ?checkpoint_every:int ->
+  ?backup_at:int ->
+  ?buffer_frames:int ->
+  ?policies:string list ->
+  dir_prefix:string ->
+  unit ->
+  outcome list
+(** [run_spec] for every registered site crossed with [policies]. *)
+
+val render : outcome -> string

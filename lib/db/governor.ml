@@ -97,6 +97,22 @@ let observability_report t =
            (Metrics.percentile h 0.95 *. 1000.)
            (Metrics.percentile h 0.99 *. 1000.))
        hs);
+  line "crash safety:";
+  List.iter
+    (fun (name, hits, armed) ->
+      line "  fault site %-18s %6d hits%s" name hits
+        (match armed with Some p -> "  armed: " ^ p | None -> ""))
+    (Fault.report ());
+  line "  faults injected: %d; checksums: %d verified, %d adopted, %d failed"
+    (Counters.get Counters.fault_injected)
+    (Counters.get Counters.checksum_verify)
+    (Counters.get Counters.checksum_adopt)
+    (Counters.get Counters.checksum_fail);
+  line "  recovery: %d pages redone, %d skipped; %d torn WAL bytes truncated; %d lock retries"
+    (Counters.get Counters.recovery_redo)
+    (Counters.get Counters.recovery_skip)
+    (Counters.get Counters.wal_truncated_bytes)
+    (Counters.get Counters.lock_retry);
   line "global counters:";
   List.iter (fun (k, v) -> line "  %-24s %d" k v) (Counters.snapshot ());
   line "trace: %d events emitted, %d retained (capacity %d)" (Trace.emitted ())

@@ -361,6 +361,21 @@ let run_statement t (stmt : Ast.statement) (txn : Txn.t) : result =
 
 let is_query = function Ast.Query _ -> true | _ -> false
 
+(* Statement-level abort isolation: failures that can leave partial
+   storage effects or queued lock requests behind must abort the whole
+   transaction (releasing locks, restoring before-images) so the
+   session survives cleanly instead of carrying a poisoned transaction.
+   Pure statement errors (type errors, read-only violations, parse
+   failures) leave the transaction usable. *)
+let aborts_transaction = function
+  | Fault.Injected_fault _ -> true
+  | Error.Sedna_error
+      ( ( Error.Lock_timeout | Error.Deadlock | Error.Storage_corruption
+        | Error.Corrupt_page | Error.Update_conflict ),
+        _ ) ->
+    true
+  | _ -> false
+
 let statement_kind = function
   | Ast.Query _ -> "query"
   | Ast.Update _ -> "update"
@@ -397,11 +412,27 @@ let execute t (text : string) : result =
     let execute_s, r =
       Metrics.time (fun () ->
           match t.txn with
-          | Some txn when Txn.is_active txn ->
-            List.iter
-              (fun (doc, mode) -> Database.lock_exn t.db txn ~doc ~mode)
-              locks;
-            Database.run t.db txn (fun () -> run_statement t stmt txn)
+          | Some txn when Txn.is_active txn -> (
+            try
+              List.iter
+                (fun (doc, mode) -> Database.lock_exn t.db txn ~doc ~mode)
+                locks;
+              Database.run t.db txn (fun () -> run_statement t stmt txn)
+            with
+            | Fault.Injected_crash _ as e ->
+              (* simulated process death: nothing may be written after
+                 this point, the harness reopens the directory *)
+              t.txn <- None;
+              raise e
+            | e when aborts_transaction e ->
+              (if Txn.is_active txn then
+                 try Database.abort t.db txn with
+                 | Fault.Injected_crash _ as c ->
+                   t.txn <- None;
+                   raise c
+                 | _ -> ());
+              t.txn <- None;
+              raise e)
           | _ ->
             let read_only = is_query stmt in
             let txn = Database.begin_txn ~read_only t.db in
@@ -413,8 +444,13 @@ let execute t (text : string) : result =
                let r = Database.run t.db txn (fun () -> run_statement t stmt txn) in
                Database.commit t.db txn;
                r
-             with e ->
-               (if Txn.is_active txn then try Database.abort t.db txn with _ -> ());
+             with
+             | Fault.Injected_crash _ as e -> raise e
+             | e ->
+               (if Txn.is_active txn then
+                  try Database.abort t.db txn with
+                  | Fault.Injected_crash _ as c -> raise c
+                  | _ -> ());
                raise e))
     in
     finish ~kind:(statement_kind stmt) ~ok:true ~ci ~execute_s;

@@ -24,3 +24,23 @@ let zero b off len = Bytes.fill b off len '\000'
 (* Float stored as IEEE bits. *)
 let get_float b off = Int64.float_of_bits (Bytes.get_int64_le b off)
 let set_float b off v = Bytes.set_int64_le b off (Int64.bits_of_float v)
+
+(* CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven — the page
+   checksum of the file store's sidecar map. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(off = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = off to off + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF

@@ -14,3 +14,7 @@ val set_string : Bytes.t -> int -> string -> unit
 val zero : Bytes.t -> int -> int -> unit
 val get_float : Bytes.t -> int -> float
 val set_float : Bytes.t -> int -> float -> unit
+
+val crc32 : ?off:int -> ?len:int -> Bytes.t -> int
+(** CRC-32 (IEEE, reflected polynomial) of [len] bytes starting at
+    [off] (defaults: the whole buffer).  Result fits in 32 bits. *)

@@ -51,6 +51,14 @@ let page_writes = "disk.write"
 let plan_hit = "plan.hit"
 let plan_miss = "plan.miss"
 let index_probe = "index.probe"
+let fault_injected = "fault.injected"
+let checksum_verify = "checksum.verify"
+let checksum_adopt = "checksum.adopt"
+let checksum_fail = "checksum.fail"
+let recovery_redo = "recovery.redo"
+let recovery_skip = "recovery.skip"
+let wal_truncated_bytes = "wal.truncated_bytes"
+let lock_retry = "lock.retry"
 
 (* Pre-resolved cells for the hot-path counters: incrementing these is
    a plain [incr], so instrumentation does not distort the pointer-

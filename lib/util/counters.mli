@@ -50,6 +50,30 @@ val plan_miss : string
 val index_probe : string
 (** A value predicate answered from a B-tree index instead of a scan. *)
 
+val fault_injected : string
+(** An armed {!Fault} site fired (fail, crash or torn write). *)
+
+val checksum_verify : string
+(** Page read whose recorded CRC matched. *)
+
+val checksum_adopt : string
+(** Page read with no recorded CRC (legacy file): checksum adopted. *)
+
+val checksum_fail : string
+(** Page read whose recorded CRC mismatched — surfaced as Corrupt_page. *)
+
+val recovery_redo : string
+(** WAL after-image of a committed transaction replayed at recovery. *)
+
+val recovery_skip : string
+(** WAL after-image of an uncommitted transaction skipped at recovery. *)
+
+val wal_truncated_bytes : string
+(** Bytes of torn WAL tail dropped by truncation at open/recovery. *)
+
+val lock_retry : string
+(** Blocked lock acquisition retried after a bounded backoff. *)
+
 (** {1 Pre-resolved hot-path cells (same storage as the names above)} *)
 
 val vas_fast_hit_cell : int ref

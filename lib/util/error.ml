@@ -4,6 +4,7 @@
 
 type code =
   | Storage_corruption
+  | Corrupt_page
   | Page_out_of_bounds
   | Block_full
   | No_such_document
@@ -27,6 +28,7 @@ type code =
 
 let code_name = function
   | Storage_corruption -> "SE-STORAGE-CORRUPTION"
+  | Corrupt_page -> "SE-CORRUPT-PAGE"
   | Page_out_of_bounds -> "SE-PAGE-OOB"
   | Block_full -> "SE-BLOCK-FULL"
   | No_such_document -> "SE-NO-DOCUMENT"

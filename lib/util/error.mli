@@ -4,6 +4,7 @@
 
 type code =
   | Storage_corruption
+  | Corrupt_page  (** page-level CRC mismatch detected on read *)
   | Page_out_of_bounds
   | Block_full
   | No_such_document

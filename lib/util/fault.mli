@@ -1,0 +1,79 @@
+(** Fault injection for crash-safety testing.
+
+    Storage layers declare named {e sites} at survivable-failure
+    operations (page writes, fsyncs, WAL appends, buffer flushes,
+    backup copies).  Hitting a site is a counter bump until a
+    {e policy} is armed on it; then the triggering hit raises
+    {!Injected_fault} (an I/O error the engine must turn into a clean
+    transaction abort) or {!Injected_crash} (a simulated process death
+    the crash harness catches before reopening the database), or — for
+    [Torn] — asks the caller to persist only a prefix of its buffer
+    and then crash. *)
+
+exception Injected_fault of string  (** argument is the site name *)
+
+exception Injected_crash of string
+(** Simulated process death.  Must escape to the harness untouched: the
+    session layer must not try to abort or otherwise write after it. *)
+
+type action = Fail | Crash | Torn
+
+type trigger =
+  | Nth of int  (** fire on the Nth hit after arming (1-based), once *)
+  | Every of int  (** fire on every Nth hit after arming *)
+  | Prob of float * int  (** probability per hit, deterministic seed *)
+
+type policy = { action : action; trigger : trigger }
+type verdict = Proceed | Short_write of int
+type site
+
+val site : string -> site
+(** Register (or look up) a site by name.  Layers bind their sites at
+    module init so the harness can enumerate them. *)
+
+val sites : unit -> string list
+(** All registered site names, sorted. *)
+
+val find : string -> site option
+val site_hits : site -> int
+val site_armed : site -> policy option
+
+val hit : ?len:int -> site -> verdict
+(** The injection point.  Always bumps the site's hit counter.  May
+    raise {!Injected_fault} or {!Injected_crash} per the armed policy;
+    a [Short_write n] verdict asks the caller to write only the first
+    [n] of its [len] bytes and then call {!crash}. *)
+
+val check : site -> unit
+(** [hit] for sites with nothing to tear (fsyncs, resets). *)
+
+val crash : site -> 'a
+(** Raise {!Injected_crash} for this site (after a torn prefix write). *)
+
+val arm : string -> policy -> unit
+val disarm : string -> unit
+val disarm_all : unit -> unit
+val armed_count : unit -> int
+
+val with_armed : string -> policy -> (unit -> 'a) -> 'a
+(** Arm for the duration of a closure, disarming on the way out. *)
+
+val parse_policy : string -> policy
+(** [fail | crash | torn] followed by [@N] (Nth), [@N+] (every Nth) or
+    [%P[/SEED]] (probability with deterministic seed). *)
+
+val parse_spec : string -> string * policy
+(** ["<site>:<policy>"], the [SEDNA_FAULT] form. *)
+
+val arm_spec : string -> unit
+
+val env_var : string
+(** ["SEDNA_FAULT"] — comma-separated arm specs. *)
+
+val arm_from_env : unit -> unit
+
+val policy_to_string : policy -> string
+val action_name : action -> string
+
+val report : unit -> (string * int * string option) list
+(** Per site: name, total hits, armed policy if any. *)

@@ -1,0 +1,29 @@
+(* Small OS helpers shared by the durability-sensitive layers. *)
+
+(* Fsync a directory so a just-created/renamed/truncated entry survives
+   a crash (POSIX requires syncing the parent directory for that).
+   Some filesystems refuse fsync on directory descriptors; that is a
+   loss of durability we cannot fix, so errors are swallowed. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* Write [data] to [path] atomically-ish: tmp file, fsync, rename,
+   fsync the directory.  A crash leaves either the old file or the new
+   one, never a torn mix. *)
+let write_file_durable path data =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let len = String.length data in
+  let buf = Bytes.unsafe_of_string data in
+  let rec drain off =
+    if off < len then drain (off + Unix.write fd buf off (len - off))
+  in
+  drain 0;
+  Unix.fsync fd;
+  Unix.close fd;
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)

@@ -1,0 +1,10 @@
+(** OS helpers for the durability-sensitive layers. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory so a created/renamed/truncated entry survives a
+    crash.  Errors (filesystems that refuse directory fsync) are
+    swallowed. *)
+
+val write_file_durable : string -> string -> unit
+(** Write a file via tmp + fsync + rename + directory fsync, so a crash
+    leaves either the old content or the new, never a torn mix. *)

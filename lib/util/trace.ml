@@ -35,6 +35,10 @@ type event =
   | Txn_begin of { txn : int; read_only : bool }
   | Txn_commit of { txn : int; dirty_pages : int }
   | Txn_rollback of { txn : int }
+  | Fault_injected of { site : string; action : string }
+  | Wal_truncated of { bytes : int }
+  | Recovery_done of { redo : int; skipped : int }
+  | Checksum_failed of { pid : int }
 
 type entry = { seq : int; at : float; event : event }
 
@@ -88,6 +92,10 @@ let event_name = function
   | Txn_begin _ -> "txn.begin"
   | Txn_commit _ -> "txn.commit"
   | Txn_rollback _ -> "txn.rollback"
+  | Fault_injected _ -> "fault.injected"
+  | Wal_truncated _ -> "wal.truncated"
+  | Recovery_done _ -> "recovery.done"
+  | Checksum_failed _ -> "checksum.failed"
 
 let event_fields : event -> (string * Metrics.json) list =
   let open Metrics in
@@ -119,6 +127,12 @@ let event_fields : event -> (string * Metrics.json) list =
   | Txn_commit { txn; dirty_pages } ->
     [ ("txn", Int txn); ("dirty_pages", Int dirty_pages) ]
   | Txn_rollback { txn } -> [ ("txn", Int txn) ]
+  | Fault_injected { site; action } ->
+    [ ("site", Str site); ("action", Str action) ]
+  | Wal_truncated { bytes } -> [ ("bytes", Int bytes) ]
+  | Recovery_done { redo; skipped } ->
+    [ ("redo", Int redo); ("skipped", Int skipped) ]
+  | Checksum_failed { pid } -> [ ("pid", Int pid) ]
 
 let entry_to_json e =
   Metrics.Obj

@@ -33,6 +33,13 @@ type event =
   | Txn_begin of { txn : int; read_only : bool }
   | Txn_commit of { txn : int; dirty_pages : int }
   | Txn_rollback of { txn : int }
+  | Fault_injected of { site : string; action : string }
+      (** an armed fault-injection site fired *)
+  | Wal_truncated of { bytes : int }
+      (** torn WAL tail dropped at open/recovery *)
+  | Recovery_done of { redo : int; skipped : int }
+      (** WAL redo finished: images replayed / uncommitted skipped *)
+  | Checksum_failed of { pid : int }  (** page checksum mismatch on read *)
 
 type entry = { seq : int; at : float; event : event }
 

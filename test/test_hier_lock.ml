@@ -73,6 +73,29 @@ let test_deadlock_detected () =
    | H.Deadlock_detected -> ()
    | _ -> Alcotest.fail "deadlock not detected")
 
+let test_three_txn_cycle () =
+  let t = H.create () in
+  let a = lbl root 0 and b = lbl root 1 and c = lbl root 2 in
+  let x txn label = H.acquire_subtree t ~txn ~doc:"d" ~label ~exclusive:true in
+  Alcotest.(check bool) "t1 X a" true (granted (x 1 a));
+  Alcotest.(check bool) "t2 X b" true (granted (x 2 b));
+  Alcotest.(check bool) "t3 X c" true (granted (x 3 c));
+  (* t1 -> t2 -> t3 -> t1: only the last edge closes the cycle *)
+  Alcotest.(check bool) "t1 waits for b" true (blocked (x 1 b));
+  Alcotest.(check bool) "t2 waits for c" true (blocked (x 2 c));
+  (match x 3 a with
+   | H.Deadlock_detected -> ()
+   | _ -> Alcotest.fail "three-way cycle not detected");
+  (* aborting the victim breaks the cycle; the survivors drain in turn *)
+  H.release_all t ~txn:3;
+  Alcotest.(check bool) "t2 proceeds on c" true (granted (x 2 c));
+  H.release_all t ~txn:2;
+  Alcotest.(check bool) "t1 proceeds on b" true (granted (x 1 b));
+  H.release_all t ~txn:1;
+  Alcotest.(check int) "doc table drained" 0 (List.length (H.doc_holders t "d"));
+  Alcotest.(check int) "subtree table drained" 0
+    (List.length (H.subtree_locks t "d"))
+
 let test_reacquire_is_idempotent () =
   let t = H.create () in
   Alcotest.(check bool) "doc X" true
@@ -103,6 +126,7 @@ let suite =
     Alcotest.test_case "document locks vs subtrees" `Quick
       test_document_lock_vs_subtrees;
     Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+    Alcotest.test_case "three-txn cycle" `Quick test_three_txn_cycle;
     Alcotest.test_case "reacquire idempotent" `Quick test_reacquire_is_idempotent;
     Alcotest.test_case "documents independent" `Quick
       test_different_documents_independent;

@@ -20,6 +20,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("fuzz", Test_fuzz.suite);
       ("hier-lock", Test_hier_lock.suite);
+      ("crash", Test_crash.suite);
       ("regex", Test_rx.suite);
       ("tools", Test_tools.suite);
     ]

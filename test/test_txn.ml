@@ -77,6 +77,67 @@ let test_deadlock_detection () =
          = Some Lock_mgr.Exclusive);
       Database.commit db t1)
 
+let test_three_txn_deadlock_cycle () =
+  Test_util.with_db (fun db ->
+      ignore (Test_util.load db "x" "<a/>");
+      ignore (Test_util.load db "y" "<a/>");
+      ignore (Test_util.load db "z" "<a/>");
+      let lm = Database.lock_manager db in
+      let t1 = Database.begin_txn db in
+      let t2 = Database.begin_txn db in
+      let t3 = Database.begin_txn db in
+      let x txn doc = Database.lock db txn ~doc ~mode:Lock_mgr.Exclusive in
+      Alcotest.(check bool) "t1 X x" true (x t1 "x" = Lock_mgr.Granted);
+      Alcotest.(check bool) "t2 X y" true (x t2 "y" = Lock_mgr.Granted);
+      Alcotest.(check bool) "t3 X z" true (x t3 "z" = Lock_mgr.Granted);
+      (* t1 -> t2 -> t3 -> t1: only the last edge closes the cycle *)
+      Alcotest.(check bool) "t1 waits for y" true (x t1 "y" = Lock_mgr.Blocked);
+      Alcotest.(check bool) "t2 waits for z" true (x t2 "z" = Lock_mgr.Blocked);
+      Alcotest.(check bool) "t3 -> x closes the cycle" true
+        (x t3 "x" = Lock_mgr.Deadlock_detected);
+      (* aborting the victim breaks the cycle: t2's queued request for z
+         is promoted, then the survivors unwind in turn *)
+      Database.abort db t3;
+      Alcotest.(check bool) "t2 promoted to z" true
+        (Lock_mgr.holds lm "z" t2.Txn.id = Some Lock_mgr.Exclusive);
+      Database.commit db t2;
+      Alcotest.(check bool) "t1 promoted to y" true
+        (Lock_mgr.holds lm "y" t1.Txn.id = Some Lock_mgr.Exclusive);
+      Database.commit db t1;
+      (* nothing left behind in the lock tables *)
+      List.iter
+        (fun doc ->
+          Alcotest.(check int) (doc ^ " holders drained") 0
+            (List.length (Lock_mgr.holders lm doc));
+          Alcotest.(check int) (doc ^ " waiters drained") 0
+            (List.length (Lock_mgr.waiters lm doc)))
+        [ "x"; "y"; "z" ])
+
+let test_timeout_leaves_lock_tables_clean () =
+  Test_util.with_db (fun db ->
+      ignore (Test_util.load db "d" "<a><n>0</n></a>");
+      let lm = Database.lock_manager db in
+      let s1 = Sedna_db.Session.connect db in
+      let s2 = Sedna_db.Session.connect db in
+      Sedna_db.Session.begin_txn s1;
+      ignore (Sedna_db.Session.execute s1 {|UPDATE replace $n in doc("d")/a/n with <n>1</n>|});
+      Sedna_db.Session.begin_txn s2;
+      (* Lock_timeout is a catchable statement error that aborts only
+         s2's transaction; neither its lock nor its queued request may
+         survive the abort *)
+      (match Sedna_db.Session.execute s2 {|UPDATE replace $n in doc("d")/a/n with <n>2</n>|} with
+       | exception Sedna_util.Error.Sedna_error (Sedna_util.Error.Lock_timeout, _) -> ()
+       | _ -> Alcotest.fail "expected Lock_timeout");
+      Alcotest.(check bool) "s2 dropped out of its transaction" false
+        (Sedna_db.Session.in_transaction s2);
+      Alcotest.(check int) "s1 is the only holder" 1
+        (List.length (Lock_mgr.holders lm "d"));
+      Alcotest.(check int) "no queued waiters" 0
+        (List.length (Lock_mgr.waiters lm "d"));
+      Sedna_db.Session.commit s1;
+      Alcotest.(check int) "tables drained after commit" 0
+        (List.length (Lock_mgr.holders lm "d")))
+
 let test_snapshot_reader () =
   Test_util.with_db (fun db ->
       ignore (Test_util.load db "d" "<a><v>old</v></a>");
@@ -155,7 +216,9 @@ let test_two_writers_serialize () =
        | exception Sedna_util.Error.Sedna_error (Sedna_util.Error.Lock_timeout, _) -> ()
        | _ -> Alcotest.fail "second writer was not blocked");
       Sedna_db.Session.commit s1;
-      (* after s1 commits, s2 can retry *)
+      (* the timeout aborted s2's transaction (locks released, session
+         alive); after s1 commits, s2 retries in a fresh transaction *)
+      Sedna_db.Session.begin_txn s2;
       ignore (Sedna_db.Session.execute s2 {|UPDATE replace $n in doc("d")/a/n with <n>2</n>|});
       Sedna_db.Session.commit s2;
       Alcotest.(check string) "final" "2" (Test_util.exec db {|string(doc("d")/a/n)|}))
@@ -179,6 +242,10 @@ let suite =
     Alcotest.test_case "abort restores catalog" `Quick test_abort_restores_catalog;
     Alcotest.test_case "lock conflicts and upgrade" `Quick test_lock_conflicts;
     Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "three-txn deadlock cycle" `Quick
+      test_three_txn_deadlock_cycle;
+    Alcotest.test_case "timeout leaves lock tables clean" `Quick
+      test_timeout_leaves_lock_tables_clean;
     Alcotest.test_case "snapshot reader" `Quick test_snapshot_reader;
     Alcotest.test_case "snapshot schema isolation" `Quick
       test_snapshot_sees_schema_of_its_time;
