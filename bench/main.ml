@@ -746,6 +746,192 @@ let e13 () =
   Sedna_core.Database.close db
 
 (* ------------------------------------------------------------------ *)
+(* E14 — §3/§6.3: concurrent multi-session server                      *)
+(* ------------------------------------------------------------------ *)
+
+(* N concurrent clients over real TCP connections against the serving
+   layer: a mixed read/update workload (throughput and latency
+   percentiles), the §6.3 demonstration that a snapshot reader
+   completes while a writer transaction is uncommitted, admission
+   control under a session limit, and a graceful shutdown whose store
+   reopens clean. *)
+let e14 () =
+  header "E14 §3/§6.3 — concurrent multi-session server"
+    "snapshot readers complete while a writer transaction is \
+     uncommitted on another connection; admission control sheds load \
+     with SE-OVERLOADED; a drained shutdown leaves a recoverable store";
+  let module G = Sedna_db.Governor in
+  let module Server = Sedna_server.Server in
+  let module Client = Sedna_server.Server_client in
+  let exec_remote c q = Client.execute_string c q in
+  let clients = if quick () then 4 else 8 in
+  let per_client = if quick () then 25 else 100 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sedna-bench-srv-%d-%f" (Unix.getpid ())
+         (Unix.gettimeofday ()))
+  in
+  if Sys.file_exists dir then ignore (Sys.command ("rm -rf " ^ Filename.quote dir));
+  let g = G.create () in
+  ignore (G.create_database g ~name:"main" ~dir);
+  let srv =
+    Server.start
+      ~config:{ Server.default_config with pool_size = clients + 4 }
+      g
+  in
+  let port = Server.port srv in
+  let new_client () =
+    let c = Client.connect ~port () in
+    ignore (Client.open_db c "main");
+    c
+  in
+  let seed = new_client () in
+  ignore (Client.execute seed {|CREATE DOCUMENT "d"|});
+  ignore
+    (Client.execute seed
+       ("UPDATE insert <r>"
+        ^ String.concat ""
+            (List.init 200 (fun i -> Printf.sprintf "<item v=\"%d\"/>" i))
+        ^ {|</r> into doc("d")|}));
+  Client.close seed;
+  pf "  %d clients x %d requests each, port %d\n" clients per_client port;
+
+  (* ---- §6.3: snapshot reader vs uncommitted writer ---------------- *)
+  let writer = new_client () in
+  let reader = new_client () in
+  ignore (Client.execute writer "BEGIN");
+  ignore (Client.execute writer {|UPDATE insert <item v="-1"/> into doc("d")/r|});
+  (* the writer now holds the document X lock, uncommitted; the
+     snapshot reader must complete anyway, on the pre-writer state *)
+  let t_read, seen =
+    time_once (fun () -> exec_remote reader {|count(doc("d")/r/item)|})
+  in
+  ignore (Client.execute writer "COMMIT");
+  let after = exec_remote reader {|count(doc("d")/r/item)|} in
+  Client.close writer;
+  Client.close reader;
+  record_ms "e14.snapshot_reader_ms" t_read;
+  row3 "reader under uncommitted writer"
+    (Printf.sprintf "%.2f ms" (ms t_read))
+    (Printf.sprintf "saw %s, %s after commit" seen after);
+  if seen <> "200" || after <> "201" then begin
+    pf "  E14 FAILED: snapshot reader saw %s (want 200), %s after commit (want 201)\n"
+      seen after;
+    exit 1
+  end;
+
+  (* ---- mixed workload: 1 writer, N-1 readers ----------------------- *)
+  let read_h = Sedna_util.Metrics.histogram "e14.read.latency" in
+  let write_h = Sedna_util.Metrics.histogram "e14.write.latency" in
+  let read_qs =
+    [|
+      {|count(doc("d")/r/item)|};
+      {|count(doc("d")/r/item[@v >= 100])|};
+      {|string(doc("d")/r/item[1]/@v)|};
+    |]
+  in
+  let failures = ref 0 in
+  let fail_mu = Mutex.create () in
+  let body i () =
+    try
+      let c = new_client () in
+      for j = 1 to per_client do
+        if i = 0 then begin
+          let t, _ =
+            time_once (fun () ->
+                Client.execute c
+                  (Printf.sprintf
+                     {|UPDATE insert <w c="%d"/> into doc("d")/r|} j))
+          in
+          Sedna_util.Metrics.observe write_h t
+        end
+        else begin
+          let t, _ =
+            time_once (fun () ->
+                Client.execute c read_qs.(j mod Array.length read_qs))
+          in
+          Sedna_util.Metrics.observe read_h t
+        end
+      done;
+      Client.close c
+    with e ->
+      Mutex.lock fail_mu;
+      incr failures;
+      Mutex.unlock fail_mu;
+      pf "  client %d failed: %s\n" i (Printexc.to_string e)
+  in
+  let t_wall, () =
+    time_once (fun () ->
+        let ts = List.init clients (fun i -> Thread.create (body i) ()) in
+        List.iter Thread.join ts)
+  in
+  let total = clients * per_client in
+  let rps = float_of_int total /. t_wall in
+  let p h q = Sedna_util.Metrics.percentile h q in
+  record_int "e14.clients" clients;
+  record_int "e14.requests" total;
+  record_int "e14.client_failures" !failures;
+  record "e14.throughput_rps" (Sedna_util.Metrics.Float rps);
+  record_ms "e14.read_p50_ms" (p read_h 0.5);
+  record_ms "e14.read_p95_ms" (p read_h 0.95);
+  record_ms "e14.write_p50_ms" (p write_h 0.5);
+  record_ms "e14.write_p95_ms" (p write_h 0.95);
+  row3 "mixed workload"
+    (Printf.sprintf "%d reqs in %.2f s" total t_wall)
+    (Printf.sprintf "%.0f req/s" rps);
+  row3 "read latency"
+    (Printf.sprintf "p50 %.2f ms" (ms (p read_h 0.5)))
+    (Printf.sprintf "p95 %.2f ms" (ms (p read_h 0.95)));
+  row3 "write latency"
+    (Printf.sprintf "p50 %.2f ms" (ms (p write_h 0.5)))
+    (Printf.sprintf "p95 %.2f ms" (ms (p write_h 0.95)));
+  if !failures > 0 then begin
+    pf "  E14 FAILED: %d clients errored\n" !failures;
+    exit 1
+  end;
+
+  (* ---- admission control ------------------------------------------- *)
+  G.set_limits g { G.max_sessions = 2; query_timeout_s = 0. };
+  let c1 = new_client () and c2 = new_client () in
+  let refused =
+    let c3 = Client.connect ~port () in
+    match Client.open_db c3 "main" with
+    | exception Client.Remote_error ("SE-OVERLOADED", _) ->
+      Client.close c3;
+      true
+    | _ ->
+      Client.close c3;
+      false
+  in
+  Client.close c1;
+  Client.close c2;
+  record_int "e14.overload_refused" (if refused then 1 else 0);
+  row3 "admission control" "max_sessions = 2"
+    (if refused then "3rd open refused (SE-OVERLOADED)" else "NOT refused");
+
+  (* ---- graceful shutdown + reopen ----------------------------------- *)
+  let t_stop, () = time_once (fun () -> Server.stop srv) in
+  let db = Sedna_core.Database.open_existing dir in
+  let problems = Sedna_core.Integrity.check_all (Sedna_core.Database.store db) in
+  let committed =
+    let s = Sedna_db.Session.connect db in
+    Sedna_db.Session.execute_string s {|count(doc("d")/r/w)|}
+  in
+  Sedna_core.Database.close db;
+  record_ms "e14.shutdown_ms" t_stop;
+  record_int "e14.integrity_errors" (List.length problems);
+  row3 "graceful shutdown"
+    (Printf.sprintf "%.2f ms" (ms t_stop))
+    (Printf.sprintf "reopen: %s, %s writes durable"
+       (if problems = [] then "integrity OK" else "INTEGRITY ERRORS")
+       committed);
+  if problems <> [] || committed <> string_of_int per_client then begin
+    pf "  E14 FAILED: integrity %d errors, %s/%d writes after reopen\n"
+      (List.length problems) committed per_client;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* CRASH — crash-recovery matrix (crash-safety hardening)              *)
 (* ------------------------------------------------------------------ *)
 
@@ -790,7 +976,7 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E4b", e4b);
     ("E5", e5); ("E6", e6); ("E6b", e6b); ("E7", e7); ("E7b", e7b); ("E8", e8);
     ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("CRASH", crash);
+    ("E14", e14); ("CRASH", crash);
   ]
 
 let () =

@@ -123,10 +123,9 @@ let interactive session =
     done
   with Exit -> ()
 
-let main db_dir create stmts =
-  (* SEDNA_FAULT=<site>:<policy>[,...] arms injection before the
-     database opens, so recovery itself can be put under fault *)
-  Sedna_util.Fault.arm_from_env ();
+(* ---- the three modes: local shell, server, network client ------------- *)
+
+let local_mode db_dir create stmts =
   let db =
     if create || not (Sys.file_exists (Filename.concat db_dir "data.sdb")) then
       Database.create db_dir
@@ -145,13 +144,79 @@ let main db_dir create stmts =
     Printf.eprintf "simulated crash at fault site %s\n" site;
     exit 1
 
+(* --serve: register the database with a governor, start the serving
+   layer and run until SIGINT/SIGTERM, then drain gracefully
+   (in-flight statements finish, databases checkpoint, WAL closes). *)
+let serve_mode db_dir create host port db_name max_sessions query_timeout =
+  let g = Sedna_db.Governor.create () in
+  let name =
+    match db_name with Some n -> n | None -> Filename.basename db_dir
+  in
+  ignore
+    (if create || not (Sys.file_exists (Filename.concat db_dir "data.sdb")) then
+       Sedna_db.Governor.create_database g ~name ~dir:db_dir
+     else Sedna_db.Governor.open_database g ~name ~dir:db_dir);
+  Sedna_db.Governor.set_limits g
+    { Sedna_db.Governor.max_sessions; query_timeout_s = query_timeout };
+  let srv =
+    Sedna_server.Server.start
+      ~config:{ Sedna_server.Server.default_config with host; port }
+      g
+  in
+  Printf.printf "serving database %S on %s:%d (max %d sessions%s)\n%!" name host
+    (Sedna_server.Server.port srv)
+    max_sessions
+    (if query_timeout > 0. then
+       Printf.sprintf ", query timeout %.1fs" query_timeout
+     else "");
+  let stop_requested = ref false in
+  let handler _ = stop_requested := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+  while not !stop_requested do
+    try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Printf.printf "draining...\n%!";
+  Sedna_server.Server.stop srv;
+  print_endline "server stopped"
+
+(* --connect: drive a running server over the wire protocol instead of
+   opening the directory locally. *)
+let connect_mode host port db_name stmts =
+  let name = match db_name with Some n -> n | None -> "db" in
+  let c = Sedna_server.Server_client.connect ~host ~port () in
+  ignore (Sedna_server.Server_client.open_db c name);
+  List.iter
+    (fun stmt ->
+      try print_endline (Sedna_server.Server_client.execute_string c stmt) with
+      | Sedna_server.Server_client.Remote_error (code, msg) ->
+        Printf.printf "error: %s: %s\n" code msg)
+    stmts;
+  Sedna_server.Server_client.close c
+
+let main db_dir create stmts serve connect host port db_name max_sessions
+    query_timeout =
+  (* SEDNA_FAULT=<site>:<policy>[,...] arms injection before the
+     database opens, so recovery itself can be put under fault *)
+  Sedna_util.Fault.arm_from_env ();
+  match (connect, serve, db_dir) with
+  | true, _, _ -> connect_mode host port db_name stmts
+  | false, true, Some dir ->
+    serve_mode dir create host port db_name max_sessions query_timeout
+  | false, false, Some dir -> local_mode dir create stmts
+  | false, _, None ->
+    prerr_endline "sedna_cli: --db is required unless --connect is used";
+    exit 2
+
 open Cmdliner
 
 let db_arg =
   Arg.(
-    required
+    value
     & opt (some string) None
-    & info [ "db" ] ~docv:"DIR" ~doc:"Database directory (created if missing).")
+    & info [ "db" ] ~docv:"DIR"
+        ~doc:"Database directory (created if missing).  Required except \
+              with $(b,--connect).")
 
 let create_arg =
   Arg.(value & flag & info [ "create" ] ~doc:"Force creation of a fresh database.")
@@ -162,10 +227,53 @@ let exec_arg =
     & info [ "exec"; "e" ] ~docv:"STMT"
         ~doc:"Execute a statement and exit (repeatable).")
 
+let serve_arg =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:"Serve the database over TCP until SIGINT/SIGTERM, then drain \
+              gracefully.")
+
+let connect_arg =
+  Arg.(
+    value & flag
+    & info [ "connect" ]
+        ~doc:"Connect to a running server instead of opening a directory; \
+              statements from $(b,--exec) run remotely.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Bind/connect address.")
+
+let port_arg =
+  Arg.(value & opt int 5050 & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let db_name_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "db-name" ] ~docv:"NAME"
+        ~doc:"Database name clients open (default: basename of $(b,--db)).")
+
+let max_sessions_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-sessions" ] ~docv:"N"
+        ~doc:"Admission control: refuse connections past this many sessions \
+              (SE-OVERLOADED).")
+
+let query_timeout_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "query-timeout" ] ~docv:"SECONDS"
+        ~doc:"Per-statement wall-clock budget; 0 disables (SE-TIMEOUT).")
+
 let cmd =
-  let doc = "Sedna XML database shell" in
+  let doc = "Sedna XML database shell, server and network client" in
   Cmd.v
     (Cmd.info "sedna_cli" ~doc)
-    Term.(const main $ db_arg $ create_arg $ exec_arg)
+    Term.(
+      const main $ db_arg $ create_arg $ exec_arg $ serve_arg $ connect_arg
+      $ host_arg $ port_arg $ db_name_arg $ max_sessions_arg
+      $ query_timeout_arg)
 
 let () = exit (Cmd.eval cmd)

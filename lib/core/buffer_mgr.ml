@@ -156,6 +156,10 @@ let install t pid ~load =
 (* The dereference: returns the frame index holding the page of [pid].
    Fast path = VAS slot equality check. *)
 let frame_of_pid t pid =
+  (* the universal choke point: every page touch passes through here,
+     so an armed statement deadline is noticed even inside long scans
+     that never re-enter the expression evaluator *)
+  Deadline.check ();
   incr Counters.deref_cell;
   let slot = pid mod Page.pages_per_layer in
   let layer = pid / Page.pages_per_layer in

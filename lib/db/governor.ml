@@ -7,14 +7,46 @@
 open Sedna_util
 open Sedna_core
 
+(* Admission-control knobs (paper §3: the governor is where global
+   resource policy lives).  [max_sessions] bounds concurrent
+   connections; [query_timeout_s] is the per-statement wall-clock
+   budget the serving layer arms via [Deadline]; 0. disables it. *)
+type limits = { max_sessions : int; query_timeout_s : float }
+
+let default_limits = { max_sessions = 64; query_timeout_s = 0. }
+
 type t = {
   databases : (string, Database.t) Hashtbl.t;
   mutable sessions : (int * Session.t) list;
   mutable next_session_id : int;
+  mutable limits : limits;
+  mu : Mutex.t; (* guards the registry fields above *)
+  engine : Mutex.t; (* the coarse store lock: one statement in the engine *)
 }
 
 let create () =
-  { databases = Hashtbl.create 4; sessions = []; next_session_id = 1 }
+  {
+    databases = Hashtbl.create 4;
+    sessions = [];
+    next_session_id = 1;
+    limits = default_limits;
+    mu = Mutex.create ();
+    engine = Mutex.create ();
+  }
+
+let limits t = t.limits
+let set_limits t l = t.limits <- l
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* The store lock serializing engine access across server worker
+   threads.  Held per *statement*, never across an idle transaction:
+   an uncommitted writer keeps its S2PL document locks but not this
+   mutex, so snapshot readers slip in between its statements and read
+   their version chain without waiting for the commit (paper §6.3). *)
+let with_engine t f = locked t.engine f
 
 let create_database t ~name ~dir =
   if Hashtbl.mem t.databases name then
@@ -38,25 +70,43 @@ let get_database t name =
   | None -> Error.raise_error Error.No_such_document "no database %S" name
 
 (* paper §3: "for each client, the governor creates an instance of the
-   connection component and establishes the connection" *)
+   connection component and establishes the connection".  Admission
+   control lives here: past [max_sessions] the connect is refused with
+   SE-OVERLOADED instead of queueing. *)
 let connect t ~database : int * Session.t =
   let db = get_database t database in
-  let s = Session.connect db in
-  let id = t.next_session_id in
-  t.next_session_id <- id + 1;
-  t.sessions <- (id, s) :: t.sessions;
-  (id, s)
+  locked t.mu (fun () ->
+      if List.length t.sessions >= t.limits.max_sessions then begin
+        Counters.bump Counters.conn_rejected;
+        Trace.emit (Trace.Conn_reject { reason = "overloaded" });
+        Error.raise_error Error.Overloaded
+          "session limit reached (%d of %d)" (List.length t.sessions)
+          t.limits.max_sessions
+      end;
+      let s = Session.connect db in
+      let id = t.next_session_id in
+      t.next_session_id <- id + 1;
+      t.sessions <- (id, s) :: t.sessions;
+      (id, s))
 
 let disconnect t id =
-  (match List.assoc_opt id t.sessions with
-   | Some s when Session.in_transaction s -> Session.rollback s
-   | _ -> ());
-  t.sessions <- List.remove_assoc id t.sessions
+  let s = locked t.mu (fun () ->
+      let s = List.assoc_opt id t.sessions in
+      t.sessions <- List.remove_assoc id t.sessions;
+      s)
+  in
+  match s with
+  | Some s when Session.in_transaction s ->
+    (* the rollback touches the store: take the engine lock like any
+       other statement would *)
+    with_engine t (fun () -> Session.rollback s)
+  | _ -> ()
 
-let session_count t = List.length t.sessions
+let session_count t = locked t.mu (fun () -> List.length t.sessions)
 
 let shutdown t =
-  List.iter (fun (id, _) -> disconnect t id) t.sessions;
+  let sessions = locked t.mu (fun () -> t.sessions) in
+  List.iter (fun (id, _) -> disconnect t id) sessions;
   Hashtbl.iter (fun _ db -> Database.close db) t.databases;
   Hashtbl.reset t.databases
 
@@ -65,11 +115,16 @@ let shutdown t =
    latency histograms, the non-zero global counters and the retained
    trace events by type. *)
 let observability_report t =
+  let sessions = locked t.mu (fun () -> t.sessions) in
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "=== governor observability report ===";
-  line "databases: %d, sessions: %d" (Hashtbl.length t.databases)
-    (List.length t.sessions);
+  line "databases: %d, sessions: %d (max %d, query timeout %s)"
+    (Hashtbl.length t.databases)
+    (List.length sessions) t.limits.max_sessions
+    (if t.limits.query_timeout_s > 0. then
+       Printf.sprintf "%.1fs" t.limits.query_timeout_s
+     else "off");
   List.iter
     (fun (gid, s) ->
       let hits, misses = Session.plan_cache_stats s in
@@ -83,7 +138,13 @@ let observability_report t =
         (Metrics.percentile h 0.5 *. 1000.)
         (Metrics.percentile h 0.95 *. 1000.)
         (Metrics.percentile h 0.99 *. 1000.))
-    (List.sort (fun (a, _) (b', _) -> compare a b') t.sessions);
+    (List.sort (fun (a, _) (b', _) -> compare a b') sessions);
+  line "serving:";
+  line "  connections: %d accepted, %d rejected; %d requests; %d query timeouts"
+    (Counters.get Counters.conn_accepted)
+    (Counters.get Counters.conn_rejected)
+    (Counters.get Counters.server_requests)
+    (Counters.get Counters.query_timeout);
   (match Metrics.histograms () with
    | [] -> ()
    | hs ->

@@ -5,7 +5,25 @@
 
 type t
 
+(** Admission-control knobs: [max_sessions] bounds concurrent
+    connections ({!connect} past it raises SE-OVERLOADED);
+    [query_timeout_s] is the per-statement wall-clock budget the
+    serving layer enforces (0. = disabled). *)
+type limits = { max_sessions : int; query_timeout_s : float }
+
+val default_limits : limits
+
 val create : unit -> t
+
+val limits : t -> limits
+val set_limits : t -> limits -> unit
+
+val with_engine : t -> (unit -> 'a) -> 'a
+(** The coarse store lock serializing engine access across server
+    worker threads.  Held per statement, never across an idle
+    transaction: an uncommitted writer keeps its S2PL document locks
+    between statements but not this mutex, so snapshot readers run
+    without waiting for its commit (paper §6.3).  Not reentrant. *)
 
 val create_database : t -> name:string -> dir:string -> Sedna_core.Database.t
 val open_database : t -> name:string -> dir:string -> Sedna_core.Database.t
@@ -14,10 +32,14 @@ val get_database : t -> string -> Sedna_core.Database.t
 
 val connect : t -> database:string -> int * Session.t
 (** Create a session ("connection component") against a registered
-    database; returns its id for {!disconnect}. *)
+    database; returns its id for {!disconnect}.  Raises
+    [Error.Sedna_error (Overloaded, _)] once [max_sessions] sessions
+    are registered.  Thread-safe. *)
 
 val disconnect : t -> int -> unit
-(** Rolls back the session's open transaction, if any. *)
+(** Rolls back the session's open transaction, if any (taking the
+    engine lock to do so — do not call while holding it).
+    Thread-safe and idempotent. *)
 
 val session_count : t -> int
 

@@ -371,7 +371,11 @@ let aborts_transaction = function
   | Fault.Injected_fault _ -> true
   | Error.Sedna_error
       ( ( Error.Lock_timeout | Error.Deadlock | Error.Storage_corruption
-        | Error.Corrupt_page | Error.Update_conflict ),
+        | Error.Corrupt_page | Error.Update_conflict
+        (* a fired statement deadline may have left partial update
+           effects behind: only the owning transaction dies, its locks
+           and before-images are released like any other abort *)
+        | Error.Query_timeout ),
         _ ) ->
     true
   | _ -> false

@@ -256,6 +256,7 @@ let rec eval (ctx : ctx) (e : Ast.expr) : item Seq.t =
     | None -> eval_core ctx e)
 
 and eval_core (ctx : ctx) (e : Ast.expr) : item Seq.t =
+  Deadline.check ();
   match e with
   | Ast.Int_lit i -> Seq.return (A (AInt i))
   | Ast.Dbl_lit f -> Seq.return (A (ADbl f))
@@ -537,6 +538,11 @@ and eval_index_probe ctx (p : Ast.index_probe) : item Seq.t =
         match def.Catalog.idx_kind with
         | Catalog.Number_index -> (
           let f = float_of_atomic a in
+          (* XQuery: every comparison against NaN is false, so a NaN key
+             matches nothing — the B-tree's own float order would
+             otherwise return an arbitrary, wrong answer *)
+          if Float.is_nan f then []
+          else
           match p.Ast.ip_mode with
           | Ast.Probe_eq -> Index_mgr.lookup_number st def f
           | Ast.Probe_ge | Ast.Probe_gt -> Index_mgr.range_number st def ~lo:f ()
@@ -671,6 +677,10 @@ and eval_binop ctx op a b : item Seq.t =
     match
       (singleton_atomic ctx (eval ctx a), singleton_atomic ctx (eval ctx b))
     with
+    | Some x, Some y when nan_pair x y ->
+      (* IEEE 754: every ordered comparison with NaN is false; 'ne' is
+         not(eq), so it alone is true *)
+      Seq.return (A (ABool (op = Ast.Ne)))
     | Some x, Some y -> (
       match value_compare x y with
       | None ->
@@ -694,7 +704,7 @@ and eval_binop ctx op a b : item Seq.t =
     let ys = List.of_seq (Seq.map (atomize ctx.st) (eval ctx b)) in
     let holds x y =
       match general_pair_compare x y with
-      | None -> false
+      | None -> op = Ast.Gen_ne && nan_pair x y
       | Some c -> (
         match op with
         | Ast.Gen_eq -> c = 0
@@ -1297,10 +1307,12 @@ and eval_index_scan ctx (args : Ast.expr list) : item Seq.t =
       | _, None -> []
       | Catalog.Number_index, Some k -> (
         let f = float_of_atomic k in
-        match mode with
-        | "GE" -> Index_mgr.range_number ctx.st def ~lo:f ()
-        | "LE" -> Index_mgr.range_number ctx.st def ~hi:f ()
-        | _ -> Index_mgr.lookup_number ctx.st def f)
+        if Float.is_nan f then []
+        else
+          match mode with
+          | "GE" -> Index_mgr.range_number ctx.st def ~lo:f ()
+          | "LE" -> Index_mgr.range_number ctx.st def ~hi:f ()
+          | _ -> Index_mgr.lookup_number ctx.st def f)
       | Catalog.String_index, Some k -> (
         let s = string_of_atomic k in
         match mode with

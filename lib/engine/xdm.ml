@@ -170,30 +170,60 @@ let ebv _st (items : item Seq.t) : bool =
 
 (* ---- comparisons ----------------------------------------------------------- *)
 
+(* Numeric comparison with XQuery NaN semantics: every value/general
+   comparison involving NaN is false, which [None] encodes — the
+   polymorphic [compare] would instead order NaN below everything and
+   make [NaN eq NaN] true. *)
+let float_compare_opt (x : float) (y : float) : int option =
+  if Float.is_nan x || Float.is_nan y then None else Some (compare x y)
+
+(* One side is a numeric NaN and the other is numeric (or an untyped
+   value that promotes to a number): the pair is unordered in the IEEE
+   sense, as opposed to ill-typed — callers decide between "false" and
+   a type error on that distinction. *)
+let nan_pair (a : atomic) (b : atomic) : bool =
+  let is_nan = function ADbl f -> Float.is_nan f | _ -> false in
+  let numericish = function
+    | AInt _ | ADbl _ -> true
+    | AUntyped s -> float_of_string_opt (String.trim s) <> None
+    | _ -> false
+  in
+  (is_nan a && numericish b) || (is_nan b && numericish a)
+
 let value_compare (a : atomic) (b : atomic) : int option =
   (* typed comparison for 'eq lt ...'; None = incomparable *)
   match (a, b) with
   | AInt x, AInt y -> Some (compare x y)
   | (AInt _ | ADbl _), (AInt _ | ADbl _) ->
-    Some (compare (float_of_atomic a) (float_of_atomic b))
+    float_compare_opt (float_of_atomic a) (float_of_atomic b)
   | ABool x, ABool y -> Some (compare x y)
   | (AStr x | AUntyped x), (AStr y | AUntyped y) -> Some (String.compare x y)
   | (AInt _ | ADbl _), AUntyped s | AUntyped s, (AInt _ | ADbl _) -> (
     match float_of_string_opt (String.trim s) with
-    | Some _ ->
-      Some (compare (float_of_atomic a) (float_of_atomic b))
+    | Some _ -> float_compare_opt (float_of_atomic a) (float_of_atomic b)
     | None -> None)
   | _ -> None
+
+(* xs:untypedAtomic -> xs:boolean cast (XQuery casting rules): the
+   lexical space is "true"/"1" and "false"/"0"; anything else is a
+   dynamic error, not silently false. *)
+let bool_of_untyped (s : string) : bool =
+  match String.trim s with
+  | "true" | "1" -> true
+  | "false" | "0" -> false
+  | other ->
+    Error.raise_error Error.Xquery_dynamic
+      "cannot cast untyped value %S to xs:boolean" other
 
 (* general-comparison pairwise rule: untyped adapts to the other side *)
 let general_pair_compare (a : atomic) (b : atomic) : int option =
   match (a, b) with
   | AUntyped x, (AInt _ | ADbl _) ->
-    Some (compare (float_of_atomic (AUntyped x)) (float_of_atomic b))
+    float_compare_opt (float_of_atomic (AUntyped x)) (float_of_atomic b)
   | (AInt _ | ADbl _), AUntyped y ->
-    Some (compare (float_of_atomic a) (float_of_atomic (AUntyped y)))
-  | AUntyped x, ABool _ -> value_compare (ABool (x = "true")) b
-  | ABool _, AUntyped y -> value_compare a (ABool (y = "true"))
+    float_compare_opt (float_of_atomic a) (float_of_atomic (AUntyped y))
+  | AUntyped x, ABool _ -> value_compare (ABool (bool_of_untyped x)) b
+  | ABool _, AUntyped y -> value_compare a (ABool (bool_of_untyped y))
   | AUntyped x, AStr y | AUntyped x, AUntyped y -> Some (String.compare x y)
   | AStr x, AUntyped y -> Some (String.compare x y)
   | _ -> value_compare a b

@@ -65,7 +65,16 @@ val ebv : Sedna_core.Store.t -> item Seq.t -> bool
     sequences). *)
 
 val value_compare : atomic -> atomic -> int option
-(** Typed comparison for [eq lt ...]; [None] = incomparable. *)
+(** Typed comparison for [eq lt ...]; [None] = incomparable (including
+    any comparison involving NaN, which is unordered). *)
+
+val nan_pair : atomic -> atomic -> bool
+(** One side is a numeric NaN and the other is numeric (or numeric
+    untyped): unordered in the IEEE sense rather than ill-typed. *)
+
+val bool_of_untyped : string -> bool
+(** xs:untypedAtomic -> xs:boolean cast; raises FORG0001 outside the
+    boolean lexical space ("true"/"1"/"false"/"0"). *)
 
 val general_pair_compare : atomic -> atomic -> int option
 (** The general-comparison pairwise rule (untyped adapts to the other

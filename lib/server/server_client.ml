@@ -1,0 +1,74 @@
+(* Client side of the wire protocol: a blocking connection that the
+   benches, tests and the CLI's --connect mode drive like a local
+   session.  Query results arrive in fetch-batches and are reassembled
+   here. *)
+
+open Sedna_db
+
+exception Remote_error of string * string
+
+let () =
+  Printexc.register_printer (function
+    | Remote_error (code, msg) -> Some (Printf.sprintf "%s: %s" code msg)
+    | _ -> None)
+
+type t = { fd : Unix.file_descr; fetch_chunk : int; mutable closed : bool }
+
+let connect ?(host = "127.0.0.1") ?(fetch_chunk = 64 * 1024) ~port () : t =
+  (* a server that closed the connection must surface as EPIPE on our
+     next write, not kill the client process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  { fd; fetch_chunk; closed = false }
+
+(* one request/response round trip; servers only ever push a frame in
+   response to one of ours, so this is the whole protocol *)
+let request (t : t) (req : Wire.request) : Wire.response =
+  Wire.write_request t.fd req;
+  Wire.read_response t.fd
+
+let fail_err = function
+  | Wire.Err { code; msg } -> raise (Remote_error (code, msg))
+  | r -> r
+
+let open_db (t : t) (database : string) : int =
+  match fail_err (request t (Wire.Open database)) with
+  | Wire.Opened id -> id
+  | _ -> raise (Wire.Protocol_error "unexpected response to Open")
+
+let fetch_all (t : t) (total : int) : string =
+  let b = Buffer.create total in
+  let rec go () =
+    match fail_err (request t (Wire.Fetch t.fetch_chunk)) with
+    | Wire.Chunk { last; data } ->
+      Buffer.add_string b data;
+      if not last then go ()
+    | _ -> raise (Wire.Protocol_error "unexpected response to Fetch")
+  in
+  go ();
+  Buffer.contents b
+
+let execute (t : t) (text : string) : Session.result =
+  match fail_err (request t (Wire.Execute text)) with
+  | Wire.Updated n -> Session.Updated n
+  | Wire.Message m -> Session.Message m
+  | Wire.Result_ready total -> Session.Items (fetch_all t total)
+  | _ -> raise (Wire.Protocol_error "unexpected response to Execute")
+
+let execute_string t text = Session.result_to_string (execute t text)
+
+let close (t : t) =
+  if not t.closed then begin
+    t.closed <- true;
+    (try
+       match request t Wire.Close with
+       | Wire.Bye | _ -> ()
+     with _ -> ());
+    try Unix.close t.fd with _ -> ()
+  end

@@ -1,0 +1,26 @@
+(** Blocking client for the {!Wire} protocol — what benches, tests and
+    the CLI's --connect mode use instead of a local session. *)
+
+exception Remote_error of string * string
+(** [(code, message)] — the server-side error, e.g.
+    ["SE-OVERLOADED"], ["SE-TIMEOUT"], ["XPTY0004"]. *)
+
+type t
+
+val connect : ?host:string -> ?fetch_chunk:int -> port:int -> unit -> t
+
+val open_db : t -> string -> int
+(** Open a session against the named database; returns the session id. *)
+
+val execute : t -> string -> Sedna_db.Session.result
+(** Run one statement; query results are reassembled from
+    fetch-batches.  ["BEGIN"], ["BEGIN READ ONLY"], ["COMMIT"] and
+    ["ROLLBACK"] are transaction control. *)
+
+val execute_string : t -> string -> string
+
+val request : t -> Wire.request -> Wire.response
+(** Raw round trip (tests use this to observe protocol-level replies). *)
+
+val close : t -> unit
+(** Send [Close], then close the socket.  Idempotent. *)

@@ -1,0 +1,193 @@
+(* The wire protocol: length-prefixed binary frames over a byte stream
+   (paper §3: clients speak to their session through a socket pair).
+
+     frame    := u32_be payload_length, payload
+     payload  := opcode byte, body
+     str      := u32_be byte_length, bytes
+
+   Requests (client -> server):
+     'O' str database          open a session against a database
+     'X' str statement         execute one statement
+     'F' u32 max_bytes         fetch the next chunk of a query result
+     'C'                       close the session
+
+   Responses (server -> client):
+     'o' u32 session_id        session opened
+     'u' u32 count             update statement done (affected nodes)
+     'm' str message           DDL / transaction-control done
+     'r' u32 total_bytes       query result ready; fetch-batch to stream
+     'c' u8 last, str data     one result chunk ([last] = final one)
+     'b'                       session closed, connection ends
+     'e' str code, str msg     error (code = SE-*/W3C error name)  *)
+
+type request =
+  | Open of string
+  | Execute of string
+  | Fetch of int
+  | Close
+
+type response =
+  | Opened of int
+  | Updated of int
+  | Message of string
+  | Result_ready of int
+  | Chunk of { last : bool; data : string }
+  | Bye
+  | Err of { code : string; msg : string }
+
+(* Frames larger than this are a protocol violation, not a payload:
+   reject before allocating. *)
+let max_frame = 64 * 1024 * 1024
+
+exception Protocol_error of string
+
+let perror fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+(* ---- byte-level helpers -------------------------------------------- *)
+
+let really_read fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.read fd buf off len in
+      if n = 0 then raise End_of_file;
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let really_write fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write fd buf off len in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let add_u32 b n =
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff))
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+type reader = { bytes : Bytes.t; mutable pos : int }
+
+let get_u8 r =
+  if r.pos >= Bytes.length r.bytes then perror "truncated frame";
+  let v = Char.code (Bytes.get r.bytes r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u32 r =
+  let a = get_u8 r in
+  let b = get_u8 r in
+  let c = get_u8 r in
+  let d = get_u8 r in
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let get_str r =
+  let len = get_u32 r in
+  if r.pos + len > Bytes.length r.bytes then perror "truncated string";
+  let s = Bytes.sub_string r.bytes r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+(* ---- framing -------------------------------------------------------- *)
+
+let write_frame fd (payload : Buffer.t) =
+  let len = Buffer.length payload in
+  let b = Bytes.create (4 + len) in
+  Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (len land 0xff));
+  Bytes.blit_string (Buffer.contents payload) 0 b 4 len;
+  really_write fd b 0 (4 + len)
+
+let read_frame fd : reader =
+  let hdr = Bytes.create 4 in
+  really_read fd hdr 0 4;
+  let len =
+    (Char.code (Bytes.get hdr 0) lsl 24)
+    lor (Char.code (Bytes.get hdr 1) lsl 16)
+    lor (Char.code (Bytes.get hdr 2) lsl 8)
+    lor Char.code (Bytes.get hdr 3)
+  in
+  if len > max_frame then perror "frame of %d bytes exceeds the limit" len;
+  let payload = Bytes.create len in
+  really_read fd payload 0 len;
+  { bytes = payload; pos = 0 }
+
+(* ---- requests -------------------------------------------------------- *)
+
+let write_request fd (req : request) =
+  let b = Buffer.create 64 in
+  (match req with
+   | Open db ->
+     Buffer.add_char b 'O';
+     add_str b db
+   | Execute text ->
+     Buffer.add_char b 'X';
+     add_str b text
+   | Fetch max_bytes ->
+     Buffer.add_char b 'F';
+     add_u32 b max_bytes
+   | Close -> Buffer.add_char b 'C');
+  write_frame fd b
+
+let read_request fd : request =
+  let r = read_frame fd in
+  match Char.chr (get_u8 r) with
+  | 'O' -> Open (get_str r)
+  | 'X' -> Execute (get_str r)
+  | 'F' -> Fetch (get_u32 r)
+  | 'C' -> Close
+  | c -> perror "unknown request opcode %C" c
+
+(* ---- responses ------------------------------------------------------- *)
+
+let write_response fd (resp : response) =
+  let b = Buffer.create 64 in
+  (match resp with
+   | Opened id ->
+     Buffer.add_char b 'o';
+     add_u32 b id
+   | Updated n ->
+     Buffer.add_char b 'u';
+     add_u32 b n
+   | Message m ->
+     Buffer.add_char b 'm';
+     add_str b m
+   | Result_ready total ->
+     Buffer.add_char b 'r';
+     add_u32 b total
+   | Chunk { last; data } ->
+     Buffer.add_char b 'c';
+     Buffer.add_char b (if last then '\001' else '\000');
+     add_str b data
+   | Bye -> Buffer.add_char b 'b'
+   | Err { code; msg } ->
+     Buffer.add_char b 'e';
+     add_str b code;
+     add_str b msg);
+  write_frame fd b
+
+let read_response fd : response =
+  let r = read_frame fd in
+  match Char.chr (get_u8 r) with
+  | 'o' -> Opened (get_u32 r)
+  | 'u' -> Updated (get_u32 r)
+  | 'm' -> Message (get_str r)
+  | 'r' -> Result_ready (get_u32 r)
+  | 'c' ->
+    let last = get_u8 r <> 0 in
+    Chunk { last; data = get_str r }
+  | 'b' -> Bye
+  | 'e' ->
+    let code = get_str r in
+    Err { code; msg = get_str r }
+  | c -> perror "unknown response opcode %C" c

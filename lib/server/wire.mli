@@ -1,0 +1,29 @@
+(** Length-prefixed binary wire protocol between {!Server_client} and
+    {!Server}: a u32 frame length, then an opcode byte and its body.
+    See wire.ml for the exact frame grammar. *)
+
+type request =
+  | Open of string  (** open a session against the named database *)
+  | Execute of string  (** run one statement (query / update / DDL / BEGIN…) *)
+  | Fetch of int  (** next result chunk, at most this many bytes *)
+  | Close
+
+type response =
+  | Opened of int  (** session id *)
+  | Updated of int  (** affected-node count of an update *)
+  | Message of string  (** DDL / transaction-control confirmation *)
+  | Result_ready of int  (** query done; result of this many bytes awaits fetch *)
+  | Chunk of { last : bool; data : string }
+  | Bye
+  | Err of { code : string; msg : string }
+
+val max_frame : int
+
+exception Protocol_error of string
+
+val write_request : Unix.file_descr -> request -> unit
+val read_request : Unix.file_descr -> request
+(** @raise End_of_file on a cleanly closed peer. *)
+
+val write_response : Unix.file_descr -> response -> unit
+val read_response : Unix.file_descr -> response

@@ -59,6 +59,10 @@ let recovery_redo = "recovery.redo"
 let recovery_skip = "recovery.skip"
 let wal_truncated_bytes = "wal.truncated_bytes"
 let lock_retry = "lock.retry"
+let conn_accepted = "server.conn.accepted"
+let conn_rejected = "server.conn.rejected"
+let server_requests = "server.requests"
+let query_timeout = "server.query_timeout"
 
 (* Pre-resolved cells for the hot-path counters: incrementing these is
    a plain [incr], so instrumentation does not distort the pointer-

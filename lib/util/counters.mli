@@ -74,6 +74,19 @@ val wal_truncated_bytes : string
 val lock_retry : string
 (** Blocked lock acquisition retried after a bounded backoff. *)
 
+val conn_accepted : string
+(** Server connection admitted to the worker pool. *)
+
+val conn_rejected : string
+(** Server connection refused by admission control (SE-OVERLOADED) or
+    during drain (SE-SHUTDOWN). *)
+
+val server_requests : string
+(** Wire-protocol requests served (any opcode). *)
+
+val query_timeout : string
+(** Statement aborted by its per-query wall-clock deadline. *)
+
 (** {1 Pre-resolved hot-path cells (same storage as the names above)} *)
 
 val vas_fast_hit_cell : int ref

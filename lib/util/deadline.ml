@@ -1,0 +1,39 @@
+(* Per-statement wall-clock budget (server admission control).
+
+   The engine runs one statement at a time under the governor's store
+   lock, so a single global deadline cell is enough: the server arms it
+   just before a statement enters the engine and disarms it on the way
+   out.  [check] is sprinkled on the engine's universal choke points
+   (page dereference, expression dispatch); when unarmed it costs one
+   load and a branch, and when armed the clock is only consulted every
+   64th call so the instrumentation cannot distort the hot path it
+   polices. *)
+
+let armed = ref false
+let deadline = ref infinity
+let tick = ref 0
+
+let set seconds =
+  deadline := Metrics.now () +. seconds;
+  tick := 0;
+  armed := true
+
+let clear () =
+  armed := false;
+  deadline := infinity
+
+let active () = !armed
+
+let expire () =
+  (* disarm first: abort paths triggered by the raise below run engine
+     code themselves and must not re-trip the same deadline *)
+  clear ();
+  Counters.bump Counters.query_timeout;
+  Error.raise_error Error.Query_timeout
+    "statement exceeded its wall-clock budget"
+
+let check () =
+  if !armed then begin
+    incr tick;
+    if !tick land 63 = 0 && Metrics.now () > !deadline then expire ()
+  end

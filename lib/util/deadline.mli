@@ -1,0 +1,19 @@
+(** Per-statement wall-clock budget.
+
+    The server arms a deadline before a statement enters the engine and
+    disarms it afterwards; {!check} calls placed on the engine's choke
+    points raise [Error.Sedna_error (Query_timeout, _)] once the budget
+    is exhausted.  Single statement at a time by design (the engine is
+    serialized by the governor's store lock), so the state is global. *)
+
+val set : float -> unit
+(** Arm: the statement may run for this many seconds from now. *)
+
+val clear : unit -> unit
+(** Disarm (also done automatically when a deadline fires). *)
+
+val active : unit -> bool
+
+val check : unit -> unit
+(** Raise [Query_timeout] if an armed deadline has passed.  Cheap when
+    unarmed; samples the clock every 64th call when armed. *)

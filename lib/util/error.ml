@@ -25,6 +25,9 @@ type code =
   | Txn_not_active
   | Recovery_failure
   | Unsupported
+  | Overloaded
+  | Query_timeout
+  | Server_shutdown
 
 let code_name = function
   | Storage_corruption -> "SE-STORAGE-CORRUPTION"
@@ -49,6 +52,9 @@ let code_name = function
   | Txn_not_active -> "SE-TXN-NOT-ACTIVE"
   | Recovery_failure -> "SE-RECOVERY"
   | Unsupported -> "SE-UNSUPPORTED"
+  | Overloaded -> "SE-OVERLOADED"
+  | Query_timeout -> "SE-TIMEOUT"
+  | Server_shutdown -> "SE-SHUTDOWN"
 
 exception Sedna_error of code * string
 

@@ -25,6 +25,9 @@ type code =
   | Txn_not_active
   | Recovery_failure
   | Unsupported
+  | Overloaded  (** SE-OVERLOADED: admission control rejected the request *)
+  | Query_timeout  (** SE-TIMEOUT: statement exceeded its wall-clock budget *)
+  | Server_shutdown  (** SE-SHUTDOWN: server draining, no new work accepted *)
 
 exception Sedna_error of code * string
 

@@ -39,6 +39,10 @@ type event =
   | Wal_truncated of { bytes : int }
   | Recovery_done of { redo : int; skipped : int }
   | Checksum_failed of { pid : int }
+  | Conn_open of { conn : int; session : int }
+  | Conn_close of { conn : int; requests : int }
+  | Conn_reject of { reason : string }
+  | Server_state of { state : string }
 
 type entry = { seq : int; at : float; event : event }
 
@@ -96,6 +100,10 @@ let event_name = function
   | Wal_truncated _ -> "wal.truncated"
   | Recovery_done _ -> "recovery.done"
   | Checksum_failed _ -> "checksum.failed"
+  | Conn_open _ -> "conn.open"
+  | Conn_close _ -> "conn.close"
+  | Conn_reject _ -> "conn.reject"
+  | Server_state _ -> "server.state"
 
 let event_fields : event -> (string * Metrics.json) list =
   let open Metrics in
@@ -133,6 +141,11 @@ let event_fields : event -> (string * Metrics.json) list =
   | Recovery_done { redo; skipped } ->
     [ ("redo", Int redo); ("skipped", Int skipped) ]
   | Checksum_failed { pid } -> [ ("pid", Int pid) ]
+  | Conn_open { conn; session } -> [ ("conn", Int conn); ("session", Int session) ]
+  | Conn_close { conn; requests } ->
+    [ ("conn", Int conn); ("requests", Int requests) ]
+  | Conn_reject { reason } -> [ ("reason", Str reason) ]
+  | Server_state { state } -> [ ("state", Str state) ]
 
 let entry_to_json e =
   Metrics.Obj

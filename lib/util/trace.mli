@@ -40,6 +40,14 @@ type event =
   | Recovery_done of { redo : int; skipped : int }
       (** WAL redo finished: images replayed / uncommitted skipped *)
   | Checksum_failed of { pid : int }  (** page checksum mismatch on read *)
+  | Conn_open of { conn : int; session : int }
+      (** server accepted a client connection and bound it to a session *)
+  | Conn_close of { conn : int; requests : int }
+      (** server connection ended, with its lifetime request count *)
+  | Conn_reject of { reason : string }
+      (** admission control refused a connection ("overloaded" | "shutdown") *)
+  | Server_state of { state : string }
+      (** serving-layer lifecycle: "listening" | "draining" | "stopped" *)
 
 type entry = { seq : int; at : float; event : event }
 

@@ -37,6 +37,11 @@ let expand_entity name =
       Option.map utf8_of_code code
     else None
 
+(* A literal CR in serialized output does not survive re-parsing (XML
+   line-end handling turns it into LF, and attribute-value
+   normalization into a space), so both text and attribute content
+   emit it as the &#13; character reference. *)
+
 let escape_text s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -45,6 +50,7 @@ let escape_text s =
       | '<' -> Buffer.add_string b "&lt;"
       | '>' -> Buffer.add_string b "&gt;"
       | '&' -> Buffer.add_string b "&amp;"
+      | '\r' -> Buffer.add_string b "&#13;"
       | c -> Buffer.add_char b c)
     s;
   Buffer.contents b
@@ -59,6 +65,7 @@ let escape_attribute s =
       | '"' -> Buffer.add_string b "&quot;"
       | '\n' -> Buffer.add_string b "&#10;"
       | '\t' -> Buffer.add_string b "&#9;"
+      | '\r' -> Buffer.add_string b "&#13;"
       | c -> Buffer.add_char b c)
     s;
   Buffer.contents b

@@ -190,6 +190,11 @@ let read_attribute st =
   if eof st then fail st "unterminated attribute value";
   let value = String.sub st.src start (st.pos - start) in
   advance st;
+  (* XML attribute-value normalization: literal whitespace characters
+     become spaces.  This runs before entity expansion, so characters
+     written as references (&#13;, &#10;, &#9;) are exempt — which is
+     exactly why the serializer emits them that way. *)
+  let value = String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) value in
   (raw, expand_entities st value)
 
 (* Parse an element open tag; returns the corresponding event and

@@ -21,6 +21,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("hier-lock", Test_hier_lock.suite);
       ("crash", Test_crash.suite);
+      ("server", Test_server.suite);
       ("regex", Test_rx.suite);
       ("tools", Test_tools.suite);
     ]

@@ -242,6 +242,34 @@ let test_indirection () =
       let again = Indirection.alloc bm cat in
       Alcotest.(check bool) "cell recycled" true (Xptr.equal victim again))
 
+(* Carriage returns survive store -> serialize -> parse: the serializer
+   must emit &#13; (a literal CR in an attribute would re-parse as a
+   space under XML attribute-value normalization). *)
+let test_cr_roundtrip () =
+  Test_util.with_db (fun db ->
+      ignore (Test_util.load db "d" "<r a=\"x&#13;y\">p&#13;q</r>");
+      let out = Test_util.exec db {|doc("d")|} in
+      let contains needle =
+        let nl = String.length needle and ol = String.length out in
+        let rec go i =
+          i + nl <= ol && (String.sub out i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "serializer emits &#13;" true (contains "&#13;");
+      Alcotest.(check bool) "no raw CR in output" false (String.contains out '\r');
+      (* identity: re-parse the serialized form and compare values *)
+      ignore (Test_util.load db "d2" out);
+      Alcotest.(check string) "attribute CR preserved" "x\ry"
+        (Test_util.exec db {|string(doc("d2")/r/@a)|});
+      Alcotest.(check string) "text CR preserved" "p\rq"
+        (Test_util.exec db {|string(doc("d2")/r)|});
+      (* and the premise: a literal CR in an attribute value is
+         whitespace the parser normalizes to a space *)
+      ignore (Test_util.load db "d3" "<r a=\"x\ry\"/>");
+      Alcotest.(check string) "literal CR normalized away" "x y"
+        (Test_util.exec db {|string(doc("d3")/r/@a)|}))
+
 let suite =
   [
     Alcotest.test_case "xptr encoding" `Quick test_xptr_encoding;
@@ -257,4 +285,5 @@ let suite =
     Test_util.qcheck_case ~count:40 "text store matches reference"
       arb_text_ops prop_text_store_matches_reference;
     Alcotest.test_case "indirection" `Quick test_indirection;
+    Alcotest.test_case "carriage-return round trip" `Quick test_cr_roundtrip;
   ]

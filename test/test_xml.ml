@@ -103,7 +103,11 @@ let test_roundtrip () =
 
 let test_escaping () =
   Alcotest.(check string) "text" "a&lt;b&gt;c&amp;d" (Escape.escape_text "a<b>c&d");
-  Alcotest.(check string) "attr" "a&quot;b&amp;c" (Escape.escape_attribute "a\"b&c")
+  Alcotest.(check string) "attr" "a&quot;b&amp;c" (Escape.escape_attribute "a\"b&c");
+  (* a raw CR would be normalized to a space on re-parse, so both
+     escapers must emit the character reference *)
+  Alcotest.(check string) "attr CR" "a&#13;b" (Escape.escape_attribute "a\rb");
+  Alcotest.(check string) "text CR" "a&#13;b" (Escape.escape_text "a\rb")
 
 let test_indent () =
   let options = { Serializer.indent = true; xml_declaration = false } in

@@ -296,6 +296,85 @@ let test_uses_position () =
   Alcotest.(check bool) "last()" true (R.uses_position (parse "last()"));
   Alcotest.(check bool) "plain" false (R.uses_position (parse {|@x = "1"|}))
 
+(* ---- comparison-semantics regressions (XQuery F&O) ------------------- *)
+
+module Xdm = Sedna_engine.Xdm
+
+let test_nan_comparisons () =
+  let nan = Xdm.ADbl Float.nan in
+  (* unit level: NaN is unordered against everything, itself included *)
+  Alcotest.(check bool) "NaN vs NaN" true (Xdm.value_compare nan nan = None);
+  Alcotest.(check bool) "NaN vs 1.0" true
+    (Xdm.value_compare nan (Xdm.ADbl 1.0) = None);
+  Alcotest.(check bool) "1.0 vs NaN" true
+    (Xdm.value_compare (Xdm.ADbl 1.0) nan = None);
+  Alcotest.(check bool) "int vs NaN" true
+    (Xdm.value_compare (Xdm.AInt 3) nan = None);
+  Alcotest.(check bool) "untyped number vs NaN" true
+    (Xdm.general_pair_compare (Xdm.AUntyped "7") nan = None);
+  Alcotest.(check bool) "nan_pair recognizes the case" true
+    (Xdm.nan_pair nan (Xdm.AInt 3));
+  Alcotest.(check bool) "nan_pair rejects strings" false
+    (Xdm.nan_pair nan (Xdm.AStr "x"));
+  (* end to end: eq/lt/le/gt/ge with NaN are false, ne alone is true *)
+  Test_util.with_doc "<r><p>1</p></r>" (fun _db run ->
+      Alcotest.(check string) "NaN eq NaN" "false"
+        (run {|number("x") eq number("y")|});
+      Alcotest.(check string) "NaN ne NaN" "true"
+        (run {|number("x") ne number("y")|});
+      Alcotest.(check string) "NaN lt 1" "false" (run {|number("x") lt 1.0|});
+      Alcotest.(check string) "NaN ge 1" "false" (run {|number("x") ge 1.0|});
+      Alcotest.(check string) "general = with NaN" "false"
+        (run {|doc("d")//p = number("x")|});
+      Alcotest.(check string) "general != with NaN" "true"
+        (run {|doc("d")//p != number("x")|}))
+
+let test_untyped_bool_cast () =
+  (* unit level: the boolean lexical space, and FORG0001 outside it *)
+  Alcotest.(check bool) "\"1\" = true" true
+    (Xdm.general_pair_compare (Xdm.AUntyped "1") (Xdm.ABool true) = Some 0);
+  Alcotest.(check bool) "\"true\" = true" true
+    (Xdm.general_pair_compare (Xdm.AUntyped "true") (Xdm.ABool true) = Some 0);
+  Alcotest.(check bool) "\"0\" = false" true
+    (Xdm.general_pair_compare (Xdm.AUntyped "0") (Xdm.ABool false) = Some 0);
+  Alcotest.(check bool) "\"0\" <> true" true
+    (Xdm.general_pair_compare (Xdm.ABool true) (Xdm.AUntyped "0") <> Some 0);
+  (match Xdm.general_pair_compare (Xdm.AUntyped "oops") (Xdm.ABool true) with
+   | exception Sedna_util.Error.Sedna_error (Sedna_util.Error.Xquery_dynamic, _)
+     -> ()
+   | _ -> Alcotest.fail "garbage untyped vs boolean must raise FORG0001");
+  (* end to end: attributes are untyped atomics *)
+  Test_util.with_doc
+    {|<r><a flag="1"/><b flag="true"/><c flag="0"/><d flag="oops"/></r>|}
+    (fun _db run ->
+      Alcotest.(check string) "\"1\" matches true()" "1"
+        (run {|count(doc("d")//a[@flag = true()])|});
+      Alcotest.(check string) "\"true\" matches true()" "1"
+        (run {|count(doc("d")//b[@flag = true()])|});
+      Alcotest.(check string) "\"0\" matches false()" "1"
+        (run {|count(doc("d")//c[@flag = false()])|});
+      match run {|count(doc("d")//d[@flag = true()])|} with
+      | exception Sedna_util.Error.Sedna_error
+          (Sedna_util.Error.Xquery_dynamic, _) -> ()
+      | got -> Alcotest.failf "expected FORG0001, got %S" got)
+
+let test_nan_index_probe () =
+  Test_util.with_db (fun db ->
+      ignore
+        (Test_util.load db "d"
+           {|<items><item><v>1</v></item><item><v>2</v></item></items>|});
+      ignore
+        (Test_util.exec db
+           {|CREATE INDEX "nv" ON doc("d")/items/item BY v AS xs:integer|});
+      (* a NaN key matches nothing: the B-tree's float order would
+         otherwise return an arbitrary answer *)
+      Alcotest.(check string) "index-scan NaN" "0"
+        (Test_util.exec db {|count(index-scan("nv", number("x")))|});
+      Alcotest.(check string) "probe predicate NaN" "0"
+        (Test_util.exec db {|count(doc("d")/items/item[v = number("x")])|});
+      Alcotest.(check string) "index intact for real keys" "1"
+        (Test_util.exec db {|count(index-scan("nv", 2))|}))
+
 let suite =
   [
     Alcotest.test_case "literals" `Quick test_literals;
@@ -324,4 +403,7 @@ let suite =
     Alcotest.test_case "inlining preserves results" `Quick
       test_inlining_preserves_results;
     Alcotest.test_case "uses_position" `Quick test_uses_position;
+    Alcotest.test_case "NaN comparisons" `Quick test_nan_comparisons;
+    Alcotest.test_case "untyped to boolean cast" `Quick test_untyped_bool_cast;
+    Alcotest.test_case "NaN index probe" `Quick test_nan_index_probe;
   ]
