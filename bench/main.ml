@@ -932,6 +932,261 @@ let e14 () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E15 — replication: WAL-shipping hot standby + client failover       *)
+(* ------------------------------------------------------------------ *)
+
+(* The E14 mixed workload with a hot standby attached: measures
+   replication lag while the workload runs, then kills the primary
+   (hard, no shutdown), verifies the in-flight writer sees SE-FAILOVER
+   while a reader fails over transparently, promotes the standby over
+   the wire (PROMOTE), re-runs the clients against it, and checks that
+   no acknowledged commit was lost and both stores pass integrity. *)
+let e15 () =
+  header "E15 replication — WAL-shipping hot standby, kill + promote"
+    "bounded replication lag under the E14 mixed workload; after a hard \
+     primary kill the standby promotes and holds every acked commit; \
+     in-flight writers get SE-FAILOVER, readers fail over transparently";
+  let module G = Sedna_db.Governor in
+  let module Server = Sedna_server.Server in
+  let module Client = Sedna_server.Server_client in
+  let module Sender = Sedna_replication.Repl_sender in
+  let module Recv = Sedna_replication.Repl_receiver in
+  let clients = if quick () then 4 else 8 in
+  let per_client = if quick () then 25 else 100 in
+  let base =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sedna-bench-repl-%d-%f" (Unix.getpid ())
+         (Unix.gettimeofday ()))
+  in
+  if Sys.file_exists base then ignore (Sys.command ("rm -rf " ^ Filename.quote base));
+  Unix.mkdir base 0o755;
+  let gov_p = G.create () and gov_s = G.create () in
+  let db =
+    G.create_database gov_p ~name:"main" ~dir:(Filename.concat base "primary")
+  in
+  let srv_p =
+    Server.start ~config:{ Server.default_config with pool_size = clients + 4 }
+      gov_p
+  in
+  let sender = Sender.start ~gov:gov_p db in
+  let recv =
+    Recv.start ~gov:gov_s ~name:"main" ~dir:(Filename.concat base "standby")
+      ~host:"127.0.0.1" ~port:(Sender.port sender) ()
+  in
+  let srv_s =
+    Server.start ~config:{ Server.default_config with pool_size = clients + 4 }
+      ~on_promote:(fun () -> Recv.promote recv)
+      gov_s
+  in
+  let pport = Server.port srv_p and sport = Server.port srv_s in
+  let endpoints = [ ("127.0.0.1", pport); ("127.0.0.1", sport) ] in
+  let new_client () =
+    let c = Client.connect ~host:"127.0.0.1" ~endpoints ~retries:3 ~port:pport () in
+    ignore (Client.open_db c "main");
+    c
+  in
+  let seed = new_client () in
+  ignore (Client.execute seed {|CREATE DOCUMENT "d"|});
+  ignore
+    (Client.execute seed
+       ("UPDATE insert <r>"
+        ^ String.concat ""
+            (List.init 200 (fun i -> Printf.sprintf "<item v=\"%d\"/>" i))
+        ^ {|</r> into doc("d")|}));
+  Client.close seed;
+  let wal_tip () = (Sedna_core.Wal.epoch (Sedna_core.Database.wal db),
+                    Sedna_core.Wal.size (Sedna_core.Database.wal db)) in
+  let epoch0, pos0 = wal_tip () in
+  if not (Recv.wait_caught_up ~timeout_s:30. recv ~epoch:epoch0 ~pos:pos0) then begin
+    pf "  E15 FAILED: standby never finished the initial seed\n";
+    exit 1
+  end;
+  pf "  primary :%d, standby :%d, %d clients x %d requests\n" pport sport
+    clients per_client;
+
+  (* ---- mixed workload with the standby attached; sample lag -------- *)
+  (* byte-scale buckets: the default histogram bounds are latency
+     seconds and every lag sample would land in the overflow bucket *)
+  let lag_buckets =
+    Array.init 24 (fun i -> float_of_int (16 lsl i)) in
+  let lag_h =
+    Sedna_util.Metrics.histogram ~buckets:lag_buckets "e15.lag.bytes" in
+  let sampling = ref true in
+  let sampler =
+    Thread.create
+      (fun () ->
+        while !sampling do
+          Sedna_util.Metrics.observe lag_h
+            (float_of_int (Sedna_util.Counters.get Sedna_util.Counters.repl_lag_bytes));
+          Unix.sleepf 0.002
+        done)
+      ()
+  in
+  let acked = ref [] in
+  let ack_mu = Mutex.create () in
+  let failures = ref 0 in
+  let token i j = Printf.sprintf "|p%d-%d|" i j in
+  let read_qs =
+    [|
+      {|count(doc("d")/r/item)|};
+      {|count(doc("d")/r/item[@v >= 100])|};
+      {|string(doc("d")/r/item[1]/@v)|};
+    |]
+  in
+  let body i () =
+    try
+      let c = new_client () in
+      for j = 1 to per_client do
+        if i = 0 then begin
+          ignore
+            (Client.execute c
+               (Printf.sprintf {|UPDATE insert <w>%s</w> into doc("d")/r|}
+                  (token i j)));
+          Mutex.lock ack_mu;
+          acked := token i j :: !acked;
+          Mutex.unlock ack_mu
+        end
+        else ignore (Client.execute c read_qs.(j mod Array.length read_qs))
+      done;
+      Client.close c
+    with e ->
+      Mutex.lock ack_mu;
+      incr failures;
+      Mutex.unlock ack_mu;
+      pf "  client %d failed: %s\n" i (Printexc.to_string e)
+  in
+  let t_wall, () =
+    time_once (fun () ->
+        let ts = List.init clients (fun i -> Thread.create (body i) ()) in
+        List.iter Thread.join ts)
+  in
+  let epoch1, pos1 = wal_tip () in
+  let t_catchup, caught =
+    time_once (fun () -> Recv.wait_caught_up ~timeout_s:30. recv ~epoch:epoch1 ~pos:pos1)
+  in
+  sampling := false;
+  Thread.join sampler;
+  let p q = Sedna_util.Metrics.percentile lag_h q in
+  record "e15.throughput_rps"
+    (Sedna_util.Metrics.Float (float_of_int (clients * per_client) /. t_wall));
+  record_int "e15.lag_p50_bytes" (int_of_float (p 0.5));
+  record_int "e15.lag_p95_bytes" (int_of_float (p 0.95));
+  record_ms "e15.catchup_ms" t_catchup;
+  row3 "mixed workload + shipping"
+    (Printf.sprintf "%d reqs in %.2f s" (clients * per_client) t_wall)
+    (Printf.sprintf "%.0f req/s" (float_of_int (clients * per_client) /. t_wall));
+  row3 "replication lag"
+    (Printf.sprintf "p50 %.0f B" (p 0.5))
+    (Printf.sprintf "p95 %.0f B" (p 0.95));
+  row3 "final catch-up" (Printf.sprintf "%.1f ms" (ms t_catchup)) "";
+  if !failures > 0 || not caught then begin
+    pf "  E15 FAILED: %d client failures, caught_up=%b\n" !failures caught;
+    exit 1
+  end;
+
+  (* ---- standby semantics while the primary is alive ---------------- *)
+  let sc = Client.connect ~host:"127.0.0.1" ~port:sport () in
+  ignore (Client.open_db sc "main");
+  ignore (Client.execute sc "BEGIN READ ONLY");
+  let standby_count = Client.execute_string sc {|count(doc("d")/r/w)|} in
+  ignore (Client.execute sc "COMMIT");
+  let refused =
+    match Client.execute sc {|UPDATE insert <x/> into doc("d")/r|} with
+    | exception Client.Remote_error ("SE-READ-ONLY", _) -> true
+    | _ -> false
+  in
+  Client.close sc;
+  record_int "e15.standby_write_refused" (if refused then 1 else 0);
+  row3 "standby reads" (standby_count ^ " writes visible")
+    (if refused then "write refused (SE-READ-ONLY)" else "write NOT refused");
+  if (not refused) || standby_count <> string_of_int per_client then begin
+    pf "  E15 FAILED: standby refused=%b count=%s (want %d)\n" refused
+      standby_count per_client;
+    exit 1
+  end;
+
+  (* ---- hard kill: in-flight writer + surviving reader --------------- *)
+  let doomed = new_client () in
+  ignore (Client.execute doomed "BEGIN");
+  ignore (Client.execute doomed {|UPDATE insert <w>|doomed|</w> into doc("d")/r|});
+  let survivor = new_client () in
+  ignore (Client.execute survivor {|count(doc("d")/r/item)|});
+  Server.kill srv_p;
+  Sender.stop sender;
+  Sedna_core.Database.crash db;
+  let failover_seen =
+    match Client.execute doomed "COMMIT" with
+    | exception Client.Remote_error ("SE-FAILOVER", _) -> true
+    | _ -> false
+  in
+  let t_promote, promote_msg =
+    time_once (fun () ->
+        Sedna_replication.Repl_client.promote ~host:"127.0.0.1" ~port:sport
+          ~database:"main")
+  in
+  (* the reader's connection died with the primary: its next read must
+     retry transparently against the standby *)
+  let reader_after = Client.execute_string survivor {|count(doc("d")/r/item)|} in
+  Client.close survivor;
+  record_int "e15.writer_se_failover" (if failover_seen then 1 else 0);
+  record_ms "e15.promote_ms" t_promote;
+  row3 "kill primary mid-txn"
+    (if failover_seen then "writer got SE-FAILOVER" else "writer NOT failed")
+    (Printf.sprintf "reader failed over, saw %s" reader_after);
+  row3 "promotion" (Printf.sprintf "%.1f ms" (ms t_promote)) promote_msg;
+  if (not failover_seen) || reader_after <> "200" then begin
+    pf "  E15 FAILED: failover_seen=%b reader_after=%s\n" failover_seen
+      reader_after;
+    exit 1
+  end;
+
+  (* ---- the same clients write to the promoted standby --------------- *)
+  (* [doomed] already failed over during its SE-FAILOVER; re-running the
+     lost transaction there must now succeed *)
+  ignore (Client.execute doomed "BEGIN");
+  ignore (Client.execute doomed {|UPDATE insert <w>|retry|</w> into doc("d")/r|});
+  ignore (Client.execute doomed "COMMIT");
+  Client.close doomed;
+
+  (* ---- durability + integrity on both sides ------------------------- *)
+  let sdb = Option.get (Recv.database recv) in
+  let text =
+    let s = Sedna_db.Session.connect sdb in
+    Sedna_db.Session.execute_string s {|string(doc("d")/r)|}
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let lost = List.filter (fun tok -> not (contains text tok)) !acked in
+  let s_problems = Sedna_core.Integrity.check_all (Sedna_core.Database.store sdb) in
+  let p_problems =
+    let pdb = Sedna_core.Database.open_existing (Filename.concat base "primary") in
+    let ps = Sedna_core.Integrity.check_all (Sedna_core.Database.store pdb) in
+    Sedna_core.Database.close pdb;
+    ps
+  in
+  record_int "e15.acked_commits" (List.length !acked);
+  record_int "e15.lost_commits" (List.length lost);
+  record_int "e15.integrity_errors"
+    (List.length s_problems + List.length p_problems);
+  row3 "acked-commit audit"
+    (Printf.sprintf "%d acked, %d lost" (List.length !acked) (List.length lost))
+    (Printf.sprintf "integrity: standby %s, old primary %s"
+       (if s_problems = [] then "OK" else "ERRORS")
+       (if p_problems = [] then "OK" else "ERRORS"));
+  if lost <> [] || s_problems <> [] || p_problems <> [] || not (contains text "|retry|")
+  then begin
+    pf "  E15 FAILED: %d acked commits lost, %d+%d integrity errors\n"
+      (List.length lost) (List.length s_problems) (List.length p_problems);
+    exit 1
+  end;
+  Server.stop srv_s;
+  Recv.stop recv;
+  ignore (Sys.command ("rm -rf " ^ Filename.quote base))
+
+(* ------------------------------------------------------------------ *)
 (* CRASH — crash-recovery matrix (crash-safety hardening)              *)
 (* ------------------------------------------------------------------ *)
 
@@ -948,14 +1203,22 @@ let crash () =
       (Printf.sprintf "sedna-crash-%d" (Unix.getpid ()))
   in
   let ops = if quick () then 8 else 24 in
+  (* repl.* sites need a live primary/standby pair, not the single-node
+     workload: dispatch them to the replication harness *)
+  let dispatch spec =
+    if String.starts_with ~prefix:"repl." spec then
+      Sedna_replication.Repl_crashkit.run_spec ~dir:(dir_prefix ^ "-repl-env") spec
+    else Sedna_db.Crashkit.run_spec ~ops ~dir:(dir_prefix ^ "-env") spec
+  in
   let outcomes =
     match Sys.getenv_opt Sedna_util.Fault.env_var with
     | Some specs when String.trim specs <> "" ->
-      List.map
-        (fun spec -> Sedna_db.Crashkit.run_spec ~ops ~dir:(dir_prefix ^ "-env")
-            (String.trim spec))
+      List.map (fun spec -> dispatch (String.trim spec))
         (String.split_on_char ',' specs)
-    | _ -> Sedna_db.Crashkit.run_matrix ~ops ~dir_prefix ()
+    | _ ->
+      Sedna_db.Crashkit.run_matrix ~ops ~dir_prefix ()
+      @ Sedna_replication.Repl_crashkit.run_matrix
+          ~dir_prefix:(dir_prefix ^ "-repl") ()
   in
   List.iter (fun o -> pf "  %s\n" (Sedna_db.Crashkit.render o)) outcomes;
   let failed = List.filter (fun o -> not (Sedna_db.Crashkit.ok o)) outcomes in
@@ -976,7 +1239,7 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E4b", e4b);
     ("E5", e5); ("E6", e6); ("E6b", e6b); ("E7", e7); ("E7b", e7b); ("E8", e8);
     ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("CRASH", crash);
+    ("E14", e14); ("E15", e15); ("CRASH", crash);
   ]
 
 let () =

@@ -144,23 +144,57 @@ let local_mode db_dir create stmts =
     Printf.eprintf "simulated crash at fault site %s\n" site;
     exit 1
 
+let parse_endpoint spec =
+  match String.rindex_opt spec ':' with
+  | Some i -> (
+    let h = String.sub spec 0 i in
+    let p = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt p with
+    | Some p when h <> "" -> (h, p)
+    | _ -> failwith (Printf.sprintf "bad endpoint %S (expected HOST:PORT)" spec))
+  | None -> failwith (Printf.sprintf "bad endpoint %S (expected HOST:PORT)" spec)
+
 (* --serve: register the database with a governor, start the serving
    layer and run until SIGINT/SIGTERM, then drain gracefully
-   (in-flight statements finish, databases checkpoint, WAL closes). *)
-let serve_mode db_dir create host port db_name max_sessions query_timeout =
+   (in-flight statements finish, databases checkpoint, WAL closes).
+   With --repl-port the primary also serves WAL shipping; with
+   --standby-of the database is not opened locally at all — it is
+   seeded and then continuously applied from the primary, and the
+   server accepts the PROMOTE admin statement. *)
+let serve_mode db_dir create host port db_name max_sessions query_timeout
+    repl_port standby_of =
   let g = Sedna_db.Governor.create () in
   let name =
     match db_name with Some n -> n | None -> Filename.basename db_dir
   in
-  ignore
-    (if create || not (Sys.file_exists (Filename.concat db_dir "data.sdb")) then
-       Sedna_db.Governor.create_database g ~name ~dir:db_dir
-     else Sedna_db.Governor.open_database g ~name ~dir:db_dir);
+  let recv, sender =
+    match standby_of with
+    | Some spec ->
+      let rhost, rport = parse_endpoint spec in
+      ( Some
+          (Sedna_replication.Repl_receiver.start ~gov:g ~name ~dir:db_dir
+             ~host:rhost ~port:rport ()),
+        None )
+    | None ->
+      let db =
+        if create || not (Sys.file_exists (Filename.concat db_dir "data.sdb"))
+        then Sedna_db.Governor.create_database g ~name ~dir:db_dir
+        else Sedna_db.Governor.open_database g ~name ~dir:db_dir
+      in
+      ( None,
+        Option.map
+          (fun p -> Sedna_replication.Repl_sender.start ~host ~port:p ~gov:g db)
+          repl_port )
+  in
   Sedna_db.Governor.set_limits g
     { Sedna_db.Governor.max_sessions; query_timeout_s = query_timeout };
   let srv =
     Sedna_server.Server.start
       ~config:{ Sedna_server.Server.default_config with host; port }
+      ?on_promote:
+        (Option.map
+           (fun r () -> Sedna_replication.Repl_receiver.promote r)
+           recv)
       g
   in
   Printf.printf "serving database %S on %s:%d (max %d sessions%s)\n%!" name host
@@ -169,6 +203,15 @@ let serve_mode db_dir create host port db_name max_sessions query_timeout =
     (if query_timeout > 0. then
        Printf.sprintf ", query timeout %.1fs" query_timeout
      else "");
+  (match sender with
+   | Some s ->
+     Printf.printf "shipping WAL on %s:%d\n%!" host
+       (Sedna_replication.Repl_sender.port s)
+   | None -> ());
+  (match standby_of with
+   | Some spec ->
+     Printf.printf "standby of %s; writes refused until PROMOTE\n%!" spec
+   | None -> ());
   let stop_requested = ref false in
   let handler _ = stop_requested := true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
@@ -177,6 +220,8 @@ let serve_mode db_dir create host port db_name max_sessions query_timeout =
     try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
   Printf.printf "draining...\n%!";
+  Option.iter Sedna_replication.Repl_receiver.stop recv;
+  Option.iter Sedna_replication.Repl_sender.stop sender;
   Sedna_server.Server.stop srv;
   print_endline "server stopped"
 
@@ -184,7 +229,9 @@ let serve_mode db_dir create host port db_name max_sessions query_timeout =
    opening the directory locally. *)
 let connect_mode host port db_name stmts =
   let name = match db_name with Some n -> n | None -> "db" in
-  let c = Sedna_server.Server_client.connect ~host ~port () in
+  (* a few connect retries by default: a server mid-restart (or a
+     standby mid-promotion) looks like ECONNREFUSED for a moment *)
+  let c = Sedna_server.Server_client.connect ~host ~port ~retries:3 () in
   ignore (Sedna_server.Server_client.open_db c name);
   List.iter
     (fun stmt ->
@@ -194,17 +241,32 @@ let connect_mode host port db_name stmts =
     stmts;
   Sedna_server.Server_client.close c
 
-let main db_dir create stmts serve connect host port db_name max_sessions
-    query_timeout =
+(* --promote: ask a standby server to take over as primary. *)
+let promote_mode host port db_name =
+  let name = match db_name with Some n -> n | None -> "db" in
+  match Sedna_replication.Repl_client.promote ~host ~port ~database:name with
+  | msg -> print_endline msg
+  | exception Sedna_server.Server_client.Remote_error (code, msg) ->
+    Printf.eprintf "error: %s: %s\n" code msg;
+    exit 1
+
+let main db_dir create stmts serve connect promote host port db_name
+    max_sessions query_timeout repl_port standby_of =
   (* SEDNA_FAULT=<site>:<policy>[,...] arms injection before the
      database opens, so recovery itself can be put under fault *)
   Sedna_util.Fault.arm_from_env ();
-  match (connect, serve, db_dir) with
-  | true, _, _ -> connect_mode host port db_name stmts
-  | false, true, Some dir ->
-    serve_mode dir create host port db_name max_sessions query_timeout
-  | false, false, Some dir -> local_mode dir create stmts
-  | false, _, None ->
+  match (promote, connect, serve, db_dir) with
+  | true, _, _, _ -> promote_mode host port db_name
+  | false, true, _, _ -> connect_mode host port db_name stmts
+  | false, false, true, Some dir ->
+    (try
+       serve_mode dir create host port db_name max_sessions query_timeout
+         repl_port standby_of
+     with Failure m ->
+       prerr_endline ("sedna_cli: " ^ m);
+       exit 2)
+  | false, false, false, Some dir -> local_mode dir create stmts
+  | false, false, _, None ->
     prerr_endline "sedna_cli: --db is required unless --connect is used";
     exit 2
 
@@ -267,13 +329,38 @@ let query_timeout_arg =
     & info [ "query-timeout" ] ~docv:"SECONDS"
         ~doc:"Per-statement wall-clock budget; 0 disables (SE-TIMEOUT).")
 
+let repl_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "repl-port" ] ~docv:"PORT"
+        ~doc:"With $(b,--serve): also ship the WAL to standbys on this \
+              replication port (0 picks an ephemeral port).")
+
+let standby_of_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "standby-of" ] ~docv:"HOST:PORT"
+        ~doc:"With $(b,--serve): run as a hot standby of the primary's \
+              replication endpoint.  The database is seeded and then \
+              continuously applied; sessions are read-only until \
+              $(b,PROMOTE) (or $(b,--promote)).")
+
+let promote_arg =
+  Arg.(
+    value & flag
+    & info [ "promote" ]
+        ~doc:"Ask the server at $(b,--host)/$(b,--port) to promote its \
+              standby database ($(b,--db-name)) to primary, then exit.")
+
 let cmd =
   let doc = "Sedna XML database shell, server and network client" in
   Cmd.v
     (Cmd.info "sedna_cli" ~doc)
     Term.(
       const main $ db_arg $ create_arg $ exec_arg $ serve_arg $ connect_arg
-      $ host_arg $ port_arg $ db_name_arg $ max_sessions_arg
-      $ query_timeout_arg)
+      $ promote_arg $ host_arg $ port_arg $ db_name_arg $ max_sessions_arg
+      $ query_timeout_arg $ repl_port_arg $ standby_of_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -41,7 +41,9 @@ let copy_if_exists src dst = if Sys.file_exists src then copy_file src dst
 
 let ensure_dir d = if not (Sys.file_exists d) then Unix.mkdir d 0o755
 
-(* Full hot backup into [dest]. *)
+(* Full hot backup into [dest].  The WAL epoch at backup time is
+   recorded alongside the copied log: increments are only meaningful
+   while the live log is still the same one the base copy fixated. *)
 let full db ~dest =
   ensure_dir dest;
   let dir = Database.directory db in
@@ -52,6 +54,9 @@ let full db ~dest =
     (Filename.concat dest "data.sdb.cksum");
   (* 2. fixate and copy the log *)
   copy_file (Filename.concat dir "wal.sdb") (Filename.concat dest "wal.sdb");
+  Sysutil.write_file_durable
+    (Filename.concat dest "wal.sdb.epoch")
+    (string_of_int (Wal.epoch (Database.wal db)));
   (* 3. additional files: the checkpointed catalog *)
   copy_file (Filename.concat dir "catalog.sdb")
     (Filename.concat dest "catalog.sdb")
@@ -62,6 +67,15 @@ let incremental db ~dest ~seq =
   if not (Sys.file_exists dest) then
     Error.raise_error Error.Recovery_failure
       "incremental backup requires an existing full backup at %s" dest;
+  let base_epoch =
+    Wal.read_epoch (Filename.concat dest "wal.sdb")
+  in
+  if base_epoch <> 0 && Wal.epoch (Database.wal db) <> base_epoch then
+    Error.raise_error Error.Recovery_failure
+      "a checkpoint truncated the log since the base backup (epoch %d, now \
+       %d): increments would miss committed work — take a fresh full backup"
+      base_epoch
+      (Wal.epoch (Database.wal db));
   let dir = Database.directory db in
   copy_file (Filename.concat dir "wal.sdb")
     (Filename.concat dest (Printf.sprintf "wal.%d.sdb" seq));

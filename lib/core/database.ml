@@ -24,6 +24,7 @@ type t = {
   mutable next_txn_id : int;
   active : (int, Txn.t) Hashtbl.t;
   mutable current : Txn.t option; (* transaction executing right now *)
+  mutable standby : bool; (* hot standby: continuous redo, writes refused *)
 }
 
 let store db : Store.t = Store.create db.bm db.cat
@@ -33,6 +34,9 @@ let buffer db = db.bm
 let lock_manager db = db.locks
 let versions db = db.versions
 let directory db = db.dir
+let wal db = db.wal
+let set_standby db b = db.standby <- b
+let is_standby db = db.standby
 
 (* ---- write / read hooks ------------------------------------------------ *)
 
@@ -127,6 +131,7 @@ let create ?(buffer_frames = 256) dir =
       next_txn_id = 1;
       active = Hashtbl.create 8;
       current = None;
+      standby = false;
     }
   in
   install_hooks db;
@@ -204,6 +209,7 @@ let open_existing ?(buffer_frames = 256) dir =
       next_txn_id = 1;
       active = Hashtbl.create 8;
       current = None;
+      standby = false;
     }
   in
   install_hooks db;
@@ -221,6 +227,9 @@ let close db =
 (* ---- transactions --------------------------------------------------------- *)
 
 let begin_txn ?(read_only = false) db : Txn.t =
+  if db.standby && not read_only then
+    Error.raise_error Error.Standby_read_only
+      "database is a hot standby: only BEGIN READ ONLY is accepted";
   let id = db.next_txn_id in
   db.next_txn_id <- id + 1;
   let snapshot_ts, reader_catalog =
@@ -247,8 +256,10 @@ let begin_txn ?(read_only = false) db : Txn.t =
   in
   (* append before registering: if the Begin append fails, no dead
      transaction lingers in the active table (it would block every
-     later checkpoint) *)
-  Wal.append db.wal (Wal.Begin id);
+     later checkpoint).  Read-only transactions write nothing at
+     commit either — logging their Begin would leave permanently
+     unresolved transactions in a shipped log stream. *)
+  if not read_only then Wal.append db.wal (Wal.Begin id);
   Hashtbl.add db.active id txn;
   txn
 
@@ -384,6 +395,46 @@ let with_txn ?read_only db f =
        | Fault.Injected_crash _ as c -> raise c
        | _ -> ());
     raise e
+
+(* ---- standby apply -------------------------------------------------------- *)
+
+(* Apply one shipped committed transaction on a hot standby: install
+   the page after-images (extending the data file as needed, exactly
+   like recovery redo) and adopt the primary's catalog when the commit
+   carried one.  Before-images of the displaced pages are pushed into
+   the version store under a fresh commit timestamp, so concurrent
+   BEGIN READ ONLY sessions keep reading their consistent snapshot
+   while the apply overwrites pages underneath them.  Absolute images
+   make this idempotent: re-applying a transaction after a lost ack
+   just installs the same bytes again.
+
+   The shipped WAL bytes themselves are appended to the standby's own
+   log by the receiver *before* this runs, so ordinary recovery can
+   finish the job if the standby dies mid-apply. *)
+let apply_txn db ~txn_id ~images ~catalog_blob =
+  let pages =
+    List.map
+      (fun (pid, after) ->
+        while File_store.page_count db.fs <= pid do
+          ignore (File_store.allocate db.fs)
+        done;
+        let before = Buffer_mgr.page_image db.bm pid in
+        Buffer_mgr.overwrite_page db.bm pid after;
+        (pid, before))
+      images
+  in
+  (match catalog_blob with
+   | Some blob ->
+     let p = Catalog.deserialize blob in
+     db.cat <- p.Catalog.p_catalog;
+     File_store.set_page_count db.fs p.Catalog.p_page_count;
+     File_store.set_free_list db.fs p.Catalog.p_free_pages
+   | None -> ());
+  let commit_ts = Versions.last_commit_ts db.versions + 1 in
+  Versions.install_commit db.versions ~commit_ts pages;
+  Counters.bump Counters.repl_txns_applied;
+  Counters.bump ~n:(List.length pages) Counters.repl_pages_applied;
+  Trace.emit (Trace.Repl_apply { txn = txn_id; pages = List.length pages })
 
 (* Crash simulation for recovery tests and the fault-injection harness:
    drop all volatile state without flushing; the caller then re-opens

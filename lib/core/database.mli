@@ -31,6 +31,24 @@ val buffer : t -> Buffer_mgr.t
 val lock_manager : t -> Lock_mgr.t
 val versions : t -> Versions.t
 val directory : t -> string
+val wal : t -> Wal.t
+
+(** {1 Hot standby} *)
+
+val set_standby : t -> bool -> unit
+(** Toggle standby mode.  While set, {!begin_txn} refuses
+    [read_only:false] with [SE-READ-ONLY]; the replication receiver
+    keeps the database current via {!apply_txn}. *)
+
+val is_standby : t -> bool
+
+val apply_txn :
+  t -> txn_id:int -> images:(int * Bytes.t) list -> catalog_blob:string option -> unit
+(** Standby redo of one shipped committed transaction: install the page
+    after-images, adopt the catalog when present, and version the
+    displaced pages so concurrent read-only snapshots stay consistent.
+    Idempotent (absolute images).  Call with no write transaction
+    active, under the same exclusion as statement execution. *)
 
 (** {1 Transactions} *)
 

@@ -23,6 +23,7 @@ type t = {
   mutable fd : Unix.file_descr;
   path : string;
   mutable size : int;
+  mutable epoch : int;
 }
 
 (* fault-injection sites (crash-safety harness) *)
@@ -30,9 +31,31 @@ let append_site = Fault.site "wal.append"
 let sync_site = Fault.site "wal.sync"
 let reset_site = Fault.site "wal.reset"
 
+(* The epoch (generation id) lives in a sidecar file next to the log.
+   It is bumped whenever the log is created or reset (checkpoint
+   truncation), so a standby streaming the log can tell "the bytes at
+   position p changed identity" apart from "no new bytes yet" and
+   re-seed from a fresh backup instead of applying frames from the
+   wrong generation. *)
+let epoch_path path = path ^ ".epoch"
+
+let read_epoch path =
+  let ep = epoch_path path in
+  if not (Sys.file_exists ep) then 0
+  else begin
+    let ic = open_in_bin ep in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match int_of_string_opt (String.trim s) with Some n -> n | None -> 0
+  end
+
+let write_epoch path n = Sysutil.write_file_durable (epoch_path path) (string_of_int n)
+
 let create path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  { fd; path; size = 0 }
+  let epoch = read_epoch path + 1 in
+  write_epoch path epoch;
+  { fd; path; size = 0; epoch }
 
 let checksum (s : string) =
   (* FNV-1a over the payload, folded to 31 bits so the value survives
@@ -142,37 +165,102 @@ let sync t =
   Fault.check sync_site;
   Unix.fsync t.fd
 
+(* Walk the well-formed frames of [b] starting at [start]: decoded
+   records each paired with the position just past their frame, plus
+   the end of the valid region (everything past it is a torn tail). *)
+let scan_bytes b ~start ~len =
+  let rec go pos acc =
+    if pos + 9 > len then (List.rev acc, pos)
+    else
+      let n = Bytes_util.get_i32 b pos in
+      if n < 0 || pos + 9 + n > len then (List.rev acc, pos)
+      else
+        let tag = Bytes_util.get_u8 b (pos + 4) in
+        let payload = Bytes.sub_string b (pos + 5) n in
+        let ck = Bytes_util.get_i32 b (pos + 5 + n) in
+        if ck <> checksum payload then (List.rev acc, pos) (* torn tail *)
+        else
+          match decode_record tag payload with
+          | Some r -> go (pos + 9 + n) ((r, pos + 9 + n) :: acc)
+          | None -> (List.rev acc, pos)
+  in
+  go start []
+
+let load_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let buf = really_input_string ic len in
+  close_in ic;
+  (Bytes.unsafe_of_string buf, len)
+
 (* Scan the well-formed prefix of the log file at [path]: the decoded
    records plus the byte length of that prefix (the last valid frame
-   boundary — everything past it is a torn tail). *)
+   boundary). *)
 let scan path =
   if not (Sys.file_exists path) then ([], 0)
   else begin
-    let ic = open_in_bin path in
-    let len = in_channel_length ic in
-    let buf = really_input_string ic len in
-    close_in ic;
-    let b = Bytes.of_string buf in
-    let rec go pos acc =
-      if pos + 9 > len then (List.rev acc, pos)
-      else
-        let n = Bytes_util.get_i32 b pos in
-        if n < 0 || pos + 9 + n > len then (List.rev acc, pos)
-        else
-          let tag = Bytes_util.get_u8 b (pos + 4) in
-          let payload = Bytes.sub_string b (pos + 5) n in
-          let ck = Bytes_util.get_i32 b (pos + 5 + n) in
-          if ck <> checksum payload then (List.rev acc, pos) (* torn tail *)
-          else
-            match decode_record tag payload with
-            | Some r -> go (pos + 9 + n) (r :: acc)
-            | None -> (List.rev acc, pos)
-    in
-    go 0 []
+    let b, len = load_file path in
+    let recs, valid = scan_bytes b ~start:0 ~len in
+    (List.map fst recs, valid)
   end
 
 (* Read all well-formed records from the log file at [path]. *)
 let read_all path = fst (scan path)
+
+(* Streaming cursor: decoded records from the frame boundary [pos]
+   onward, each paired with the position just past its frame — the
+   caller feeds a returned position back in to resume.  [pos] must be a
+   frame boundary previously returned (or 0). *)
+let read_from path pos =
+  if not (Sys.file_exists path) then []
+  else begin
+    let b, len = load_file path in
+    if pos >= len then [] else fst (scan_bytes b ~start:pos ~len)
+  end
+
+(* Raw complete frames from [pos] onward for log shipping: the verbatim
+   bytes of whole checksum-valid frames (at most [max_bytes] unless a
+   single frame alone exceeds it), the record count, and the position
+   past the last shipped frame.  Shipping raw bytes keeps the standby's
+   log byte-identical to the primary's, so positions agree on both
+   sides and ordinary recovery can read the shipped log. *)
+let stream_from path ~pos ~max_bytes =
+  if not (Sys.file_exists path) then ("", 0, pos)
+  else begin
+    let b, len = load_file path in
+    if pos >= len then ("", 0, pos)
+    else begin
+      let recs, _valid = scan_bytes b ~start:pos ~len in
+      let rec take count upto = function
+        | [] -> (count, upto)
+        | (_, frame_end) :: rest ->
+          if count > 0 && frame_end - pos > max_bytes then (count, upto)
+          else take (count + 1) frame_end rest
+      in
+      let count, upto = take 0 pos recs in
+      (Bytes.sub_string b pos (upto - pos), count, upto)
+    end
+  end
+
+(* Decode a batch of raw shipped frames (as produced by
+   {!stream_from}): each record with the offset just past its frame
+   within the batch.  Trailing garbage is a protocol error upstream;
+   here it is simply not decoded. *)
+let records_of_frames s =
+  let b = Bytes.unsafe_of_string s in
+  fst (scan_bytes b ~start:0 ~len:(String.length s))
+
+(* Append raw pre-framed bytes verbatim (standby side of log shipping).
+   The caller syncs; checksums were validated when the frames were cut
+   from the primary's log. *)
+let append_raw t s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec drain off =
+    if off < len then drain (off + Unix.write t.fd b off (len - off))
+  in
+  drain 0;
+  t.size <- t.size + len
 
 (* Open an existing log, dropping any torn tail first: without the
    truncation, records appended after recovery would sit behind the
@@ -189,7 +277,15 @@ let open_existing path =
     Trace.emit (Trace.Wal_truncated { bytes = size - valid })
   end;
   ignore (Unix.lseek fd valid Unix.SEEK_SET);
-  { fd; path; size = valid }
+  let epoch =
+    match read_epoch path with
+    | 0 ->
+      (* legacy log without a sidecar: adopt generation 1 *)
+      write_epoch path 1;
+      1
+    | e -> e
+  in
+  { fd; path; size = valid; epoch }
 
 (* Truncate the log after a checkpoint has made it redundant.  The file
    and its directory are fsynced so a crash immediately after the
@@ -201,8 +297,14 @@ let reset t =
   Unix.fsync fd;
   Sysutil.fsync_dir (Filename.dirname t.path);
   t.fd <- fd;
-  t.size <- 0
+  t.size <- 0;
+  (* truncation first, epoch bump second: a crash in between leaves an
+     empty log under the old epoch, which a standby still detects
+     because its resume position exceeds the log size (Hole) *)
+  t.epoch <- t.epoch + 1;
+  write_epoch t.path t.epoch
 
 let size t = t.size
+let epoch t = t.epoch
 let path t = t.path
 let close t = Unix.close t.fd

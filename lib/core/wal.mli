@@ -31,8 +31,46 @@ val read_all : string -> record list
     silently dropped. *)
 
 val reset : t -> unit
-(** Truncate after a checkpoint made the log redundant. *)
+(** Truncate after a checkpoint made the log redundant.  Bumps the
+    {!epoch}: positions handed out before the reset are invalid and a
+    streaming consumer must re-seed. *)
 
 val size : t -> int
 val path : t -> string
 val close : t -> unit
+
+(** {1 Streaming (log shipping)}
+
+    Positions are byte offsets at frame boundaries; [0] and any
+    position returned by {!read_from} / {!stream_from} are valid.  A
+    position is only meaningful together with the log's {!epoch} —
+    {!reset} (checkpoint truncation) and {!create} bump the epoch, and
+    a consumer holding a position from an older epoch must discard its
+    state and re-seed from a full backup. *)
+
+val epoch : t -> int
+(** Generation id of the open log. *)
+
+val read_epoch : string -> int
+(** Epoch recorded in the sidecar file next to the log at this path;
+    [0] when none exists yet. *)
+
+val read_from : string -> int -> (record * int) list
+(** Decoded records from the given frame boundary onward, each paired
+    with the position just past its frame (feed back in to resume). *)
+
+val stream_from : string -> pos:int -> max_bytes:int -> string * int * int
+(** [(frames, count, pos')]: verbatim bytes of whole checksum-valid
+    frames starting at [pos] — at most [max_bytes] unless the first
+    frame alone is larger — plus the record count and the position past
+    the last included frame.  [count = 0] means no new complete frames
+    at this position. *)
+
+val records_of_frames : string -> (record * int) list
+(** Decode a batch of raw frames as produced by {!stream_from}; each
+    record is paired with the offset just past its frame within the
+    batch. *)
+
+val append_raw : t -> string -> unit
+(** Append verbatim pre-framed bytes (standby side of log shipping);
+    call {!sync} afterwards for durability. *)

@@ -190,8 +190,17 @@ let sanitize s =
   String.map (fun c -> match c with 'a' .. 'z' | '0' .. '9' -> c | _ -> '-')
     (String.lowercase_ascii s)
 
+(* [repl.*] sites register whenever the replication library is linked,
+   but they need a live primary/standby pair to ever be hit — they have
+   their own harness (Repl_crashkit) and are excluded here by default. *)
+let local_sites () =
+  List.filter
+    (fun s -> not (String.starts_with ~prefix:"repl." s))
+    (Fault.sites ())
+
 let run_matrix ?ops ?checkpoint_every ?backup_at ?buffer_frames
-    ?(policies = default_policies) ~dir_prefix () =
+    ?(policies = default_policies) ?sites ~dir_prefix () =
+  let sites = match sites with Some s -> s | None -> local_sites () in
   List.concat_map
     (fun site ->
       List.map
@@ -200,7 +209,7 @@ let run_matrix ?ops ?checkpoint_every ?backup_at ?buffer_frames
           let dir = Printf.sprintf "%s-%s" dir_prefix (sanitize spec) in
           run_spec ?ops ?checkpoint_every ?backup_at ?buffer_frames ~dir spec)
         policies)
-    (Fault.sites ())
+    sites
 
 let render o =
   Printf.sprintf "%-28s %-4s fired=%b crashes=%d acked=%d/%d recovered=%d%s%s"

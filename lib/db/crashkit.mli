@@ -38,9 +38,12 @@ val run_matrix :
   ?backup_at:int ->
   ?buffer_frames:int ->
   ?policies:string list ->
+  ?sites:string list ->
   dir_prefix:string ->
   unit ->
   outcome list
-(** [run_spec] for every registered site crossed with [policies]. *)
+(** [run_spec] for every site crossed with [policies].  [sites]
+    defaults to the registered sites minus the [repl.*] ones, which
+    need a live primary/standby pair and have their own harness. *)
 
 val render : outcome -> string

@@ -62,6 +62,14 @@ let open_database t ~name ~dir =
   Hashtbl.add t.databases name db;
   db
 
+(* Register a database the caller opened itself — the replication
+   receiver restores a seed with Backup.restore and opens the result,
+   so the create/open helpers above don't fit. *)
+let register_database t ~name db =
+  if Hashtbl.mem t.databases name then
+    Error.raise_error Error.Document_exists "database %S already registered" name;
+  Hashtbl.add t.databases name db
+
 let find_database t name = Hashtbl.find_opt t.databases name
 
 let get_database t name =
@@ -103,6 +111,22 @@ let disconnect t id =
   | _ -> ()
 
 let session_count t = locked t.mu (fun () -> List.length t.sessions)
+
+(* Replace a registered database in place (standby re-seed: the old
+   store is abandoned for a freshly restored one).  Sessions bound to
+   the replaced database are disconnected — their snapshots point into
+   the store being thrown away. *)
+let swap_database t ~name db =
+  let old = Hashtbl.find_opt t.databases name in
+  Hashtbl.replace t.databases name db;
+  match old with
+  | None -> ()
+  | Some old ->
+    let stale =
+      locked t.mu (fun () ->
+          List.filter (fun (_, s) -> Session.database s == old) t.sessions)
+    in
+    List.iter (fun (id, _) -> disconnect t id) stale
 
 let shutdown t =
   let sessions = locked t.mu (fun () -> t.sessions) in
@@ -174,6 +198,19 @@ let observability_report t =
     (Counters.get Counters.recovery_skip)
     (Counters.get Counters.wal_truncated_bytes)
     (Counters.get Counters.lock_retry);
+  line "replication:";
+  line "  shipped: %d bytes, %d records; %d heartbeats"
+    (Counters.get Counters.repl_bytes_shipped)
+    (Counters.get Counters.repl_records_shipped)
+    (Counters.get Counters.repl_heartbeats);
+  line "  applied: %d txns, %d pages; %d re-seeds, %d promotions"
+    (Counters.get Counters.repl_txns_applied)
+    (Counters.get Counters.repl_pages_applied)
+    (Counters.get Counters.repl_reseeds)
+    (Counters.get Counters.repl_promotions);
+  line "  lag: %d bytes (acked pos %d)"
+    (Counters.get Counters.repl_lag_bytes)
+    (Counters.get Counters.repl_acked_pos);
   line "global counters:";
   List.iter (fun (k, v) -> line "  %-24s %d" k v) (Counters.snapshot ());
   line "trace: %d events emitted, %d retained (capacity %d)" (Trace.emitted ())

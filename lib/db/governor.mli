@@ -27,6 +27,18 @@ val with_engine : t -> (unit -> 'a) -> 'a
 
 val create_database : t -> name:string -> dir:string -> Sedna_core.Database.t
 val open_database : t -> name:string -> dir:string -> Sedna_core.Database.t
+
+val register_database : t -> name:string -> Sedna_core.Database.t -> unit
+(** Register a database the caller opened itself (e.g. a standby
+    restored from a shipped seed).  Raises if the name is taken. *)
+
+val swap_database : t -> name:string -> Sedna_core.Database.t -> unit
+(** Replace the registered database under [name] (standby re-seed).
+    Sessions bound to the old database are disconnected — their
+    snapshots point into the abandoned store.  The old database is not
+    closed; the caller owns it.  Takes the engine lock for the
+    rollbacks, so do not call while holding it. *)
+
 val find_database : t -> string -> Sedna_core.Database.t option
 val get_database : t -> string -> Sedna_core.Database.t
 

@@ -1,0 +1,28 @@
+(* Convenience entry points for failover-aware clients.
+
+   The heavy lifting lives in {!Sedna_server.Server_client}: it owns
+   the endpoint list, reconnect backoff and the retry/SE-FAILOVER
+   decision per statement.  This module just packages the common
+   call shapes. *)
+
+open Sedna_server
+
+let connect ?retries ?backoff_s ?fetch_chunk endpoints =
+  match endpoints with
+  | [] -> invalid_arg "Repl_client.connect: empty endpoint list"
+  | (host, port) :: _ ->
+    Server_client.connect ~host ~endpoints ?retries ?backoff_s ?fetch_chunk
+      ~port ()
+
+(* Issue the PROMOTE admin statement against one specific endpoint —
+   failover-on-connect would defeat the point of targeting the
+   standby. *)
+let promote ~host ~port ~database =
+  let c = Server_client.connect ~host ~port ~retries:3 () in
+  Fun.protect
+    ~finally:(fun () -> try Server_client.close c with _ -> ())
+    (fun () ->
+      ignore (Server_client.open_db c database);
+      match Server_client.execute c "PROMOTE" with
+      | Sedna_db.Session.Message m -> m
+      | other -> Sedna_db.Session.result_to_string other)

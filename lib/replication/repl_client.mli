@@ -1,0 +1,19 @@
+(** Failover-aware client helpers on top of
+    {!Sedna_server.Server_client}. *)
+
+val connect :
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?fetch_chunk:int ->
+  (string * int) list ->
+  Sedna_server.Server_client.t
+(** Connect to the first reachable endpoint of the list (primary
+    first); the returned client fails over between them transparently
+    for reads and surfaces [SE-FAILOVER] for interrupted writes.
+    Raises [Invalid_argument] on an empty list. *)
+
+val promote : host:string -> port:int -> database:string -> string
+(** Ask the server at exactly this endpoint to promote its standby
+    database to primary; returns the server's status line.  Raises
+    {!Sedna_server.Server_client.Remote_error} if the server is not a
+    standby. *)

@@ -1,0 +1,179 @@
+(* Replication-channel half of the crash matrix.
+
+   {!Sedna_db.Crashkit} proves the single-node story: crash anywhere,
+   recover, keep every acked commit.  This module proves the shipped
+   copy under the same discipline, with the three [repl.*] fault sites
+   armed one at a time:
+
+     repl.send       primary dies mid-batch (before the reply)
+     repl.heartbeat  primary dies instead of heartbeating
+     repl.apply      standby dies after receiving a batch, before it
+                     is persisted or acked
+
+   A fired fault severs the replication connection; the receiver
+   reconnects and re-pulls from its acked position, so the required
+   outcome is always the same: the standby ends caught up and holding
+   every entry the primary acked — added lag, zero loss.
+
+   Each run also checkpoints the primary mid-workload, bumping the WAL
+   epoch under live traffic so the Hole → re-seed path is exercised in
+   every cell of the matrix, not just in dedicated tests. *)
+
+open Sedna_util
+open Sedna_core
+open Sedna_db
+
+let entry_token i = Printf.sprintf "|%d|" i
+let entry_text i = entry_token i ^ String.make 1500 'x'
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let rm_rf dir =
+  if Sys.file_exists dir then
+    ignore (Sys.command ("rm -rf " ^ Filename.quote dir))
+
+let repl_sites = [ "repl.send"; "repl.heartbeat"; "repl.apply" ]
+
+let run_spec ?(ops = 10) ?(reseed_at = 5) ~dir spec : Crashkit.outcome =
+  Fault.disarm_all ();
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let attempted = ref 0 in
+  let acked = ref [] in
+  let recovered = ref 0 in
+  let fired = ref false in
+  let reseeds0 = Counters.get Counters.repl_reseeds in
+  (* primary and standby live in one process but behind separate
+     governors, exactly as two sedna_cli server processes would be *)
+  let gov_p = Governor.create () in
+  let gov_s = Governor.create () in
+  let db = Governor.create_database gov_p ~name:"db" ~dir:(Filename.concat dir "primary") in
+  ignore
+    (Database.with_txn db (fun txn st ->
+         Database.lock_exn db txn ~doc:"log" ~mode:Lock_mgr.Exclusive;
+         Loader.load_string st ~doc_name:"log" "<log/>"));
+  let sender = Repl_sender.start ~gov:gov_p db in
+  let recv =
+    Repl_receiver.start ~heartbeat_timeout_s:0.5 ~gov:gov_s ~name:"db"
+      ~dir:(Filename.concat dir "standby") ~host:"127.0.0.1"
+      ~port:(Repl_sender.port sender) ()
+  in
+  let wal_tip () = (Wal.epoch (Database.wal db), Wal.size (Database.wal db)) in
+  let epoch0, pos0 = wal_tip () in
+  if not (Repl_receiver.wait_caught_up recv ~epoch:epoch0 ~pos:pos0) then
+    fail "standby never finished the initial seed";
+  let injected0 = Counters.get Counters.fault_injected in
+  Fault.arm_spec spec;
+  if !failures = [] then begin
+    for i = 1 to ops do
+      incr attempted;
+      (match
+         Governor.with_engine gov_p (fun () ->
+             let s = Session.connect db in
+             ignore
+               (Session.execute s
+                  (Printf.sprintf
+                     {|UPDATE insert <entry>%s</entry> into doc("log")/log|}
+                     (entry_text i))))
+       with
+       | () -> acked := i :: !acked
+       | exception e -> fail "insert %d failed: %s" i (Printexc.to_string e));
+      (* pace the workload to shipping: without this the whole loop can
+         finish inside one poll interval, the post-checkpoint re-seed
+         delivers every entry wholesale, and the batch-path sites
+         (repl.send, repl.apply) are never exercised *)
+      (let e, p = wal_tip () in
+       ignore (Repl_receiver.wait_caught_up ~timeout_s:5. recv ~epoch:e ~pos:p));
+      if i = reseed_at then
+        (* live epoch bump: truncates the primary WAL under the
+           standby's feet and forces a Hole → re-seed mid-workload *)
+        match Governor.with_engine gov_p (fun () -> Database.checkpoint db) with
+        | () -> ()
+        | exception e -> fail "checkpoint failed: %s" (Printexc.to_string e)
+    done;
+    let epoch, pos = wal_tip () in
+    if not (Repl_receiver.wait_caught_up ~timeout_s:20. recv ~epoch ~pos) then begin
+      let te, tp = Repl_receiver.tracked recv in
+      fail "standby never caught up: tracking (%d,%d), primary at (%d,%d)" te tp
+        epoch pos
+    end
+  end;
+  (* heartbeat-site policies only trip on idle polls, which may lag the
+     workload slightly: give the armed fault a bounded grace period *)
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  while
+    Counters.get Counters.fault_injected <= injected0
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.01
+  done;
+  fired := Counters.get Counters.fault_injected > injected0;
+  Fault.disarm_all ();
+  (* the moment of truth: promote the standby and check it holds every
+     entry the primary acknowledged *)
+  if !failures = [] then begin
+    (match Repl_receiver.promote recv with
+     | _msg -> ()
+     | exception e -> fail "promote failed: %s" (Printexc.to_string e));
+    match Repl_receiver.database recv with
+    | None -> fail "no standby database after promotion"
+    | Some sdb ->
+      (match
+         let s = Session.connect sdb in
+         Session.execute_string s {|string(doc("log")/log)|}
+       with
+       | text ->
+         List.iter
+           (fun i ->
+             if contains text (entry_token i) then incr recovered
+             else fail "acked entry %d missing on promoted standby" i)
+           !acked
+       | exception e ->
+         fail "read on promoted standby failed: %s" (Printexc.to_string e));
+      (match Integrity.check_document (Database.store sdb) "log" with
+       | [] -> ()
+       | es -> List.iter (fail "standby integrity: %s") es);
+      match Integrity.check_document (Database.store db) "log" with
+      | [] -> ()
+      | es -> List.iter (fail "primary integrity: %s") es
+  end;
+  (* at least one re-seed must have happened (the initial seed counts;
+     the mid-run checkpoint forces another) *)
+  let reseeded = Counters.get Counters.repl_reseeds - reseeds0 >= 2 in
+  if !failures = [] && not reseeded then
+    fail "mid-run checkpoint did not force a re-seed";
+  Repl_receiver.stop recv;
+  Repl_sender.stop sender;
+  (try Governor.shutdown gov_s with _ -> ());
+  (try Governor.shutdown gov_p with _ -> ());
+  rm_rf dir;
+  {
+    Crashkit.spec;
+    fired = !fired;
+    crashes = 0;
+    attempted = !attempted;
+    acked = List.length !acked;
+    recovered = !recovered;
+    backup_verified = reseeded;
+    failures = List.rev !failures;
+  }
+
+let sanitize s =
+  String.map (fun c -> match c with 'a' .. 'z' | '0' .. '9' -> c | _ -> '-')
+    (String.lowercase_ascii s)
+
+let run_matrix ?ops ?(policies = Crashkit.default_policies) ~dir_prefix () =
+  List.concat_map
+    (fun site ->
+      List.map
+        (fun pol ->
+          let spec = site ^ ":" ^ pol in
+          let dir = Printf.sprintf "%s-%s" dir_prefix (sanitize spec) in
+          run_spec ?ops ~dir spec)
+        policies)
+    repl_sites

@@ -1,0 +1,24 @@
+(** Replication-channel crash matrix: {!Sedna_db.Crashkit} discipline
+    applied to the [repl.send] / [repl.heartbeat] / [repl.apply] fault
+    sites.  Each run stands up a live primary + standby pair, arms one
+    spec, drives acked inserts with a mid-run checkpoint (forcing the
+    Hole → re-seed path), then promotes the standby and verifies it
+    holds every acknowledged entry with clean storage invariants.
+    In an outcome, [backup_verified] records that the forced mid-run
+    re-seed happened; [crashes] is always 0 — injected replication
+    faults cost a connection, not the process. *)
+
+val repl_sites : string list
+
+val run_spec :
+  ?ops:int -> ?reseed_at:int -> dir:string -> string -> Sedna_db.Crashkit.outcome
+(** Never raises: problems land in [failures]. *)
+
+val run_matrix :
+  ?ops:int ->
+  ?policies:string list ->
+  dir_prefix:string ->
+  unit ->
+  Sedna_db.Crashkit.outcome list
+(** {!run_spec} for every [repl.*] site crossed with [policies]
+    (default {!Sedna_db.Crashkit.default_policies}). *)

@@ -1,0 +1,379 @@
+(* Standby side of WAL-shipping replication: continuous redo.
+
+   A pull thread drives the sender: connect, seed if necessary, then
+   Pull in a loop.  Each received batch goes through a strict
+   durability order —
+
+     1. append the raw frames to the standby's own WAL and fsync
+        (ordinary recovery can now finish the work if we die mid-apply)
+     2. apply the complete transactions in the batch
+        ({!Database.apply_txn} under the engine lock, so concurrent
+        BEGIN READ ONLY sessions keep their consistent snapshots)
+     3. advance the durable resume state (repl.state) — but only to
+        transaction boundaries: a batch may end inside a transaction
+        whose commit record is still on the wire, and restarting from a
+        mid-transaction position would strand its page images
+
+   Restart safety: on restart the local WAL is checkpoint-truncated by
+   recovery, and pulling resumes from the persisted boundary, so the
+   frames of any half-shipped transaction are simply received again.
+   Applies are idempotent (absolute page images), so every step above
+   may be repeated after a lost ack.
+
+   Epochs: the primary bumps its WAL epoch at every checkpoint
+   truncation.  A Pull naming a stale epoch (or a position past the
+   log) is answered with Hole, and the standby re-seeds from a fresh
+   full backup shipped over the same connection.
+
+   Promotion joins this thread first, which is why the serving layer
+   must invoke it OUTSIDE the engine lock: the apply step above takes
+   that lock, and a promote waiting on the join while holding it would
+   deadlock. *)
+
+open Sedna_util
+open Sedna_core
+open Sedna_db
+open Sedna_server
+
+(* fires before a received batch is persisted or acked: an injected
+   fault drops the connection and the batch is simply pulled again *)
+let apply_site = Fault.site "repl.apply"
+
+exception Heartbeat_timeout
+
+type t = {
+  gov : Governor.t;
+  name : string; (* database name in the governor *)
+  dir : string; (* standby database directory (stable across re-seeds) *)
+  host : string;
+  port : int;
+  poll_s : float;
+  heartbeat_timeout_s : float;
+  max_batch : int;
+  mu : Mutex.t;
+  mutable db : Database.t option;
+  mutable epoch : int; (* primary WAL epoch being tracked *)
+  mutable pos : int; (* next primary WAL position to pull *)
+  mutable boundary : int; (* last txn-boundary position (durable resume point) *)
+  pending : (int, (int * Bytes.t) list ref) Hashtbl.t; (* txn -> rev images *)
+  mutable stopping : bool;
+  mutable promoted : bool;
+  mutable connected : bool;
+  mutable last_contact : float;
+  mutable fd : Unix.file_descr option;
+  mutable thread : Thread.t option;
+}
+
+let rm_rf dir =
+  if Sys.file_exists dir then
+    ignore (Sys.command ("rm -rf " ^ Filename.quote dir))
+
+let state_path dir = Filename.concat dir "repl.state"
+
+let persist_state t =
+  Sysutil.write_file_durable (state_path t.dir)
+    (Printf.sprintf "%d %d\n" t.epoch t.boundary)
+
+let read_state dir =
+  let p = state_path dir in
+  if not (Sys.file_exists p) then None
+  else begin
+    let ic = open_in_bin p in
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    match String.split_on_char ' ' (String.trim line) with
+    | [ e; pos ] -> (
+      match (int_of_string_opt e, int_of_string_opt pos) with
+      | Some e, Some pos -> Some (e, pos)
+      | _ -> None)
+    | _ -> None
+  end
+
+(* ---- wire helpers ----------------------------------------------------- *)
+
+(* A silent primary is indistinguishable from a dead one: bound every
+   response wait by the heartbeat timeout and treat expiry as a
+   disconnect. *)
+let read_response_timed t fd =
+  let rec wait () =
+    match Unix.select [ fd ] [] [] t.heartbeat_timeout_s with
+    | [], _, _ ->
+      t.connected <- false;
+      raise Heartbeat_timeout
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  wait ();
+  let r = Wire.read_repl_response fd in
+  t.last_contact <- Unix.gettimeofday ();
+  r
+
+(* ---- seeding ---------------------------------------------------------- *)
+
+(* Swap in a freshly shipped full backup.  The directory path stays
+   stable across re-seeds: the new store is staged next to it, the old
+   database is dropped without flushing (its state is abandoned by
+   design), and a rename moves the stage into place. *)
+let install_seed t files =
+  let stage = t.dir ^ ".seed" in
+  rm_rf stage;
+  Unix.mkdir stage 0o755;
+  List.iter
+    (fun (name, data) ->
+      if Filename.basename name <> name then
+        raise (Wire.Protocol_error "seed file name escapes the directory");
+      Sysutil.write_file_durable (Filename.concat stage name) data)
+    files;
+  (match t.db with
+   | Some old -> ( try Database.crash old with _ -> ())
+   | None -> ());
+  rm_rf t.dir;
+  Unix.rename stage t.dir;
+  Sysutil.fsync_dir (Filename.dirname t.dir);
+  (* opening replays the shipped WAL, giving the exact state the
+     primary recorded the resume position against *)
+  let ndb = Database.open_existing t.dir in
+  Database.set_standby ndb true;
+  (match Governor.find_database t.gov t.name with
+   | None -> Governor.register_database t.gov ~name:t.name ndb
+   | Some _ -> Governor.swap_database t.gov ~name:t.name ndb);
+  t.db <- Some ndb
+
+let seed t fd =
+  Trace.emit (Trace.Repl_state { role = "standby"; state = "seeding" });
+  Wire.write_repl_request fd Wire.Seed_request;
+  let rec recv files =
+    match read_response_timed t fd with
+    | Wire.Seed_file { name; data } -> recv ((name, data) :: files)
+    | Wire.Seed_done { epoch; pos } -> (List.rev files, epoch, pos)
+    | Wire.Batch _ | Wire.Heartbeat _ | Wire.Hole _ ->
+      raise (Wire.Protocol_error "unexpected response during seed")
+  in
+  let files, epoch, pos = recv [] in
+  install_seed t files;
+  (* count the install before publishing epoch/pos: anyone who waited
+     for the new epoch to appear must also see this seed counted *)
+  Counters.bump Counters.repl_reseeds;
+  Trace.emit (Trace.Repl_reseed { epoch });
+  Hashtbl.reset t.pending;
+  t.epoch <- epoch;
+  t.pos <- pos;
+  t.boundary <- pos;
+  persist_state t
+
+(* ---- continuous apply ------------------------------------------------- *)
+
+let apply_batch t db frames =
+  List.iter
+    (fun (r, _end_off) ->
+      match r with
+      | Wal.Begin id -> Hashtbl.replace t.pending id (ref [])
+      | Wal.Image (id, pid, img) -> (
+        match Hashtbl.find_opt t.pending id with
+        | Some l -> l := (pid, img) :: !l
+        | None -> ())
+      | Wal.Logical _ -> ()
+      | Wal.Commit (id, catalog_blob) ->
+        let images =
+          match Hashtbl.find_opt t.pending id with
+          | Some l -> List.rev !l
+          | None -> []
+        in
+        Hashtbl.remove t.pending id;
+        Governor.with_engine t.gov (fun () ->
+            Database.apply_txn db ~txn_id:id ~images ~catalog_blob)
+      | Wal.Abort id -> Hashtbl.remove t.pending id
+      | Wal.Checkpoint -> ())
+    (Wal.records_of_frames frames)
+
+let pull_loop t fd =
+  while not t.stopping do
+    Wire.write_repl_request fd
+      (Wire.Pull { epoch = t.epoch; pos = t.pos; max_bytes = t.max_batch });
+    match read_response_timed t fd with
+    | Wire.Batch { epoch; next_pos; frames } when epoch = t.epoch ->
+      (* fires before anything is persisted or acked: safe to re-pull *)
+      Fault.check apply_site;
+      let db = Option.get t.db in
+      let wal = Database.wal db in
+      Wal.append_raw wal frames;
+      Wal.sync wal;
+      Trace.emit
+        (Trace.Repl_batch
+           {
+             records = List.length (Wal.records_of_frames frames);
+             bytes = String.length frames;
+             pos = next_pos;
+           });
+      apply_batch t db frames;
+      t.pos <- next_pos;
+      if Hashtbl.length t.pending = 0 && t.boundary <> next_pos then begin
+        t.boundary <- next_pos;
+        persist_state t
+      end
+    | Wire.Batch _ | Wire.Hole _ ->
+      (* wrong or bumped epoch: our position is meaningless now *)
+      seed t fd
+    | Wire.Heartbeat _ -> if not t.stopping then Unix.sleepf t.poll_s
+    | Wire.Seed_file _ | Wire.Seed_done _ ->
+      raise (Wire.Protocol_error "unsolicited seed frame")
+  done
+
+(* ---- connection management -------------------------------------------- *)
+
+let connect_primary t =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string t.host, t.port));
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    fd
+  with e ->
+    (try Unix.close fd with _ -> ());
+    raise e
+
+let session_loop t () =
+  let backoff = ref 0.01 in
+  while not t.stopping do
+    match connect_primary t with
+    | exception _ ->
+      Unix.sleepf !backoff;
+      backoff := Float.min 1.0 (!backoff *. 2.)
+    | fd ->
+      backoff := 0.01;
+      t.fd <- Some fd;
+      t.connected <- true;
+      t.last_contact <- Unix.gettimeofday ();
+      Trace.emit (Trace.Repl_state { role = "standby"; state = "connected" });
+      (try
+         if t.db = None then seed t fd;
+         pull_loop t fd
+       with
+       | Heartbeat_timeout | End_of_file | Unix.Unix_error _
+       | Wire.Protocol_error _ ->
+         ()
+       | Fault.Injected_fault _ | Fault.Injected_crash _ ->
+         (* injected replication fault: treated as a channel death —
+            reconnect and re-pull; nothing was acked *)
+         ());
+      t.connected <- false;
+      t.fd <- None;
+      (try Unix.close fd with _ -> ());
+      if not t.stopping then begin
+        Trace.emit (Trace.Repl_state { role = "standby"; state = "disconnected" });
+        Unix.sleepf t.poll_s
+      end
+  done
+
+let start ?(poll_s = 0.01) ?(heartbeat_timeout_s = 2.0) ?(max_batch = 1 lsl 20)
+    ~gov ~name ~dir ~host ~port () : t =
+  let t =
+    {
+      gov;
+      name;
+      dir;
+      host;
+      port;
+      poll_s;
+      heartbeat_timeout_s;
+      max_batch;
+      mu = Mutex.create ();
+      db = None;
+      epoch = 0;
+      pos = 0;
+      boundary = 0;
+      pending = Hashtbl.create 4;
+      stopping = false;
+      promoted = false;
+      connected = false;
+      last_contact = 0.;
+      fd = None;
+      thread = None;
+    }
+  in
+  (* resume a standby that was stopped cleanly: recovery applies
+     whatever committed work the local WAL already holds, and pulling
+     restarts from the persisted transaction boundary *)
+  (match read_state dir with
+   | Some (epoch, pos) when Sys.file_exists (Filename.concat dir "catalog.sdb") -> (
+     match Database.open_existing dir with
+     | db ->
+       Database.set_standby db true;
+       (match Governor.find_database gov name with
+        | None -> Governor.register_database gov ~name db
+        | Some _ -> Governor.swap_database gov ~name db);
+       t.db <- Some db;
+       t.epoch <- epoch;
+       t.pos <- pos;
+       t.boundary <- pos
+     | exception _ -> t.db <- None (* unusable remains: fall back to a seed *))
+   | _ -> ());
+  t.thread <- Some (Thread.create (session_loop t) ());
+  t
+
+let database t = t.db
+let is_connected t = t.connected
+let tracked t = (t.epoch, t.pos)
+
+let healthy t =
+  t.connected && Unix.gettimeofday () -. t.last_contact < t.heartbeat_timeout_s
+
+let caught_up t ~epoch ~pos =
+  t.epoch = epoch && t.pos >= pos && Hashtbl.length t.pending = 0
+
+let wait_caught_up ?(timeout_s = 10.) t ~epoch ~pos =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if caught_up t ~epoch ~pos then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.yield ();
+      Unix.sleepf 0.002;
+      go ()
+    end
+  in
+  go ()
+
+let join_pull_thread t =
+  t.stopping <- true;
+  (match t.fd with
+   | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+   | None -> ());
+  (match t.thread with Some th -> Thread.join th | None -> ());
+  t.thread <- None
+
+let stop t = join_pull_thread t
+
+(* Promotion: stop pulling, then turn the standby into an ordinary
+   primary.  Complete shipped transactions were applied inline as they
+   arrived; whatever is left in [pending] lacks its commit record and
+   is discarded exactly as recovery would discard it.  The closing
+   checkpoint fixates the state and bumps the local WAL epoch, so
+   future standbys of the NEW primary can never confuse its log with
+   the old timeline.  Idempotent. *)
+let promote t =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      if t.promoted then "already promoted"
+      else begin
+        join_pull_thread t;
+        match t.db with
+        | None ->
+          Error.raise_error Error.Recovery_failure
+            "cannot promote: the standby never finished seeding"
+        | Some db ->
+          Hashtbl.reset t.pending;
+          Database.set_standby db false;
+          (try Governor.with_engine t.gov (fun () -> Database.checkpoint db)
+           with Error.Sedna_error (Error.Txn_not_active, _) ->
+             (* read-only sessions still open: skip the checkpoint, the
+                WAL already holds everything *)
+             ());
+          t.promoted <- true;
+          Counters.bump Counters.repl_promotions;
+          let epoch = Wal.epoch (Database.wal db) in
+          Trace.emit (Trace.Repl_promote { epoch });
+          Logs.info (fun m -> m "standby %s promoted to primary (epoch %d)" t.name epoch);
+          Printf.sprintf "promoted to primary (epoch %d)" epoch
+      end)

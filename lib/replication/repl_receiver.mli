@@ -1,0 +1,68 @@
+(** Standby side of WAL-shipping replication: continuous redo.
+
+    A pull thread tails the primary's WAL over the replication port,
+    appends the shipped frames to the standby's own WAL (durability
+    first), applies complete transactions under the governor's engine
+    lock, and persists its resume position at transaction boundaries.
+    The standby database is registered in the governor under the given
+    name and accepts [BEGIN READ ONLY] sessions; writes are refused
+    with [SE-READ-ONLY].
+
+    An epoch mismatch (the primary checkpointed and truncated its log)
+    triggers an automatic re-seed from a full backup shipped over the
+    same connection; the database directory path stays stable across
+    re-seeds.
+
+    Fault site [repl.apply] fires after a batch is received but before
+    it is persisted or acknowledged: an injected fault costs the
+    connection only, the batch is pulled again on reconnect. *)
+
+type t
+
+val start :
+  ?poll_s:float ->
+  ?heartbeat_timeout_s:float ->
+  ?max_batch:int ->
+  gov:Sedna_db.Governor.t ->
+  name:string ->
+  dir:string ->
+  host:string ->
+  port:int ->
+  unit ->
+  t
+(** Start (or resume, if [dir] holds a previously stopped standby with
+    a [repl.state] file) pulling from the primary's replication port.
+    [heartbeat_timeout_s] bounds every response wait: a silent primary
+    is treated as disconnected and the standby reconnects with
+    backoff. *)
+
+val database : t -> Sedna_core.Database.t option
+(** [None] until the first seed completes. *)
+
+val is_connected : t -> bool
+
+val healthy : t -> bool
+(** Connected and heard from the primary within the heartbeat
+    timeout. *)
+
+val tracked : t -> int * int
+(** Current (epoch, next pull position). *)
+
+val caught_up : t -> epoch:int -> pos:int -> bool
+(** True when the standby tracks this epoch, has pulled at least to
+    [pos], and has no transaction mid-flight. *)
+
+val wait_caught_up : ?timeout_s:float -> t -> epoch:int -> pos:int -> bool
+(** Poll {!caught_up}; [false] on timeout. *)
+
+val promote : t -> string
+(** Stop pulling and turn the standby into an ordinary read-write
+    primary: incomplete shipped transactions are discarded (they lack
+    commit records, exactly as crash recovery would discard them) and a
+    checkpoint fixates the state under a fresh WAL epoch.  Idempotent;
+    returns a human-readable status line.  Raises if the standby never
+    finished its initial seed. *)
+
+val stop : t -> unit
+(** Stop the pull thread without promoting; the database (if any)
+    stays registered and read-only. *)

@@ -1,0 +1,213 @@
+(* Primary side of WAL-shipping replication: a listener on a dedicated
+   replication port, one serving thread per attached standby.
+
+   The protocol is pull-based and the standby drives it: each Pull
+   names the (epoch, position) the standby wants next, which doubles as
+   the acknowledgement of everything before it — the sender keeps no
+   per-standby durable state at all.  Three replies are possible:
+
+     Batch      raw checksum-valid WAL frames from that position
+     Heartbeat  nothing new yet (also proves the primary is alive)
+     Hole       the position is gone — a checkpoint truncated the log
+                and bumped its epoch; the standby must re-seed
+
+   Re-seeding ships a full hot backup over the same connection
+   (Seed_file per file, then Seed_done with the exact (epoch, position)
+   streaming resumes from).  The backup is taken under the engine lock,
+   so the seed is transaction-consistent and the resume position is
+   exact.
+
+   Reading the live WAL file concurrently with appends is safe without
+   the engine lock: only whole checksum-valid frames are shipped, so a
+   frame mid-append is simply not included yet (same reasoning as the
+   torn-tail rule at recovery). *)
+
+open Sedna_util
+open Sedna_core
+open Sedna_db
+open Sedna_server
+
+(* fault-injection sites: a fired policy severs the replication
+   connection; the standby reconnects and resumes from its acked
+   position, so the only effect is added lag *)
+let send_site = Fault.site "repl.send"
+let heartbeat_site = Fault.site "repl.heartbeat"
+
+type t = {
+  gov : Governor.t;
+  db : Database.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  mutable stopping : bool;
+  mutable listener : Thread.t option;
+  mutable serving : Thread.t list;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mu : Mutex.t;
+  mutable next_conn : int;
+}
+
+let port t = t.bound_port
+
+let rm_rf dir =
+  if Sys.file_exists dir then
+    ignore (Sys.command ("rm -rf " ^ Filename.quote dir))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  data
+
+(* Ship a transaction-consistent full backup.  Taken under the engine
+   lock: no commit can slide between the copied files and the recorded
+   resume position. *)
+let serve_seed t conn_id fd =
+  Trace.emit (Trace.Repl_state { role = "primary"; state = "seeding" });
+  let tmp = Database.directory t.db ^ Printf.sprintf ".seed%d" conn_id in
+  rm_rf tmp;
+  let epoch, pos =
+    Governor.with_engine t.gov (fun () ->
+        Backup.full t.db ~dest:tmp;
+        (Wal.epoch (Database.wal t.db), Wal.size (Database.wal t.db)))
+  in
+  Fun.protect
+    ~finally:(fun () -> rm_rf tmp)
+    (fun () ->
+      List.iter
+        (fun name ->
+          let p = Filename.concat tmp name in
+          if Sys.file_exists p then
+            Wire.write_repl_response fd (Wire.Seed_file { name; data = read_file p }))
+        [ "data.sdb"; "wal.sdb"; "catalog.sdb" ];
+      Wire.write_repl_response fd (Wire.Seed_done { epoch; pos }))
+
+let serve_pull t fd ~epoch ~pos ~max_bytes =
+  let wal = Database.wal t.db in
+  let cur_epoch = Wal.epoch wal in
+  if epoch <> cur_epoch || pos > Wal.size wal then
+    Wire.write_repl_response fd (Wire.Hole { epoch = cur_epoch })
+  else begin
+    let max_bytes = max 1 (min max_bytes (Wire.max_frame / 2)) in
+    let frames, count, next_pos = Wal.stream_from (Wal.path wal) ~pos ~max_bytes in
+    if Wal.epoch wal <> cur_epoch then
+      (* a checkpoint truncated the log while we were reading it *)
+      Wire.write_repl_response fd (Wire.Hole { epoch = Wal.epoch wal })
+    else if count = 0 then begin
+      Fault.check heartbeat_site;
+      Counters.bump Counters.repl_heartbeats;
+      Wire.write_repl_response fd (Wire.Heartbeat { epoch = cur_epoch; pos = Wal.size wal })
+    end
+    else begin
+      Fault.check send_site;
+      Counters.bump ~n:(String.length frames) Counters.repl_bytes_shipped;
+      Counters.bump ~n:count Counters.repl_records_shipped;
+      Trace.emit
+        (Trace.Repl_batch
+           { records = count; bytes = String.length frames; pos = next_pos });
+      Wire.write_repl_response fd (Wire.Batch { epoch = cur_epoch; next_pos; frames })
+    end;
+    (* the pull position acknowledges everything before it *)
+    Counters.set Counters.repl_acked_pos pos;
+    Counters.set Counters.repl_lag_bytes (max 0 (Wal.size wal - pos))
+  end
+
+let serve_conn t conn_id fd =
+  let rec loop () =
+    if not t.stopping then begin
+      (match Wire.read_repl_request fd with
+       | Wire.Pull { epoch; pos; max_bytes } -> serve_pull t fd ~epoch ~pos ~max_bytes
+       | Wire.Seed_request -> serve_seed t conn_id fd);
+      loop ()
+    end
+  in
+  (try loop () with
+   | End_of_file | Unix.Unix_error _ | Wire.Protocol_error _ -> ()
+   | Fault.Injected_fault _ | Fault.Injected_crash _ ->
+     (* an injected replication fault costs the connection, nothing
+        more: the standby reconnects and re-pulls from its acked
+        position *)
+     ());
+  Mutex.lock t.mu;
+  Hashtbl.remove t.conns conn_id;
+  Mutex.unlock t.mu;
+  try Unix.close fd with _ -> ()
+
+let listener_main t () =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _addr ->
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      Mutex.lock t.mu;
+      let id = t.next_conn in
+      t.next_conn <- id + 1;
+      Hashtbl.replace t.conns id fd;
+      let th = Thread.create (fun () -> serve_conn t id fd) () in
+      t.serving <- th :: t.serving;
+      Mutex.unlock t.mu;
+      loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+      when t.stopping ->
+      ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+let start ?(host = "127.0.0.1") ?(port = 0) ~gov (db : Database.t) : t =
+  let addr = Unix.inet_addr_of_string host in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (addr, port));
+  Unix.listen listen_fd 8;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    {
+      gov;
+      db;
+      listen_fd;
+      bound_port;
+      stopping = false;
+      listener = None;
+      serving = [];
+      conns = Hashtbl.create 4;
+      mu = Mutex.create ();
+      next_conn = 1;
+    }
+  in
+  t.listener <- Some (Thread.create (listener_main t) ());
+  Logs.info (fun m -> m "replication sender listening on %s:%d" host bound_port);
+  t
+
+let standby_count t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.mu;
+  n
+
+let stop t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with _ -> ());
+    (* poke the listener out of accept(2) *)
+    (try
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", t.bound_port))
+        with _ -> ());
+       Unix.close fd
+     with _ -> ());
+    (match t.listener with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with _ -> ());
+    Mutex.lock t.mu;
+    let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
+    let serving = t.serving in
+    t.serving <- [];
+    Mutex.unlock t.mu;
+    List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) fds;
+    List.iter Thread.join serving
+  end

@@ -1,0 +1,30 @@
+(** Primary side of WAL-shipping replication: a listener on a
+    dedicated replication port serving the pull-based protocol of
+    {!Sedna_server.Wire} (Batch / Heartbeat / Hole, plus full-backup
+    seeding).  The standby's pull position doubles as its ack, so the
+    sender keeps no durable per-standby state.
+
+    Fault sites [repl.send] and [repl.heartbeat] fire just before the
+    respective replies; an injected fault severs that replication
+    connection only — the standby reconnects and resumes from its acked
+    position. *)
+
+type t
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  gov:Sedna_db.Governor.t ->
+  Sedna_core.Database.t ->
+  t
+(** Bind the replication port (0 = ephemeral) and start serving.  The
+    governor's engine lock is taken only while cutting a seed backup —
+    streaming reads the WAL file without it. *)
+
+val port : t -> int
+val standby_count : t -> int
+(** Currently attached replication connections. *)
+
+val stop : t -> unit
+(** Stop listening, sever every replication connection, join the
+    serving threads.  Idempotent. *)

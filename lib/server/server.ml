@@ -46,6 +46,7 @@ type t = {
   qmu : Mutex.t;
   qcond : Condition.t;
   mutable draining : bool;
+  mutable killed : bool; (* hard stop: skip the graceful disconnects *)
   mutable listener : Thread.t option;
   mutable workers : Thread.t list;
   (* conn id -> fd of connections currently owned by a worker, so stop
@@ -53,6 +54,8 @@ type t = {
   active : (int, Unix.file_descr) Hashtbl.t;
   amu : Mutex.t;
   mutable next_conn : int;
+  (* PROMOTE handler, set when this server fronts a hot standby *)
+  on_promote : (unit -> string) option;
 }
 
 let port t = t.bound_port
@@ -141,6 +144,24 @@ let handle_request t (conn : conn) (req : Wire.request) : bool (* keep going *) 
       | exception e ->
         send conn (err_of_exn e);
         true))
+  | Wire.Execute text when String.uppercase_ascii (String.trim text) = "PROMOTE" ->
+    (* promotion is handled OUTSIDE the engine lock: it must join the
+       replication apply thread, which itself takes the engine lock for
+       each transaction it installs — going through [run_execute] here
+       would deadlock *)
+    (match t.on_promote with
+     | None ->
+       send conn
+         (Wire.Err
+            {
+              code = "SE-UNSUPPORTED";
+              msg = "this server is not a standby: nothing to promote";
+            })
+     | Some promote -> (
+       match promote () with
+       | msg -> send conn (Wire.Message msg)
+       | exception e -> send conn (err_of_exn e)));
+    true
   | Wire.Execute text -> (
     match conn.session with
     | None ->
@@ -189,10 +210,13 @@ let close_conn t (conn : conn) =
   Mutex.lock t.amu;
   Hashtbl.remove t.active conn.conn_id;
   Mutex.unlock t.amu;
-  (* rolls back any open transaction; takes the store lock itself *)
+  (* rolls back any open transaction; takes the store lock itself.  A
+     killed server skips this: a SIGKILLed process would not have
+     written abort records either, and recovery handles the rest *)
   (match conn.gov_id with
-   | Some gid -> ( try Governor.disconnect t.gov gid with _ -> ())
-   | None -> ());
+   | Some gid when not t.killed -> (
+     try Governor.disconnect t.gov gid with _ -> ())
+   | _ -> ());
   Trace.emit (Trace.Conn_close { conn = conn.conn_id; requests = conn.requests });
   try Unix.close conn.fd with _ -> ()
 
@@ -290,7 +314,7 @@ let ignore_sigpipe () =
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   with Invalid_argument _ -> ()
 
-let start ?(config = default_config) (gov : Governor.t) : t =
+let start ?(config = default_config) ?on_promote (gov : Governor.t) : t =
   ignore_sigpipe ();
   let addr = Unix.inet_addr_of_string config.host in
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -312,11 +336,13 @@ let start ?(config = default_config) (gov : Governor.t) : t =
       qmu = Mutex.create ();
       qcond = Condition.create ();
       draining = false;
+      killed = false;
       listener = None;
       workers = [];
       active = Hashtbl.create 16;
       amu = Mutex.create ();
       next_conn = 1;
+      on_promote;
     }
   in
   t.workers <- List.init (max 1 config.pool_size) (fun _ -> Thread.create (worker_main t) ());
@@ -358,4 +384,36 @@ let stop ?(shutdown_governor = true) t =
        back); checkpoint and close the stores cleanly *)
     if shutdown_governor then Governor.shutdown t.gov;
     Trace.emit (Trace.Server_state { state = "stopped" })
+  end
+
+(* Hard stop simulating SIGKILL: no drain, no rollbacks, no checkpoint,
+   no governor shutdown.  Connections are severed mid-whatever; the
+   databases keep their volatile state until the test calls
+   [Database.crash] on them and re-opens through recovery. *)
+let kill t =
+  Mutex.lock t.qmu;
+  let was_down = t.draining in
+  t.draining <- true;
+  t.killed <- true;
+  Condition.broadcast t.qcond;
+  Mutex.unlock t.qmu;
+  if not was_down then begin
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with _ -> ());
+    (try
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_of_string t.cfg.host, t.bound_port))
+        with _ -> ());
+       Unix.close fd
+     with _ -> ());
+    (match t.listener with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with _ -> ());
+    Mutex.lock t.amu;
+    let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.active [] in
+    Mutex.unlock t.amu;
+    List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) fds;
+    List.iter Thread.join t.workers;
+    t.workers <- [];
+    Trace.emit (Trace.Server_state { state = "killed" })
   end

@@ -23,10 +23,16 @@ val default_config : config
 
 type t
 
-val start : ?config:config -> Sedna_db.Governor.t -> t
+val start :
+  ?config:config -> ?on_promote:(unit -> string) -> Sedna_db.Governor.t -> t
 (** Bind, spawn the listener and the worker pool, return immediately.
     Databases must already be registered with the governor; clients
-    name one in their [Open] request. *)
+    name one in their [Open] request.
+
+    [on_promote], when given, handles the [PROMOTE] admin statement.
+    It runs {e outside} the engine lock (promotion joins the
+    replication apply thread, which takes that lock itself); without it
+    [PROMOTE] answers SE-UNSUPPORTED. *)
 
 val port : t -> int
 (** The actually bound port (useful with [port = 0]). *)
@@ -38,3 +44,9 @@ val stop : ?shutdown_governor:bool -> t -> unit
     connections, then (unless [shutdown_governor] is [false])
     checkpoint every database and close its WAL via
     {!Sedna_db.Governor.shutdown}.  Idempotent; blocks until drained. *)
+
+val kill : t -> unit
+(** Hard stop simulating SIGKILL: sever every connection without
+    rollbacks, checkpoints or governor shutdown.  In-flight clients see
+    their connection reset.  Follow with {!Sedna_core.Database.crash}
+    on the databases to complete the simulation. *)

@@ -1,7 +1,15 @@
 (* Client side of the wire protocol: a blocking connection that the
    benches, tests and the CLI's --connect mode drive like a local
    session.  Query results arrive in fetch-batches and are reassembled
-   here. *)
+   here.
+
+   The client knows about failover: it holds a list of endpoints
+   (primary first, standbys after) and, when the connection drops, it
+   reconnects to the next live endpoint with bounded exponential
+   backoff and re-opens the session.  Idempotent work — a statement
+   outside any explicit transaction that is not an update — is retried
+   transparently; everything else surfaces SE-FAILOVER, because the
+   client cannot know whether the lost statement took effect. *)
 
 open Sedna_db
 
@@ -12,20 +20,92 @@ let () =
     | Remote_error (code, msg) -> Some (Printf.sprintf "%s: %s" code msg)
     | _ -> None)
 
-type t = { fd : Unix.file_descr; fetch_chunk : int; mutable closed : bool }
+type t = {
+  mutable fd : Unix.file_descr;
+  fetch_chunk : int;
+  mutable closed : bool;
+  endpoints : (string * int) array; (* failover order; element [cur] is live *)
+  mutable cur : int;
+  retries : int;
+  backoff_s : float;
+  mutable database : string option; (* re-opened after a failover *)
+  mutable in_txn : bool; (* inside an explicit BEGIN ... COMMIT *)
+}
 
-let connect ?(host = "127.0.0.1") ?(fetch_chunk = 64 * 1024) ~port () : t =
+let try_connect host port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    fd
+  with e ->
+    (try Unix.close fd with _ -> ());
+    raise e
+
+(* Connection attempts that mean "not up (yet / any more)" — worth
+   retrying against the same or another endpoint.  Anything else
+   (EACCES, bad address...) propagates immediately. *)
+let transient_connect_error = function
+  | Unix.Unix_error
+      ( (Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ECONNABORTED
+        | Unix.ENETUNREACH | Unix.EHOSTUNREACH | Unix.ETIMEDOUT),
+        _,
+        _ ) ->
+    true
+  | _ -> false
+
+(* Walk the endpoint list starting at [start]; between full rounds,
+   sleep with exponential backoff.  [retries] counts extra rounds after
+   the first. *)
+let connect_any ~endpoints ~start ~retries ~backoff_s =
+  let n = Array.length endpoints in
+  let rec round attempt last_exn =
+    let rec ep i last_exn =
+      if i >= n then
+        if attempt >= retries then
+          raise
+            (Option.value last_exn
+               ~default:(Unix.Unix_error (Unix.ECONNREFUSED, "connect", "")))
+        else begin
+          Unix.sleepf (backoff_s *. float_of_int (1 lsl min attempt 8));
+          round (attempt + 1) last_exn
+        end
+      else begin
+        let host, port = endpoints.((start + i) mod n) in
+        match try_connect host port with
+        | fd -> (fd, (start + i) mod n)
+        | exception e when transient_connect_error e -> ep (i + 1) (Some e)
+      end
+    in
+    ep 0 last_exn
+  in
+  round 0 None
+
+let connect ?(host = "127.0.0.1") ?(fetch_chunk = 64 * 1024) ?endpoints
+    ?(retries = 0) ?(backoff_s = 0.05) ~port () : t =
   (* a server that closed the connection must surface as EPIPE on our
      next write, not kill the client process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with e ->
-     (try Unix.close fd with _ -> ());
-     raise e);
-  Unix.setsockopt fd Unix.TCP_NODELAY true;
-  { fd; fetch_chunk; closed = false }
+  let endpoints =
+    Array.of_list
+      (match endpoints with Some (_ :: _ as l) -> l | _ -> [ (host, port) ])
+  in
+  let fd, cur = connect_any ~endpoints ~start:0 ~retries ~backoff_s in
+  {
+    fd;
+    fetch_chunk;
+    closed = false;
+    endpoints;
+    cur;
+    retries;
+    backoff_s;
+    database = None;
+    in_txn = false;
+  }
+
+let endpoint t = t.endpoints.(t.cur)
+let in_transaction t = t.in_txn
 
 (* one request/response round trip; servers only ever push a frame in
    response to one of ours, so this is the whole protocol *)
@@ -39,7 +119,9 @@ let fail_err = function
 
 let open_db (t : t) (database : string) : int =
   match fail_err (request t (Wire.Open database)) with
-  | Wire.Opened id -> id
+  | Wire.Opened id ->
+    t.database <- Some database;
+    id
   | _ -> raise (Wire.Protocol_error "unexpected response to Open")
 
 let fetch_all (t : t) (total : int) : string =
@@ -54,12 +136,85 @@ let fetch_all (t : t) (total : int) : string =
   go ();
   Buffer.contents b
 
+(* ---- failover -------------------------------------------------------- *)
+
+(* The connection itself died (as opposed to the server answering with
+   an error frame). *)
+let connection_failure = function
+  | End_of_file -> true
+  | Unix.Unix_error
+      ((Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED | Unix.ECONNABORTED), _, _)
+    ->
+    true
+  | _ -> false
+
+let statement_kind text =
+  let u = String.uppercase_ascii (String.trim text) in
+  if String.starts_with ~prefix:"BEGIN" u then `Begin
+  else if u = "COMMIT" then `Commit
+  else if u = "ROLLBACK" then `Rollback
+  else if
+    List.exists
+      (fun p -> String.starts_with ~prefix:p u)
+      [ "UPDATE"; "CREATE"; "DROP"; "LOAD"; "PROMOTE" ]
+  then `Write
+  else `Read
+
+(* Reconnect to the next endpoint in the list and re-open the session.
+   Whatever transaction was open on the old connection is gone. *)
+let reconnect t =
+  (try Unix.close t.fd with _ -> ());
+  t.in_txn <- false;
+  let n = Array.length t.endpoints in
+  let fd, cur =
+    connect_any ~endpoints:t.endpoints ~start:((t.cur + 1) mod n)
+      ~retries:(max 1 t.retries) ~backoff_s:t.backoff_s
+  in
+  t.fd <- fd;
+  t.cur <- cur;
+  match t.database with
+  | Some db -> (
+    match fail_err (request t (Wire.Open db)) with
+    | Wire.Opened _ -> ()
+    | _ -> raise (Wire.Protocol_error "unexpected response to Open"))
+  | None -> ()
+
 let execute (t : t) (text : string) : Session.result =
-  match fail_err (request t (Wire.Execute text)) with
-  | Wire.Updated n -> Session.Updated n
-  | Wire.Message m -> Session.Message m
-  | Wire.Result_ready total -> Session.Items (fetch_all t total)
-  | _ -> raise (Wire.Protocol_error "unexpected response to Execute")
+  let kind = statement_kind text in
+  let run () =
+    match fail_err (request t (Wire.Execute text)) with
+    | Wire.Updated n -> Session.Updated n
+    | Wire.Message m -> Session.Message m
+    | Wire.Result_ready total -> Session.Items (fetch_all t total)
+    | _ -> raise (Wire.Protocol_error "unexpected response to Execute")
+  in
+  let track r =
+    (match kind with
+     | `Begin -> t.in_txn <- true
+     | `Commit | `Rollback -> t.in_txn <- false
+     | `Read | `Write -> ());
+    r
+  in
+  match run () with
+  | r -> track r
+  | exception e when connection_failure e ->
+    let was_in_txn = t.in_txn in
+    (* [BEGIN] is safe to replay (no transaction existed yet anywhere);
+       a read outside a transaction is idempotent; anything else may
+       have half-happened on the dead server *)
+    let retryable =
+      (not was_in_txn) && match kind with `Read | `Begin -> true | _ -> false
+    in
+    let reconnected = try reconnect t; true with _ -> false in
+    if retryable && reconnected then track (run ())
+    else if retryable then raise e
+    else
+      raise
+        (Remote_error
+           ( "SE-FAILOVER",
+             "connection to the server was lost; the transaction (if any) is \
+              gone and the statement may not have been applied — re-run \
+              against the surviving endpoint" ))
 
 let execute_string t text = Session.result_to_string (execute t text)
 

@@ -18,7 +18,24 @@
      'r' u32 total_bytes       query result ready; fetch-batch to stream
      'c' u8 last, str data     one result chunk ([last] = final one)
      'b'                       session closed, connection ends
-     'e' str code, str msg     error (code = SE-*/W3C error name)  *)
+     'e' str code, str msg     error (code = SE-*/W3C error name)
+
+   Replication extension (spoken on the primary's replication port;
+   the standby drives a pull loop, so its Pull doubles as the ack of
+   everything before [pos]):
+
+   Repl requests (standby -> primary):
+     'P' u32 epoch, u32 pos, u32 max_bytes    pull frames from (epoch,pos)
+     'S'                                      request a full seed (backup)
+
+   Repl responses (primary -> standby):
+     'B' u32 epoch, u32 next_pos, str frames  raw WAL frames [pos,next_pos)
+     'h' u32 epoch, u32 pos                   heartbeat: no new frames; pos =
+                                              primary WAL end
+     'H' u32 epoch                            hole: (epoch,pos) not servable
+                                              (checkpoint truncation) — re-seed
+     'f' str name, str data                   one file of a full backup
+     'd' u32 epoch, u32 pos                   seed complete; stream from here *)
 
 type request =
   | Open of string
@@ -35,6 +52,17 @@ type response =
   | Bye
   | Err of { code : string; msg : string }
 
+type repl_request =
+  | Pull of { epoch : int; pos : int; max_bytes : int }
+  | Seed_request
+
+type repl_response =
+  | Batch of { epoch : int; next_pos : int; frames : string }
+  | Heartbeat of { epoch : int; pos : int }
+  | Hole of { epoch : int }
+  | Seed_file of { name : string; data : string }
+  | Seed_done of { epoch : int; pos : int }
+
 (* Frames larger than this are a protocol violation, not a payload:
    reject before allocating. *)
 let max_frame = 64 * 1024 * 1024
@@ -45,12 +73,32 @@ let perror fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
 
 (* ---- byte-level helpers -------------------------------------------- *)
 
+(* Partial reads/writes are retried; EINTR (signal delivery) restarts
+   the call, and EAGAIN/EWOULDBLOCK (socket briefly non-ready, e.g.
+   spurious readiness after select) waits for the descriptor instead of
+   spinning.  Without the EINTR loop a SIGCHLD from a forked bench
+   worker aborts a perfectly healthy connection mid-frame. *)
+
+let rec wait_readable fd =
+  match Unix.select [ fd ] [] [] (-1.0) with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable fd
+
+let rec wait_writable fd =
+  match Unix.select [] [ fd ] [] (-1.0) with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_writable fd
+
 let really_read fd buf off len =
   let rec go off len =
     if len > 0 then begin
-      let n = Unix.read fd buf off len in
-      if n = 0 then raise End_of_file;
-      go (off + n) (len - n)
+      match Unix.read fd buf off len with
+      | 0 -> raise End_of_file
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        wait_readable fd;
+        go off len
     end
   in
   go off len
@@ -58,8 +106,12 @@ let really_read fd buf off len =
 let really_write fd buf off len =
   let rec go off len =
     if len > 0 then begin
-      let n = Unix.write fd buf off len in
-      go (off + n) (len - n)
+      match Unix.write fd buf off len with
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        wait_writable fd;
+        go off len
     end
   in
   go off len
@@ -191,3 +243,70 @@ let read_response fd : response =
     let code = get_str r in
     Err { code; msg = get_str r }
   | c -> perror "unknown response opcode %C" c
+
+(* ---- replication ----------------------------------------------------- *)
+
+let write_repl_request fd (req : repl_request) =
+  let b = Buffer.create 16 in
+  (match req with
+   | Pull { epoch; pos; max_bytes } ->
+     Buffer.add_char b 'P';
+     add_u32 b epoch;
+     add_u32 b pos;
+     add_u32 b max_bytes
+   | Seed_request -> Buffer.add_char b 'S');
+  write_frame fd b
+
+let read_repl_request fd : repl_request =
+  let r = read_frame fd in
+  match Char.chr (get_u8 r) with
+  | 'P' ->
+    let epoch = get_u32 r in
+    let pos = get_u32 r in
+    Pull { epoch; pos; max_bytes = get_u32 r }
+  | 'S' -> Seed_request
+  | c -> perror "unknown replication request opcode %C" c
+
+let write_repl_response fd (resp : repl_response) =
+  let b = Buffer.create 64 in
+  (match resp with
+   | Batch { epoch; next_pos; frames } ->
+     Buffer.add_char b 'B';
+     add_u32 b epoch;
+     add_u32 b next_pos;
+     add_str b frames
+   | Heartbeat { epoch; pos } ->
+     Buffer.add_char b 'h';
+     add_u32 b epoch;
+     add_u32 b pos
+   | Hole { epoch } ->
+     Buffer.add_char b 'H';
+     add_u32 b epoch
+   | Seed_file { name; data } ->
+     Buffer.add_char b 'f';
+     add_str b name;
+     add_str b data
+   | Seed_done { epoch; pos } ->
+     Buffer.add_char b 'd';
+     add_u32 b epoch;
+     add_u32 b pos);
+  write_frame fd b
+
+let read_repl_response fd : repl_response =
+  let r = read_frame fd in
+  match Char.chr (get_u8 r) with
+  | 'B' ->
+    let epoch = get_u32 r in
+    let next_pos = get_u32 r in
+    Batch { epoch; next_pos; frames = get_str r }
+  | 'h' ->
+    let epoch = get_u32 r in
+    Heartbeat { epoch; pos = get_u32 r }
+  | 'H' -> Hole { epoch = get_u32 r }
+  | 'f' ->
+    let name = get_str r in
+    Seed_file { name; data = get_str r }
+  | 'd' ->
+    let epoch = get_u32 r in
+    Seed_done { epoch; pos = get_u32 r }
+  | c -> perror "unknown replication response opcode %C" c

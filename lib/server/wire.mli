@@ -17,6 +17,29 @@ type response =
   | Bye
   | Err of { code : string; msg : string }
 
+(** {1 Replication extension}
+
+    Spoken on the primary's dedicated replication port.  The standby
+    drives a pull loop: each {!repl_request.Pull} names the WAL epoch
+    and frame-boundary position it wants next — thereby acknowledging
+    everything before it. *)
+
+type repl_request =
+  | Pull of { epoch : int; pos : int; max_bytes : int }
+  | Seed_request  (** ship a full backup (the standby must re-seed) *)
+
+type repl_response =
+  | Batch of { epoch : int; next_pos : int; frames : string }
+      (** raw WAL frames [pos, next_pos) of the requested epoch *)
+  | Heartbeat of { epoch : int; pos : int }
+      (** no new frames; [pos] is the primary's current WAL end *)
+  | Hole of { epoch : int }
+      (** the requested (epoch, pos) is no longer servable — the log
+          was truncated by a checkpoint; the standby must re-seed *)
+  | Seed_file of { name : string; data : string }
+  | Seed_done of { epoch : int; pos : int }
+      (** seed complete; resume streaming from (epoch, pos) *)
+
 val max_frame : int
 
 exception Protocol_error of string
@@ -27,3 +50,8 @@ val read_request : Unix.file_descr -> request
 
 val write_response : Unix.file_descr -> response -> unit
 val read_response : Unix.file_descr -> response
+
+val write_repl_request : Unix.file_descr -> repl_request -> unit
+val read_repl_request : Unix.file_descr -> repl_request
+val write_repl_response : Unix.file_descr -> repl_response -> unit
+val read_repl_response : Unix.file_descr -> repl_response

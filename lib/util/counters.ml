@@ -18,6 +18,12 @@ let bump ?(n = 1) name =
   let r = cell name in
   r := !r + n
 
+(* gauge-style assignment: replication lag and other "current value"
+   cells are set, not accumulated *)
+let set name v =
+  let r = cell name in
+  r := v
+
 let get name = match Hashtbl.find_opt global name with Some r -> !r | None -> 0
 
 let reset name = match Hashtbl.find_opt global name with Some r -> r := 0 | None -> ()
@@ -63,6 +69,15 @@ let conn_accepted = "server.conn.accepted"
 let conn_rejected = "server.conn.rejected"
 let server_requests = "server.requests"
 let query_timeout = "server.query_timeout"
+let repl_bytes_shipped = "repl.bytes_shipped"
+let repl_records_shipped = "repl.records_shipped"
+let repl_txns_applied = "repl.txns_applied"
+let repl_pages_applied = "repl.pages_applied"
+let repl_heartbeats = "repl.heartbeats"
+let repl_reseeds = "repl.reseeds"
+let repl_promotions = "repl.promotions"
+let repl_lag_bytes = "repl.lag_bytes"
+let repl_acked_pos = "repl.acked_pos"
 
 (* Pre-resolved cells for the hot-path counters: incrementing these is
    a plain [incr], so instrumentation does not distort the pointer-

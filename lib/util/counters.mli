@@ -7,6 +7,11 @@
     not distort the dereference measurements it exists to support. *)
 
 val bump : ?n:int -> string -> unit
+
+val set : string -> int -> unit
+(** Gauge-style assignment (replication lag etc.): overwrite the cell
+    instead of accumulating into it. *)
+
 val get : string -> int
 val reset : string -> unit
 val reset_all : unit -> unit
@@ -86,6 +91,33 @@ val server_requests : string
 
 val query_timeout : string
 (** Statement aborted by its per-query wall-clock deadline. *)
+
+val repl_bytes_shipped : string
+(** WAL bytes shipped to standbys by {!Repl_sender}. *)
+
+val repl_records_shipped : string
+(** WAL records shipped to standbys. *)
+
+val repl_txns_applied : string
+(** Committed transactions applied by a standby's redo loop. *)
+
+val repl_pages_applied : string
+(** Page after-images installed by a standby's redo loop. *)
+
+val repl_heartbeats : string
+(** Heartbeat responses (primary had no new WAL for the standby). *)
+
+val repl_reseeds : string
+(** Standby re-seeds from a fresh full backup (epoch mismatch). *)
+
+val repl_promotions : string
+(** Standby promotions to primary. *)
+
+val repl_lag_bytes : string
+(** Gauge: primary WAL bytes not yet acked by the slowest standby. *)
+
+val repl_acked_pos : string
+(** Gauge: last WAL position acked by a standby. *)
 
 (** {1 Pre-resolved hot-path cells (same storage as the names above)} *)
 

@@ -28,6 +28,8 @@ type code =
   | Overloaded
   | Query_timeout
   | Server_shutdown
+  | Standby_read_only
+  | Failover
 
 let code_name = function
   | Storage_corruption -> "SE-STORAGE-CORRUPTION"
@@ -55,6 +57,8 @@ let code_name = function
   | Overloaded -> "SE-OVERLOADED"
   | Query_timeout -> "SE-TIMEOUT"
   | Server_shutdown -> "SE-SHUTDOWN"
+  | Standby_read_only -> "SE-READ-ONLY"
+  | Failover -> "SE-FAILOVER"
 
 exception Sedna_error of code * string
 

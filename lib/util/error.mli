@@ -28,6 +28,11 @@ type code =
   | Overloaded  (** SE-OVERLOADED: admission control rejected the request *)
   | Query_timeout  (** SE-TIMEOUT: statement exceeded its wall-clock budget *)
   | Server_shutdown  (** SE-SHUTDOWN: server draining, no new work accepted *)
+  | Standby_read_only
+      (** SE-READ-ONLY: write refused by a hot-standby replica *)
+  | Failover
+      (** SE-FAILOVER: the primary died mid-transaction; the client must
+          re-run its transaction against the surviving endpoint *)
 
 exception Sedna_error of code * string
 

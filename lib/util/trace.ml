@@ -43,6 +43,11 @@ type event =
   | Conn_close of { conn : int; requests : int }
   | Conn_reject of { reason : string }
   | Server_state of { state : string }
+  | Repl_state of { role : string; state : string }
+  | Repl_batch of { records : int; bytes : int; pos : int }
+  | Repl_apply of { txn : int; pages : int }
+  | Repl_reseed of { epoch : int }
+  | Repl_promote of { epoch : int }
 
 type entry = { seq : int; at : float; event : event }
 
@@ -104,6 +109,11 @@ let event_name = function
   | Conn_close _ -> "conn.close"
   | Conn_reject _ -> "conn.reject"
   | Server_state _ -> "server.state"
+  | Repl_state _ -> "repl.state"
+  | Repl_batch _ -> "repl.batch"
+  | Repl_apply _ -> "repl.apply"
+  | Repl_reseed _ -> "repl.reseed"
+  | Repl_promote _ -> "repl.promote"
 
 let event_fields : event -> (string * Metrics.json) list =
   let open Metrics in
@@ -146,6 +156,12 @@ let event_fields : event -> (string * Metrics.json) list =
     [ ("conn", Int conn); ("requests", Int requests) ]
   | Conn_reject { reason } -> [ ("reason", Str reason) ]
   | Server_state { state } -> [ ("state", Str state) ]
+  | Repl_state { role; state } -> [ ("role", Str role); ("state", Str state) ]
+  | Repl_batch { records; bytes; pos } ->
+    [ ("records", Int records); ("bytes", Int bytes); ("pos", Int pos) ]
+  | Repl_apply { txn; pages } -> [ ("txn", Int txn); ("pages", Int pages) ]
+  | Repl_reseed { epoch } -> [ ("epoch", Int epoch) ]
+  | Repl_promote { epoch } -> [ ("epoch", Int epoch) ]
 
 let entry_to_json e =
   Metrics.Obj

@@ -48,6 +48,19 @@ type event =
       (** admission control refused a connection ("overloaded" | "shutdown") *)
   | Server_state of { state : string }
       (** serving-layer lifecycle: "listening" | "draining" | "stopped" *)
+  | Repl_state of { role : string; state : string }
+      (** replication lifecycle: role "primary" | "standby", state
+          "connected" | "disconnected" | "seeding" | "applying" | ... *)
+  | Repl_batch of { records : int; bytes : int; pos : int }
+      (** WAL frames shipped to (sender) or received from (receiver) a
+          peer; [pos] is the stream position after the batch *)
+  | Repl_apply of { txn : int; pages : int }
+      (** standby applied one committed transaction's after-images *)
+  | Repl_reseed of { epoch : int }
+      (** standby discarded its state and re-seeded from a full backup
+          because the primary's WAL epoch changed *)
+  | Repl_promote of { epoch : int }
+      (** standby promoted to primary; [epoch] is its new WAL epoch *)
 
 type entry = { seq : int; at : float; event : event }
 

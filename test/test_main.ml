@@ -22,6 +22,7 @@ let () =
       ("hier-lock", Test_hier_lock.suite);
       ("crash", Test_crash.suite);
       ("server", Test_server.suite);
+      ("replication", Test_replication.suite);
       ("regex", Test_rx.suite);
       ("tools", Test_tools.suite);
     ]

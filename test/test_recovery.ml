@@ -135,6 +135,74 @@ let test_backup_full_and_incremental () =
   Database.close dbr2;
   Database.close db
 
+(* point-in-time depth: base + N increments, every prefix restorable,
+   each restore an exact snapshot of its moment with clean structure *)
+let test_backup_pit_every_increment () =
+  let dir = Test_util.fresh_dir () in
+  let bdir = dir ^ "-bak" in
+  let increments = 4 in
+  let db = Database.create dir in
+  ignore (Test_util.load db "d" "<a><v>s0</v></a>");
+  Backup.full db ~dest:bdir;
+  for i = 1 to increments do
+    ignore
+      (Test_util.exec db
+         (Printf.sprintf
+            {|UPDATE replace $v in doc("d")/a/v with <v>s%d</v>|} i));
+    Backup.incremental db ~dest:bdir ~seq:i
+  done;
+  (* one more update the backup chain must NOT contain *)
+  ignore (Test_util.exec db {|UPDATE replace $v in doc("d")/a/v with <v>tip</v>|});
+  for i = 0 to increments do
+    let rdir = Printf.sprintf "%s-pit%d" dir i in
+    let dbr = Backup.restore ~src:bdir ~dest:rdir ~up_to:i () in
+    Alcotest.(check string)
+      (Printf.sprintf "state at increment %d" i)
+      (Printf.sprintf "s%d" i)
+      (Test_util.exec dbr {|string(doc("d")/a/v)|});
+    (match Integrity.check_document (Database.store dbr) "d" with
+     | [] -> ()
+     | es ->
+       Alcotest.failf "restore %d integrity: %s" i (String.concat "; " es));
+    Database.close dbr
+  done;
+  Database.close db
+
+(* a checkpoint truncates the WAL the increments are cut from: the next
+   incremental must refuse rather than silently produce a chain missing
+   committed work (the WAL epoch stamp enforces this) *)
+let test_backup_incremental_refused_after_checkpoint () =
+  let dir = Test_util.fresh_dir () in
+  let bdir = dir ^ "-bak" in
+  let db = Database.create dir in
+  ignore (Test_util.load db "d" "<a><v>base</v></a>");
+  Backup.full db ~dest:bdir;
+  ignore (Test_util.exec db {|UPDATE replace $v in doc("d")/a/v with <v>x</v>|});
+  Backup.incremental db ~dest:bdir ~seq:1;
+  Database.checkpoint db;
+  ignore (Test_util.exec db {|UPDATE replace $v in doc("d")/a/v with <v>y</v>|});
+  (match Backup.incremental db ~dest:bdir ~seq:2 with
+   | () -> Alcotest.fail "incremental after checkpoint should be refused"
+   | exception Sedna_util.Error.Sedna_error (code, _) ->
+     Alcotest.(check string)
+       "refused with recovery failure" "SE-RECOVERY"
+       (Sedna_util.Error.code_name code));
+  (* the pre-checkpoint chain still restores cleanly *)
+  let dbr = Backup.restore ~src:bdir ~dest:(dir ^ "-pit") () in
+  Alcotest.(check string) "pre-checkpoint chain intact" "x"
+    (Test_util.exec dbr {|string(doc("d")/a/v)|});
+  Database.close dbr;
+  (* a fresh full backup restarts the chain under the new epoch *)
+  let bdir2 = dir ^ "-bak2" in
+  Backup.full db ~dest:bdir2;
+  ignore (Test_util.exec db {|UPDATE replace $v in doc("d")/a/v with <v>z</v>|});
+  Backup.incremental db ~dest:bdir2 ~seq:1;
+  let dbr2 = Backup.restore ~src:bdir2 ~dest:(dir ^ "-pit2") () in
+  Alcotest.(check string) "new chain works" "z"
+    (Test_util.exec dbr2 {|string(doc("d")/a/v)|});
+  Database.close dbr2;
+  Database.close db
+
 let test_close_reopen () =
   let dir = Test_util.fresh_dir () in
   let db = Database.create dir in
@@ -160,5 +228,9 @@ let suite =
     Alcotest.test_case "checkpoint truncates wal" `Quick test_checkpoint_truncates_wal;
     Alcotest.test_case "multiple crash cycles" `Quick test_multiple_crash_cycles;
     Alcotest.test_case "backup full+incremental" `Quick test_backup_full_and_incremental;
+    Alcotest.test_case "backup PIT at every increment" `Quick
+      test_backup_pit_every_increment;
+    Alcotest.test_case "backup increment refused after checkpoint" `Quick
+      test_backup_incremental_refused_after_checkpoint;
     Alcotest.test_case "close and reopen" `Quick test_close_reopen;
   ]
