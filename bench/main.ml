@@ -1233,16 +1233,70 @@ let crash () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* TRACE — observability: span instrumentation overhead                *)
+(* ------------------------------------------------------------------ *)
+
+(* The same statement mix timed with request tracing enabled and
+   disabled.  Disabled must be free (one option check per site);
+   enabled budgets a few percent — the spans only materialize at
+   phase boundaries, never inside the evaluation loops. *)
+let trace_overhead () =
+  header "TRACE observability — span instrumentation overhead"
+    "request-scoped tracing costs a few percent while enabled and one \
+     option check per instrumented site while disabled";
+  let module Span = Sedna_util.Span in
+  let db = fresh_db () in
+  let s = session db in
+  ignore (exec s {|CREATE DOCUMENT "d"|});
+  ignore
+    (exec s
+       ("UPDATE insert <r>"
+        ^ String.concat ""
+            (List.init 200 (fun i -> Printf.sprintf "<item v=\"%d\"/>" i))
+        ^ {|</r> into doc("d")|}));
+  let iters = if quick () then 50 else 500 in
+  let workload () =
+    for _ = 1 to iters do
+      ignore (exec s {|count(doc("d")/r/item[@v >= 100])|});
+      ignore (exec s {|string(doc("d")/r/item[1]/@v)|})
+    done
+  in
+  workload ();
+  (* warm plan cache + buffers *)
+  let was = Span.is_enabled () in
+  Span.set_enabled false;
+  let t_off = time_median ~runs:5 workload in
+  Span.set_enabled true;
+  let t_on = time_median ~runs:5 workload in
+  Span.set_enabled was;
+  let stmts = float_of_int (2 * iters) in
+  let overhead = 100. *. (t_on -. t_off) /. t_off in
+  record_ms "trace.off_ms" t_off;
+  record_ms "trace.on_ms" t_on;
+  record "trace.overhead_pct" (Sedna_util.Metrics.Float overhead);
+  row3 "tracing disabled"
+    (Printf.sprintf "%.2f ms" (ms t_off))
+    (Printf.sprintf "%.0f stmt/s" (stmts /. t_off));
+  row3 "tracing enabled"
+    (Printf.sprintf "%.2f ms" (ms t_on))
+    (Printf.sprintf "%.0f stmt/s" (stmts /. t_on));
+  row3 "overhead" (Printf.sprintf "%+.1f%%" overhead) "";
+  Sedna_core.Database.close db
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E4b", e4b);
     ("E5", e5); ("E6", e6); ("E6b", e6b); ("E7", e7); ("E7b", e7b); ("E8", e8);
     ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", e15); ("CRASH", crash);
+    ("E14", e14); ("E15", e15); ("CRASH", crash); ("TRACE", trace_overhead);
   ]
 
 let () =
+  (* SEDNA_SLOW_MS / SEDNA_SLOW_LOG: CI keeps the slow-statement log of
+     the bench smoke as an artifact *)
+  Sedna_util.Slow_log.init_from_env ();
   let wanted =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names

@@ -41,6 +41,22 @@ let run_statement_inner session text =
   | "\\trace clear" ->
     Sedna_util.Trace.clear ();
     print_endline "trace buffer cleared"
+  | "\\traces" -> (
+    match Sedna_util.Span.summaries () with
+    | [] -> print_endline "no traces retained"
+    | ts ->
+      List.iter
+        (fun (id, nspans, root, total_s) ->
+          Printf.printf "%s  %2d spans  root %-16s %8.3f ms\n" id nspans root
+            (total_s *. 1000.))
+        ts)
+  | "\\slow" -> (
+    match Sedna_util.Slow_log.dump () with
+    | [] -> print_endline "slow log is empty"
+    | _ -> print_endline (Sedna_util.Slow_log.to_json_lines ()))
+  | "\\slow clear" ->
+    Sedna_util.Slow_log.clear ();
+    print_endline "slow log cleared"
   | "\\checkpoint" ->
     Database.checkpoint (Sedna_db.Session.database session);
     print_endline "checkpoint complete"
@@ -72,6 +88,13 @@ let run_statement_inner session text =
       Sedna_util.Fault.arm_spec spec;
       Printf.printf "armed %s\n" spec
     with e -> Printf.printf "error: %s\n" (Printexc.to_string e))
+  | text when String.length text > 7 && String.sub text 0 7 = "\\trace " -> (
+    (* \trace <id>: the span tree of one retained trace (\trace clear is
+       matched above and still clears the event ring) *)
+    let id = String.trim (String.sub text 7 (String.length text - 7)) in
+    match Sedna_util.Span.render id with
+    | Some tree -> print_string tree
+    | None -> Printf.printf "no trace %s retained (\\traces lists them)\n" id)
   | text when String.length text > 9 && String.sub text 0 9 = "\\profile " -> (
     let q = String.sub text 9 (String.length text - 9) in
     try
@@ -101,6 +124,7 @@ let interactive session =
     "Sedna shell. Statements end with '&' on its own line; \\q quits.\n\
      Commands: \\begin \\begin-ro \\commit \\rollback \\documents\n\
      \\counters (\\counters reset) \\trace (\\trace clear)\n\
+     \\traces \\trace <id> (span tree) \\slow (\\slow clear)\n\
      \\checkpoint \\check (integrity) \\explain <query> \\profile <query>\n\
      \\faults (\\faults arm <site>:<policy>, \\faults disarm)";
   let buf = Buffer.create 256 in
@@ -162,11 +186,12 @@ let parse_endpoint spec =
    seeded and then continuously applied from the primary, and the
    server accepts the PROMOTE admin statement. *)
 let serve_mode db_dir create host port db_name max_sessions query_timeout
-    repl_port standby_of =
+    repl_port standby_of metrics_port =
   let g = Sedna_db.Governor.create () in
   let name =
     match db_name with Some n -> n | None -> Filename.basename db_dir
   in
+  let promoted = ref false in
   let recv, sender =
     match standby_of with
     | Some spec ->
@@ -193,9 +218,52 @@ let serve_mode db_dir create host port db_name max_sessions query_timeout
       ~config:{ Sedna_server.Server.default_config with host; port }
       ?on_promote:
         (Option.map
-           (fun r () -> Sedna_replication.Repl_receiver.promote r)
+           (fun r () ->
+             let msg = Sedna_replication.Repl_receiver.promote r in
+             promoted := true;
+             msg)
            recv)
       g
+  in
+  (* monitoring listener: /metrics scrapes, /health readiness.  Gauge
+     closures look the database up per scrape — on a standby it only
+     exists once the seed lands. *)
+  let find_db () =
+    match recv with
+    | Some r -> Sedna_replication.Repl_receiver.database r
+    | None -> Sedna_db.Governor.find_database g name
+  in
+  let msrv =
+    Option.map
+      (fun mport ->
+        let db_gauge gname help read =
+          {
+            Sedna_server.Metrics_http.g_name = gname;
+            g_help = help;
+            g_read =
+              (fun () -> match find_db () with Some db -> read db | None -> 0);
+          }
+        in
+        let gauges =
+          [
+            db_gauge "buffer.occupancy" "Buffer pool frames holding a page"
+              (fun db -> Buffer_mgr.occupancy (Database.buffer db));
+            db_gauge "wal.size_bytes" "WAL file size in bytes" (fun db ->
+                Wal.size (Database.wal db));
+            {
+              Sedna_server.Metrics_http.g_name = "sessions.active";
+              g_help = "Sessions currently connected";
+              g_read = (fun () -> Sedna_db.Governor.session_count g);
+            };
+          ]
+        in
+        let health () =
+          if Sedna_server.Server.is_draining srv then (false, "draining")
+          else if recv <> None && not !promoted then (true, "standby")
+          else (true, "primary")
+        in
+        Sedna_server.Metrics_http.start ~host ~gauges ~health ~port:mport ())
+      metrics_port
   in
   Printf.printf "serving database %S on %s:%d (max %d sessions%s)\n%!" name host
     (Sedna_server.Server.port srv)
@@ -212,6 +280,11 @@ let serve_mode db_dir create host port db_name max_sessions query_timeout
    | Some spec ->
      Printf.printf "standby of %s; writes refused until PROMOTE\n%!" spec
    | None -> ());
+  (match msrv with
+   | Some m ->
+     Printf.printf "metrics endpoint on %s:%d (/metrics, /health)\n%!" host
+       (Sedna_server.Metrics_http.port m)
+   | None -> ());
   let stop_requested = ref false in
   let handler _ = stop_requested := true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
@@ -223,6 +296,7 @@ let serve_mode db_dir create host port db_name max_sessions query_timeout
   Option.iter Sedna_replication.Repl_receiver.stop recv;
   Option.iter Sedna_replication.Repl_sender.stop sender;
   Sedna_server.Server.stop srv;
+  Option.iter Sedna_server.Metrics_http.stop msrv;
   print_endline "server stopped"
 
 (* --connect: drive a running server over the wire protocol instead of
@@ -251,17 +325,27 @@ let promote_mode host port db_name =
     exit 1
 
 let main db_dir create stmts serve connect promote host port db_name
-    max_sessions query_timeout repl_port standby_of =
+    max_sessions query_timeout repl_port standby_of metrics_port slow_ms
+    slow_log =
   (* SEDNA_FAULT=<site>:<policy>[,...] arms injection before the
      database opens, so recovery itself can be put under fault *)
   Sedna_util.Fault.arm_from_env ();
+  (* slow-statement log: SEDNA_SLOW_MS / SEDNA_SLOW_LOG first, explicit
+     flags override *)
+  Sedna_util.Slow_log.init_from_env ();
+  (match slow_ms with
+   | Some ms -> Sedna_util.Slow_log.set_threshold (ms /. 1000.)
+   | None -> ());
+  (match slow_log with
+   | Some path -> Sedna_util.Slow_log.set_file (Some path)
+   | None -> ());
   match (promote, connect, serve, db_dir) with
   | true, _, _, _ -> promote_mode host port db_name
   | false, true, _, _ -> connect_mode host port db_name stmts
   | false, false, true, Some dir ->
     (try
        serve_mode dir create host port db_name max_sessions query_timeout
-         repl_port standby_of
+         repl_port standby_of metrics_port
      with Failure m ->
        prerr_endline ("sedna_cli: " ^ m);
        exit 2)
@@ -347,6 +431,32 @@ let standby_of_arg =
               continuously applied; sessions are read-only until \
               $(b,PROMOTE) (or $(b,--promote)).")
 
+let metrics_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:"With $(b,--serve): expose $(b,GET /metrics) (Prometheus text \
+              exposition) and $(b,GET /health) (readiness probe) on this \
+              port (0 picks an ephemeral port).")
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:"Slow-statement threshold in milliseconds (default 1000; also \
+              $(b,SEDNA_SLOW_MS)).  Statements slower than this are kept in \
+              the $(b,\\\\slow) ring.")
+
+let slow_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slow-log" ] ~docv:"FILE"
+        ~doc:"Append each slow-statement record as a JSON line to this file \
+              (also $(b,SEDNA_SLOW_LOG)).")
+
 let promote_arg =
   Arg.(
     value & flag
@@ -361,6 +471,7 @@ let cmd =
     Term.(
       const main $ db_arg $ create_arg $ exec_arg $ serve_arg $ connect_arg
       $ promote_arg $ host_arg $ port_arg $ db_name_arg $ max_sessions_arg
-      $ query_timeout_arg $ repl_port_arg $ standby_of_arg)
+      $ query_timeout_arg $ repl_port_arg $ standby_of_arg $ metrics_port_arg
+      $ slow_ms_arg $ slow_log_arg)
 
 let () = exit (Cmd.eval cmd)

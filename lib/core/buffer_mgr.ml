@@ -72,6 +72,10 @@ let clear_read_overlay t = t.read_overlay <- no_overlay
 let set_use_vas t b = t.use_vas <- b
 let frame_count t = Array.length t.frames
 
+(* frames currently holding a page — the buffer-pool occupancy gauge *)
+let occupancy t =
+  Array.fold_left (fun n f -> if f.pid >= 0 then n + 1 else n) 0 t.frames
+
 let store t = t.store
 
 (* Unmap a frame from the VAS and the table. *)

@@ -18,6 +18,10 @@ val create : ?frames:int -> File_store.t -> t
 val store : t -> File_store.t
 val frame_count : t -> int
 
+val occupancy : t -> int
+(** Frames currently holding a page (the buffer-pool occupancy
+    gauge); at most {!frame_count}. *)
+
 val set_write_hook : t -> (int -> unit) -> unit
 (** Called with the page id before any modification: the transaction
     layer captures before-images here. *)

@@ -295,22 +295,33 @@ let lock db (txn : Txn.t) ~doc ~mode : Lock_mgr.outcome =
    Deadlocks are never retried: the cycle can only be broken by an
    abort. *)
 let lock_exn ?(retries = 3) ?(backoff_s = 0.0005) db txn ~doc ~mode =
-  let rec go attempt =
-    match lock db txn ~doc ~mode with
-    | Lock_mgr.Granted -> ()
-    | Lock_mgr.Deadlock_detected ->
-      Error.raise_error Error.Deadlock
-        "deadlock detected for transaction %d on document %S" txn.Txn.id doc
-    | Lock_mgr.Blocked when attempt < retries ->
-      Counters.bump Counters.lock_retry;
-      Unix.sleepf (backoff_s *. float_of_int (1 lsl attempt));
-      go (attempt + 1)
-    | Lock_mgr.Blocked ->
-      Error.raise_error Error.Lock_timeout
-        "transaction %d blocked on document %S (after %d retries)" txn.Txn.id
-        doc retries
-  in
-  go 0
+  Span.with_span "lock.wait" (fun sp ->
+      (match sp with
+       | Some sp ->
+         Span.annotate sp "doc" (Metrics.Str doc);
+         Span.annotate sp "mode"
+           (Metrics.Str
+              (match mode with Lock_mgr.Shared -> "shared" | Lock_mgr.Exclusive -> "exclusive"))
+       | None -> ());
+      let rec go attempt =
+        (* the retry sleeps never pass an executor choke point, so an
+           armed statement deadline is enforced here explicitly *)
+        Deadline.check_now ();
+        match lock db txn ~doc ~mode with
+        | Lock_mgr.Granted -> ()
+        | Lock_mgr.Deadlock_detected ->
+          Error.raise_error Error.Deadlock
+            "deadlock detected for transaction %d on document %S" txn.Txn.id doc
+        | Lock_mgr.Blocked when attempt < retries ->
+          Counters.bump Counters.lock_retry;
+          Unix.sleepf (backoff_s *. float_of_int (1 lsl attempt));
+          go (attempt + 1)
+        | Lock_mgr.Blocked ->
+          Error.raise_error Error.Lock_timeout
+            "transaction %d blocked on document %S (after %d retries)" txn.Txn.id
+            doc retries
+      in
+      go 0)
 
 let commit db (txn : Txn.t) =
   if not (Txn.is_active txn) then
@@ -324,23 +335,32 @@ let commit db (txn : Txn.t) =
   else begin
     let pages = Txn.dirty_pages txn in
     (* WAL protocol: after-images + commit record, then fsync *)
-    List.iter
-      (fun op -> Wal.append db.wal (Wal.Logical (txn.Txn.id, op)))
-      (List.rev txn.Txn.logical_ops);
-    List.iter
-      (fun (pid, _before) ->
-        let after = Buffer_mgr.page_image db.bm pid in
-        Wal.append db.wal (Wal.Image (txn.Txn.id, pid, after)))
-      pages;
-    let cat_blob =
-      if Catalog.is_dirty db.cat then
-        Some
-          (Catalog.serialize db.cat ~page_count:(File_store.page_count db.fs)
-             ~free_pages:(File_store.free_list db.fs))
-      else None
-    in
-    Wal.append db.wal (Wal.Commit (txn.Txn.id, cat_blob));
-    Wal.sync db.wal;
+    Span.with_span "commit.fsync" (fun sp ->
+        List.iter
+          (fun op -> Wal.append db.wal (Wal.Logical (txn.Txn.id, op)))
+          (List.rev txn.Txn.logical_ops);
+        List.iter
+          (fun (pid, _before) ->
+            let after = Buffer_mgr.page_image db.bm pid in
+            Wal.append db.wal (Wal.Image (txn.Txn.id, pid, after)))
+          pages;
+        let cat_blob =
+          if Catalog.is_dirty db.cat then
+            Some
+              (Catalog.serialize db.cat ~page_count:(File_store.page_count db.fs)
+                 ~free_pages:(File_store.free_list db.fs))
+          else None
+        in
+        Wal.append db.wal (Wal.Commit (txn.Txn.id, cat_blob));
+        Wal.sync db.wal;
+        match sp with
+        | Some sp ->
+          Span.annotate sp "txn" (Metrics.Int txn.Txn.id);
+          Span.annotate sp "pages" (Metrics.Int (List.length pages));
+          (* remember the commit point so the replication sender can
+             parent the standby's apply span under this fsync span *)
+          Wal.mark_trace db.wal ~trace:sp.Span.sp_trace ~span:sp.Span.sp_id
+        | None -> ());
     Catalog.clear_dirty db.cat;
     (* versions: displaced images become snapshot versions if needed *)
     let commit_ts = Versions.last_commit_ts db.versions + 1 in

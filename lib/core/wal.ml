@@ -24,7 +24,15 @@ type t = {
   path : string;
   mutable size : int;
   mutable epoch : int;
+  (* trace marks: (position just past a traced commit's frames, trace
+     id, parent span id), newest first, bounded — the replication
+     sender attaches the marks covered by a batch so the standby's
+     apply spans join the statement's trace.  In-memory only: marks
+     are observability, not durability. *)
+  mutable marks : (int * string * int) list;
 }
+
+let max_marks = 256
 
 (* fault-injection sites (crash-safety harness) *)
 let append_site = Fault.site "wal.append"
@@ -55,7 +63,7 @@ let create path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   let epoch = read_epoch path + 1 in
   write_epoch path epoch;
-  { fd; path; size = 0; epoch }
+  { fd; path; size = 0; epoch; marks = [] }
 
 let checksum (s : string) =
   (* FNV-1a over the payload, folded to 31 bits so the value survives
@@ -285,7 +293,7 @@ let open_existing path =
       1
     | e -> e
   in
-  { fd; path; size = valid; epoch }
+  { fd; path; size = valid; epoch; marks = [] }
 
 (* Truncate the log after a checkpoint has made it redundant.  The file
    and its directory are fsynced so a crash immediately after the
@@ -298,6 +306,7 @@ let reset t =
   Sysutil.fsync_dir (Filename.dirname t.path);
   t.fd <- fd;
   t.size <- 0;
+  t.marks <- [];
   (* truncation first, epoch bump second: a crash in between leaves an
      empty log under the old epoch, which a standby still detects
      because its resume position exceeds the log size (Hole) *)
@@ -308,3 +317,19 @@ let size t = t.size
 let epoch t = t.epoch
 let path t = t.path
 let close t = Unix.close t.fd
+
+(* ---- trace marks (observability, in-memory) ------------------------- *)
+
+(* called right after the commit's frames are appended, so t.size is
+   the position just past them *)
+let mark_trace t ~trace ~span =
+  let rec take n = function
+    | x :: tl when n > 0 -> x :: take (n - 1) tl
+    | _ -> []
+  in
+  t.marks <- take max_marks ((t.size, trace, span) :: t.marks)
+
+(* marks covered by the half-open WAL range (lo, hi] — i.e. the commits
+   a batch of frames [lo, hi) completes *)
+let marks_between t ~lo ~hi =
+  List.filter (fun (pos, _, _) -> pos > lo && pos <= hi) (List.rev t.marks)

@@ -74,3 +74,18 @@ val records_of_frames : string -> (record * int) list
 val append_raw : t -> string -> unit
 (** Append verbatim pre-framed bytes (standby side of log shipping);
     call {!sync} afterwards for durability. *)
+
+(** {1 Trace marks}
+
+    In-memory, bounded observability metadata: a traced statement's
+    commit records its trace context against the WAL position just past
+    its frames, and the replication sender forwards the marks covered
+    by each shipped batch so standby apply spans join the right
+    trace. *)
+
+val mark_trace : t -> trace:string -> span:int -> unit
+(** Mark the current log end as the commit point of this trace. *)
+
+val marks_between : t -> lo:int -> hi:int -> (int * string * int) list
+(** Marks with position in (lo, hi], oldest first — the traced commits
+    completed by shipping frames [lo, hi). *)

@@ -217,4 +217,26 @@ let observability_report t =
     (List.length (Trace.dump ()))
     (Trace.capacity ());
   List.iter (fun (k, v) -> line "  %-24s %d" k v) (Trace.counts_by_type ());
+  (match Span.summaries () with
+   | [] -> ()
+   | ts ->
+     line "recent traces (newest first; \\trace <id> for the span tree):";
+     List.iter
+       (fun (id, nspans, root, total_s) ->
+         line "  %s  %2d spans  root %-16s %8.3f ms" id nspans root
+           (total_s *. 1000.))
+       ts);
+  (match Slow_log.dump () with
+   | [] -> ()
+   | es ->
+     line "slow statements: %d recorded (threshold %.0f ms; \\slow for details)"
+       (Slow_log.recorded_total ())
+       (Slow_log.threshold () *. 1000.);
+     List.iter
+       (fun (e : Slow_log.entry) ->
+         line "  %8.3f ms  session %d  %s" e.Slow_log.sl_total_ms
+           e.Slow_log.sl_session
+           (let t = e.Slow_log.sl_text in
+            if String.length t > 60 then String.sub t 0 57 ^ "..." else t))
+       es);
   Buffer.contents b

@@ -390,12 +390,60 @@ let statement_kind = function
    of the appropriate kind. *)
 let execute t (text : string) : result =
   Trace.emit (Trace.Statement_start { session = t.id; text });
-  let t0 = Metrics.now () in
+  (* tracing: join the server's request context when one is ambient,
+     otherwise root a trace of our own (CLI, tests, bench); [owned]
+     remembers which case so we publish and un-install only our own *)
+  let owned =
+    match Span.current () with
+    | Some _ -> None
+    | None ->
+      let c = Span.make () in
+      Span.set_current c;
+      c
+  in
+  let cx = Span.current () in
+  let stmt_sp =
+    Option.map
+      (fun c ->
+        let sp = Span.start c "statement" in
+        Span.annotate sp "session" (Metrics.Int t.id);
+        Span.annotate sp "text" (Metrics.Str text);
+        sp)
+      cx
+  in
+  let t0 = Metrics.mono () in
   let ms s = s *. 1000. in
   let finish ~kind ~ok ~ci ~execute_s =
-    let total = Metrics.now () -. t0 in
+    let total = Metrics.mono () -. t0 in
     Metrics.observe t.latency total;
     Metrics.observe stmt_latency total;
+    (match (cx, stmt_sp) with
+     | Some c, Some sp ->
+       Span.finish c
+         ~annots:[ ("kind", Metrics.Str kind); ("ok", Metrics.Bool ok) ]
+         sp
+     | _ -> ());
+    Slow_log.observe
+      ~trace:(match cx with Some c -> Span.trace_id c | None -> "")
+      ~session:t.id ~text ~kind ~ok ~cached:ci.ci_cached ~total_s:total
+      ~spans:
+        (match cx with
+         | Some c ->
+           List.rev_map
+             (fun s -> (s.Span.sp_name, Float.max 0.0 s.Span.sp_dur *. 1000.))
+             (Span.spans c)
+         | None ->
+           [
+             ("parse", ms ci.ci_parse_s);
+             ("analyze", ms ci.ci_analyze_s);
+             ("rewrite", ms ci.ci_rewrite_s);
+             ("execute", ms execute_s);
+           ]);
+    (match owned with
+     | Some c ->
+       Span.publish c;
+       Span.set_current None
+     | None -> ());
     Trace.emit
       (Trace.Statement_end
          {
@@ -411,7 +459,17 @@ let execute t (text : string) : result =
          })
   in
   try
-    let stmt, ci = compiled_statement t text in
+    let stmt, ci =
+      Span.with_span "compile" (fun sp ->
+          let ((_, ci) as r) = compiled_statement t text in
+          (match sp with
+           | Some sp -> Span.annotate sp "cached" (Metrics.Bool ci.ci_cached)
+           | None -> ());
+          r)
+    in
+    (* span-boundary deadline check: compilation can be slow and never
+       passes an executor choke point *)
+    Deadline.check_now ();
     let locks = statement_locks t.db stmt in
     let execute_s, r =
       Metrics.time (fun () ->
@@ -421,7 +479,8 @@ let execute t (text : string) : result =
               List.iter
                 (fun (doc, mode) -> Database.lock_exn t.db txn ~doc ~mode)
                 locks;
-              Database.run t.db txn (fun () -> run_statement t stmt txn)
+              Span.with_span "eval" (fun _ ->
+                  Database.run t.db txn (fun () -> run_statement t stmt txn))
             with
             | Fault.Injected_crash _ as e ->
               (* simulated process death: nothing may be written after
@@ -445,7 +504,10 @@ let execute t (text : string) : result =
                  List.iter
                    (fun (doc, mode) -> Database.lock_exn t.db txn ~doc ~mode)
                    locks;
-               let r = Database.run t.db txn (fun () -> run_statement t stmt txn) in
+               let r =
+                 Span.with_span "eval" (fun _ ->
+                     Database.run t.db txn (fun () -> run_statement t stmt txn))
+               in
                Database.commit t.db txn;
                r
              with

@@ -157,6 +157,7 @@ let seed t fd =
   Trace.emit (Trace.Repl_reseed { epoch });
   Hashtbl.reset t.pending;
   t.epoch <- epoch;
+  Counters.set Counters.repl_standby_epoch epoch;
   t.pos <- pos;
   t.boundary <- pos;
   persist_state t
@@ -191,11 +192,12 @@ let pull_loop t fd =
     Wire.write_repl_request fd
       (Wire.Pull { epoch = t.epoch; pos = t.pos; max_bytes = t.max_batch });
     match read_response_timed t fd with
-    | Wire.Batch { epoch; next_pos; frames } when epoch = t.epoch ->
+    | Wire.Batch { epoch; next_pos; frames; marks } when epoch = t.epoch ->
       (* fires before anything is persisted or acked: safe to re-pull *)
       Fault.check apply_site;
       let db = Option.get t.db in
       let wal = Database.wal db in
+      let apply_t0 = Metrics.mono () in
       Wal.append_raw wal frames;
       Wal.sync wal;
       Trace.emit
@@ -206,6 +208,20 @@ let pull_loop t fd =
              pos = next_pos;
            });
       apply_batch t db frames;
+      (* hang one apply span per traced commit in the batch under the
+         primary-side fsync span it was marked with; the duration is
+         the whole batch's persist+apply time (they share it) *)
+      (if marks <> [] && Span.is_enabled () then
+         let dur = Metrics.mono () -. apply_t0 in
+         List.iter
+           (fun { Wire.mk_pos; mk_trace; mk_span } ->
+             Span.emit_remote ~trace:mk_trace ~parent:mk_span ~name:"standby.apply"
+               ~dur
+               [
+                 ("pos", Metrics.Int mk_pos);
+                 ("batch_bytes", Metrics.Int (String.length frames));
+               ])
+           marks);
       t.pos <- next_pos;
       if Hashtbl.length t.pending = 0 && t.boundary <> next_pos then begin
         t.boundary <- next_pos;
@@ -242,6 +258,7 @@ let session_loop t () =
       backoff := 0.01;
       t.fd <- Some fd;
       t.connected <- true;
+      Counters.set Counters.repl_standby_connected 1;
       t.last_contact <- Unix.gettimeofday ();
       Trace.emit (Trace.Repl_state { role = "standby"; state = "connected" });
       (try
@@ -256,6 +273,7 @@ let session_loop t () =
             reconnect and re-pull; nothing was acked *)
          ());
       t.connected <- false;
+      Counters.set Counters.repl_standby_connected 0;
       t.fd <- None;
       (try Unix.close fd with _ -> ());
       if not t.stopping then begin
@@ -303,6 +321,7 @@ let start ?(poll_s = 0.01) ?(heartbeat_timeout_s = 2.0) ?(max_batch = 1 lsl 20)
         | Some _ -> Governor.swap_database gov ~name db);
        t.db <- Some db;
        t.epoch <- epoch;
+       Counters.set Counters.repl_standby_epoch epoch;
        t.pos <- pos;
        t.boundary <- pos
      | exception _ -> t.db <- None (* unusable remains: fall back to a seed *))

@@ -105,7 +105,15 @@ let serve_pull t fd ~epoch ~pos ~max_bytes =
       Trace.emit
         (Trace.Repl_batch
            { records = count; bytes = String.length frames; pos = next_pos });
-      Wire.write_repl_response fd (Wire.Batch { epoch = cur_epoch; next_pos; frames })
+      (* forward the trace marks of the commits this batch completes,
+         so the standby's apply spans join the statements' traces *)
+      let marks =
+        List.map
+          (fun (mk_pos, mk_trace, mk_span) -> { Wire.mk_pos; mk_trace; mk_span })
+          (Wal.marks_between wal ~lo:pos ~hi:next_pos)
+      in
+      Wire.write_repl_response fd
+        (Wire.Batch { epoch = cur_epoch; next_pos; frames; marks })
     end;
     (* the pull position acknowledges everything before it *)
     Counters.set Counters.repl_acked_pos pos;

@@ -1,0 +1,37 @@
+(** Monitoring listener ([--metrics-port]): a minimal HTTP server
+    exposing [GET /metrics] — Prometheus text exposition of all global
+    {!Sedna_util.Counters}, all registered {!Sedna_util.Metrics}
+    histograms (cumulative [le] buckets, seconds) and caller-supplied
+    gauges — and [GET /health], a readiness probe answering
+    [200 "ok <role>"] while serving and [503] while draining.
+
+    The handler never takes the engine lock; gauge closures must be
+    lock-free reads as well. *)
+
+type gauge = {
+  g_name : string;  (** counter-style dotted name, e.g. ["buffer.occupancy"] *)
+  g_help : string;  (** one-line HELP text; [""] omits it *)
+  g_read : unit -> int;
+}
+
+type t
+
+val start :
+  ?host:string ->
+  ?gauges:gauge list ->
+  ?health:(unit -> bool * string) ->
+  port:int ->
+  unit ->
+  t
+(** Bind and spawn the accept thread.  [health] returns
+    [(ready, role)]; default always-ready ["primary"].  [port = 0]
+    picks an ephemeral port — read it back with {!port}. *)
+
+val port : t -> int
+val stop : t -> unit
+
+val render_metrics : gauge list -> string
+(** The [/metrics] body (exposed for tests and one-shot dumps). *)
+
+val prom_name : string -> string
+(** ["wal.fsync-ms"] -> ["sedna_wal_fsync_ms"]. *)

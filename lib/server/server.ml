@@ -42,7 +42,9 @@ type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   bound_port : int;
-  queue : Unix.file_descr Queue.t;
+  (* accepted fd + monotonic enqueue time, so the worker that picks the
+     connection up can report its accept-queue wait as a span *)
+  queue : (Unix.file_descr * float) Queue.t;
   qmu : Mutex.t;
   qcond : Condition.t;
   mutable draining : bool;
@@ -59,6 +61,7 @@ type t = {
 }
 
 let port t = t.bound_port
+let is_draining t = t.draining
 
 (* Per-connection worker state. *)
 type conn = {
@@ -69,6 +72,8 @@ type conn = {
   mutable pending : string;  (* materialized query result awaiting fetches *)
   mutable sent : int;  (* bytes of [pending] already delivered *)
   mutable requests : int;
+  queue_wait_s : float;  (* time spent in the accept queue *)
+  mutable queue_wait_reported : bool;  (* span emitted on first traced request *)
 }
 
 let send conn resp = Wire.write_response conn.fd resp
@@ -106,26 +111,34 @@ let txn_control (s : Session.t) (text : string) : string option =
     Some "rolled back"
   | _ -> None
 
-let run_execute t (s : Session.t) (text : string) : Wire.response * string option =
+let run_execute t cx (s : Session.t) (text : string) : Wire.response * string option =
   (* one statement inside the store lock; the per-query wall-clock
-     budget is armed only for the locked section *)
+     budget is armed only for the locked section.  The request's span
+     context becomes ambient only inside the locked section — the same
+     single-statement ownership rule the Deadline cell relies on —
+     and "engine.wait" measures the admission wait for that lock. *)
+  let wait_sp = Option.map (fun c -> Span.start c "engine.wait") cx in
   let result =
     Governor.with_engine t.gov (fun () ->
-        let timeout = (Governor.limits t.gov).Governor.query_timeout_s in
-        if timeout > 0. then Deadline.set timeout;
-        Fun.protect
-          ~finally:(fun () -> Deadline.clear ())
-          (fun () ->
-            match txn_control s text with
-            | Some msg -> Session.Message msg
-            | None -> Session.execute s text))
+        (match (cx, wait_sp) with
+         | Some c, Some sp -> Span.finish c sp
+         | _ -> ());
+        Span.with_current cx (fun () ->
+            let timeout = (Governor.limits t.gov).Governor.query_timeout_s in
+            if timeout > 0. then Deadline.set timeout;
+            Fun.protect
+              ~finally:(fun () -> Deadline.clear ())
+              (fun () ->
+                match txn_control s text with
+                | Some msg -> Session.Message msg
+                | None -> Session.execute s text)))
   in
   match result with
   | Session.Items body -> (Wire.Result_ready (String.length body), Some body)
   | Session.Updated n -> (Wire.Updated n, None)
   | Session.Message m -> (Wire.Message m, None)
 
-let handle_request t (conn : conn) (req : Wire.request) : bool (* keep going *) =
+let handle_request t (conn : conn) cx (req : Wire.request) : bool (* keep going *) =
   Counters.bump Counters.server_requests;
   match req with
   | Wire.Open database -> (
@@ -168,7 +181,7 @@ let handle_request t (conn : conn) (req : Wire.request) : bool (* keep going *) 
       send conn (Wire.Err { code = "SE-PROTOCOL"; msg = "no open session" });
       true
     | Some s ->
-      (match run_execute t s text with
+      (match run_execute t cx s text with
        | resp, body ->
          conn.pending <- Option.value body ~default:"";
          conn.sent <- 0;
@@ -220,7 +233,43 @@ let close_conn t (conn : conn) =
   Trace.emit (Trace.Conn_close { conn = conn.conn_id; requests = conn.requests });
   try Unix.close conn.fd with _ -> ()
 
-let handle_conn t fd =
+(* One traced request: rebuild the client's span context, surface the
+   accept-queue wait (once per connection, under the client's request
+   span so it sorts before any server work), wrap the request in a
+   server-side span and publish the lot when the response is out. *)
+let handle_traced t (conn : conn) trace_hdr (req : Wire.request) : bool =
+  match
+    if Span.is_enabled () then Option.bind trace_hdr Span.parse_wire else None
+  with
+  | None -> handle_request t conn None req
+  | Some (trace, parent) -> (
+    (* charge the accept-queue wait to the first traced *statement*:
+       that is the trace a user pulls up, and the open handshake's
+       trace would otherwise swallow it *)
+    (match req with
+     | Wire.Execute _ when not conn.queue_wait_reported ->
+       conn.queue_wait_reported <- true;
+       Span.emit_remote ~trace ~parent ~name:"queue.wait" ~dur:conn.queue_wait_s
+         [ ("conn", Metrics.Int conn.conn_id) ]
+     | _ -> ());
+    match Span.make ~trace ~parent () with
+    | None -> handle_request t conn None req
+    | Some cx ->
+      let name =
+        match req with
+        | Wire.Open _ -> "server.open"
+        | Wire.Execute _ -> "server.execute"
+        | Wire.Fetch _ -> "server.fetch"
+        | Wire.Close -> "server.close"
+      in
+      let sp = Span.start cx name in
+      Fun.protect
+        ~finally:(fun () ->
+          Span.finish cx sp;
+          Span.publish cx)
+        (fun () -> handle_request t conn (Some cx) req))
+
+let handle_conn t fd queue_wait_s =
   let conn_id =
     Mutex.lock t.amu;
     let id = t.next_conn in
@@ -230,13 +279,23 @@ let handle_conn t fd =
     id
   in
   let conn =
-    { fd; conn_id; gov_id = None; session = None; pending = ""; sent = 0; requests = 0 }
+    {
+      fd;
+      conn_id;
+      gov_id = None;
+      session = None;
+      pending = "";
+      sent = 0;
+      requests = 0;
+      queue_wait_s;
+      queue_wait_reported = false;
+    }
   in
   let rec loop () =
     match Wire.read_request fd with
-    | req ->
+    | trace_hdr, req ->
       conn.requests <- conn.requests + 1;
-      let keep = try handle_request t conn req with _ -> false in
+      let keep = try handle_traced t conn trace_hdr req with _ -> false in
       (* a drain lets the in-flight request finish and deliver its
          response, then ends the connection *)
       if keep && not t.draining then loop ()
@@ -258,14 +317,14 @@ let worker_main t () =
     Mutex.unlock t.qmu;
     match job with
     | None -> () (* draining and nothing queued: worker retires *)
-    | Some fd ->
+    | Some (fd, enqueued_at) ->
       if t.draining then
         (* accepted but never started: refuse rather than run work the
            shutdown would have to wait arbitrarily long for *)
         reject fd ~code:"SE-SHUTDOWN" ~msg:"server shutting down" ~reason:"shutdown"
       else begin
         Counters.bump Counters.conn_accepted;
-        handle_conn t fd
+        handle_conn t fd (Metrics.mono () -. enqueued_at)
       end;
       next ()
   in
@@ -281,7 +340,7 @@ let listener_main t () =
           if t.draining then `Shutdown
           else if Queue.length t.queue >= t.cfg.max_queue then `Overloaded
           else begin
-            Queue.push fd t.queue;
+            Queue.push (fd, Metrics.mono ()) t.queue;
             Condition.signal t.qcond;
             `Queued
           end

@@ -37,6 +37,10 @@ val start :
 val port : t -> int
 (** The actually bound port (useful with [port = 0]). *)
 
+val is_draining : t -> bool
+(** True once {!stop}/{!kill} has begun — the [/health] readiness
+    probe reports draining from here. *)
+
 val stop : ?shutdown_governor:bool -> t -> unit
 (** Graceful shutdown: stop accepting, refuse queued-but-unstarted
     connections with SE-SHUTDOWN, let in-flight statements finish and

@@ -12,6 +12,8 @@
    client cannot know whether the lost statement took effect. *)
 
 open Sedna_db
+module Span = Sedna_util.Span
+module Metrics = Sedna_util.Metrics
 
 exception Remote_error of string * string
 
@@ -30,6 +32,7 @@ type t = {
   backoff_s : float;
   mutable database : string option; (* re-opened after a failover *)
   mutable in_txn : bool; (* inside an explicit BEGIN ... COMMIT *)
+  mutable last_trace : string option; (* trace id of the last traced request *)
 }
 
 let try_connect host port =
@@ -102,32 +105,52 @@ let connect ?(host = "127.0.0.1") ?(fetch_chunk = 64 * 1024) ?endpoints
     backoff_s;
     database = None;
     in_txn = false;
+    last_trace = None;
   }
 
 let endpoint t = t.endpoints.(t.cur)
 let in_transaction t = t.in_txn
+let last_trace_id t = t.last_trace
 
 (* one request/response round trip; servers only ever push a frame in
    response to one of ours, so this is the whole protocol *)
-let request (t : t) (req : Wire.request) : Wire.response =
-  Wire.write_request t.fd req;
+let request ?trace (t : t) (req : Wire.request) : Wire.response =
+  Wire.write_request ?trace t.fd req;
   Wire.read_response t.fd
 
 let fail_err = function
   | Wire.Err { code; msg } -> raise (Remote_error (code, msg))
   | r -> r
 
-let open_db (t : t) (database : string) : int =
-  match fail_err (request t (Wire.Open database)) with
-  | Wire.Opened id ->
-    t.database <- Some database;
-    id
-  | _ -> raise (Wire.Protocol_error "unexpected response to Open")
+(* Root a fresh trace around one client-visible operation.  [f] gets
+   the wire context header to send; the root span is finished and the
+   trace published (client-side spans only — the server publishes its
+   own half into the same trace id) when [f] returns. *)
+let with_trace (t : t) name f =
+  match Span.make () with
+  | None -> f None
+  | Some c ->
+    let sp = Span.start c name in
+    t.last_trace <- Some (Span.trace_id c);
+    Fun.protect
+      ~finally:(fun () ->
+        Span.finish c sp;
+        Span.publish c)
+      (fun () ->
+        f (Some (Span.wire_of ~trace:(Span.trace_id c) ~parent:sp.Span.sp_id)))
 
-let fetch_all (t : t) (total : int) : string =
+let open_db (t : t) (database : string) : int =
+  with_trace t "client.open" (fun trace ->
+      match fail_err (request ?trace t (Wire.Open database)) with
+      | Wire.Opened id ->
+        t.database <- Some database;
+        id
+      | _ -> raise (Wire.Protocol_error "unexpected response to Open"))
+
+let fetch_all ?trace (t : t) (total : int) : string =
   let b = Buffer.create total in
   let rec go () =
-    match fail_err (request t (Wire.Fetch t.fetch_chunk)) with
+    match fail_err (request ?trace t (Wire.Fetch t.fetch_chunk)) with
     | Wire.Chunk { last; data } ->
       Buffer.add_string b data;
       if not last then go ()
@@ -182,11 +205,14 @@ let reconnect t =
 let execute (t : t) (text : string) : Session.result =
   let kind = statement_kind text in
   let run () =
-    match fail_err (request t (Wire.Execute text)) with
-    | Wire.Updated n -> Session.Updated n
-    | Wire.Message m -> Session.Message m
-    | Wire.Result_ready total -> Session.Items (fetch_all t total)
-    | _ -> raise (Wire.Protocol_error "unexpected response to Execute")
+    (* one statement = one trace; the fetches of its result ride the
+       same context so server-side fetch spans join the tree *)
+    with_trace t "client.request" (fun trace ->
+        match fail_err (request ?trace t (Wire.Execute text)) with
+        | Wire.Updated n -> Session.Updated n
+        | Wire.Message m -> Session.Message m
+        | Wire.Result_ready total -> Session.Items (fetch_all ?trace t total)
+        | _ -> raise (Wire.Protocol_error "unexpected response to Execute"))
   in
   let track r =
     (match kind with
@@ -222,8 +248,9 @@ let close (t : t) =
   if not t.closed then begin
     t.closed <- true;
     (try
-       match request t Wire.Close with
-       | Wire.Bye | _ -> ()
+       with_trace t "client.close" (fun trace ->
+           match request ?trace t Wire.Close with
+           | Wire.Bye | _ -> ())
      with _ -> ());
     try Unix.close t.fd with _ -> ()
   end

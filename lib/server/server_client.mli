@@ -44,8 +44,13 @@ val execute : t -> string -> Sedna_db.Session.result
 
 val execute_string : t -> string -> string
 
-val request : t -> Wire.request -> Wire.response
-(** Raw round trip (tests use this to observe protocol-level replies). *)
+val request : ?trace:string -> t -> Wire.request -> Wire.response
+(** Raw round trip (tests use this to observe protocol-level replies).
+    [trace] is a pre-encoded {!Sedna_util.Span.wire_of} context. *)
+
+val last_trace_id : t -> string option
+(** Trace ID generated for the most recent traced operation — feed to
+    [\trace <id>] or {!Sedna_util.Span.find}. *)
 
 val close : t -> unit
 (** Send [Close], then close the socket.  Idempotent. *)

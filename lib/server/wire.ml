@@ -11,6 +11,10 @@
      'F' u32 max_bytes         fetch the next chunk of a query result
      'C'                       close the session
 
+   Any request may be prefixed (inside the same frame) with a trace
+   context header, so old-style un-traced requests remain valid:
+     'T' str "trace_id:parent_span_id", then the request as above
+
    Responses (server -> client):
      'o' u32 session_id        session opened
      'u' u32 count             update statement done (affected nodes)
@@ -29,7 +33,12 @@
      'S'                                      request a full seed (backup)
 
    Repl responses (primary -> standby):
-     'B' u32 epoch, u32 next_pos, str frames  raw WAL frames [pos,next_pos)
+     'B' u32 epoch, u32 next_pos, str frames  raw WAL frames [pos,next_pos),
+        u32 nmarks, nmarks * (u32 pos, str trace, u32 span)
+                                              trace marks: commits inside the
+                                              batch whose statement was traced,
+                                              so the standby can hang its apply
+                                              span under the right parent
      'h' u32 epoch, u32 pos                   heartbeat: no new frames; pos =
                                               primary WAL end
      'H' u32 epoch                            hole: (epoch,pos) not servable
@@ -56,8 +65,16 @@ type repl_request =
   | Pull of { epoch : int; pos : int; max_bytes : int }
   | Seed_request
 
+(* commit position, trace id, parent span id — see the 'B' frame *)
+type trace_mark = { mk_pos : int; mk_trace : string; mk_span : int }
+
 type repl_response =
-  | Batch of { epoch : int; next_pos : int; frames : string }
+  | Batch of {
+      epoch : int;
+      next_pos : int;
+      frames : string;
+      marks : trace_mark list;
+    }
   | Heartbeat of { epoch : int; pos : int }
   | Hole of { epoch : int }
   | Seed_file of { name : string; data : string }
@@ -176,8 +193,13 @@ let read_frame fd : reader =
 
 (* ---- requests -------------------------------------------------------- *)
 
-let write_request fd (req : request) =
+let write_request ?trace fd (req : request) =
   let b = Buffer.create 64 in
+  (match trace with
+   | Some t ->
+     Buffer.add_char b 'T';
+     add_str b t
+   | None -> ());
   (match req with
    | Open db ->
      Buffer.add_char b 'O';
@@ -191,14 +213,26 @@ let write_request fd (req : request) =
    | Close -> Buffer.add_char b 'C');
   write_frame fd b
 
-let read_request fd : request =
+(* returns the trace-context header (if the client sent one) alongside
+   the request proper *)
+let read_request fd : string option * request =
   let r = read_frame fd in
-  match Char.chr (get_u8 r) with
-  | 'O' -> Open (get_str r)
-  | 'X' -> Execute (get_str r)
-  | 'F' -> Fetch (get_u32 r)
-  | 'C' -> Close
-  | c -> perror "unknown request opcode %C" c
+  let opcode = Char.chr (get_u8 r) in
+  let trace, opcode =
+    if opcode = 'T' then
+      let t = get_str r in
+      (Some t, Char.chr (get_u8 r))
+    else (None, opcode)
+  in
+  let req =
+    match opcode with
+    | 'O' -> Open (get_str r)
+    | 'X' -> Execute (get_str r)
+    | 'F' -> Fetch (get_u32 r)
+    | 'C' -> Close
+    | c -> perror "unknown request opcode %C" c
+  in
+  (trace, req)
 
 (* ---- responses ------------------------------------------------------- *)
 
@@ -270,11 +304,18 @@ let read_repl_request fd : repl_request =
 let write_repl_response fd (resp : repl_response) =
   let b = Buffer.create 64 in
   (match resp with
-   | Batch { epoch; next_pos; frames } ->
+   | Batch { epoch; next_pos; frames; marks } ->
      Buffer.add_char b 'B';
      add_u32 b epoch;
      add_u32 b next_pos;
-     add_str b frames
+     add_str b frames;
+     add_u32 b (List.length marks);
+     List.iter
+       (fun { mk_pos; mk_trace; mk_span } ->
+         add_u32 b mk_pos;
+         add_str b mk_trace;
+         add_u32 b mk_span)
+       marks
    | Heartbeat { epoch; pos } ->
      Buffer.add_char b 'h';
      add_u32 b epoch;
@@ -298,7 +339,16 @@ let read_repl_response fd : repl_response =
   | 'B' ->
     let epoch = get_u32 r in
     let next_pos = get_u32 r in
-    Batch { epoch; next_pos; frames = get_str r }
+    let frames = get_str r in
+    let nmarks = get_u32 r in
+    if nmarks > 65536 then perror "implausible trace-mark count %d" nmarks;
+    let marks =
+      List.init nmarks (fun _ ->
+          let mk_pos = get_u32 r in
+          let mk_trace = get_str r in
+          { mk_pos; mk_trace; mk_span = get_u32 r })
+    in
+    Batch { epoch; next_pos; frames; marks }
   | 'h' ->
     let epoch = get_u32 r in
     Heartbeat { epoch; pos = get_u32 r }

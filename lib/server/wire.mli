@@ -28,8 +28,18 @@ type repl_request =
   | Pull of { epoch : int; pos : int; max_bytes : int }
   | Seed_request  (** ship a full backup (the standby must re-seed) *)
 
+type trace_mark = { mk_pos : int; mk_trace : string; mk_span : int }
+(** A traced commit inside a batch: WAL position right after the
+    commit, the statement's trace ID and the parent span the standby's
+    apply span should hang under. *)
+
 type repl_response =
-  | Batch of { epoch : int; next_pos : int; frames : string }
+  | Batch of {
+      epoch : int;
+      next_pos : int;
+      frames : string;
+      marks : trace_mark list;
+    }
       (** raw WAL frames [pos, next_pos) of the requested epoch *)
   | Heartbeat of { epoch : int; pos : int }
       (** no new frames; [pos] is the primary's current WAL end *)
@@ -44,9 +54,14 @@ val max_frame : int
 
 exception Protocol_error of string
 
-val write_request : Unix.file_descr -> request -> unit
-val read_request : Unix.file_descr -> request
-(** @raise End_of_file on a cleanly closed peer. *)
+val write_request : ?trace:string -> Unix.file_descr -> request -> unit
+(** [trace] is a ["trace_id:parent_span_id"] context header
+    ({!Sedna_util.Span.wire_of}); it rides in the same frame. *)
+
+val read_request : Unix.file_descr -> string option * request
+(** Returns the trace-context header, if the client sent one, alongside
+    the request.
+    @raise End_of_file on a cleanly closed peer. *)
 
 val write_response : Unix.file_descr -> response -> unit
 val read_response : Unix.file_descr -> response

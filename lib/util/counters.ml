@@ -78,6 +78,8 @@ let repl_reseeds = "repl.reseeds"
 let repl_promotions = "repl.promotions"
 let repl_lag_bytes = "repl.lag_bytes"
 let repl_acked_pos = "repl.acked_pos"
+let repl_standby_connected = "repl.standby_connected"
+let repl_standby_epoch = "repl.standby_epoch"
 
 (* Pre-resolved cells for the hot-path counters: incrementing these is
    a plain [incr], so instrumentation does not distort the pointer-

@@ -119,6 +119,12 @@ val repl_lag_bytes : string
 val repl_acked_pos : string
 (** Gauge: last WAL position acked by a standby. *)
 
+val repl_standby_connected : string
+(** Gauge (standby side): 1 while connected to the primary. *)
+
+val repl_standby_epoch : string
+(** Gauge (standby side): WAL epoch the standby is tracking. *)
+
 (** {1 Pre-resolved hot-path cells (same storage as the names above)} *)
 
 val vas_fast_hit_cell : int ref

@@ -14,7 +14,7 @@ let deadline = ref infinity
 let tick = ref 0
 
 let set seconds =
-  deadline := Metrics.now () +. seconds;
+  deadline := Metrics.mono () +. seconds;
   tick := 0;
   armed := true
 
@@ -35,5 +35,12 @@ let expire () =
 let check () =
   if !armed then begin
     incr tick;
-    if !tick land 63 = 0 && Metrics.now () > !deadline then expire ()
+    if !tick land 63 = 0 && Metrics.mono () > !deadline then expire ()
   end
+
+(* Unconditional clock sample — for span-boundary choke points (lock
+   retry loops, phase transitions) where ticks accumulate too slowly
+   for the every-64th gate to matter but latency between checks can be
+   long (a sleeping lock retry never touches [check] at all). *)
+let check_now () =
+  if !armed && Metrics.mono () > !deadline then expire ()

@@ -17,3 +17,9 @@ val active : unit -> bool
 val check : unit -> unit
 (** Raise [Query_timeout] if an armed deadline has passed.  Cheap when
     unarmed; samples the clock every 64th call when armed. *)
+
+val check_now : unit -> unit
+(** Like {!check} but samples the clock on every call.  Placed at
+    span-boundary choke points (lock-wait retry loops, phase
+    transitions) where calls are rare but the elapsed time between
+    them can be long. *)

@@ -83,10 +83,13 @@ let json_to_string j =
 
 let now () = Unix.gettimeofday ()
 
+(* monotonic source for durations — wall time is only for log stamps *)
+let mono = Sysutil.monotonic
+
 let time f =
-  let t0 = now () in
+  let t0 = mono () in
   let r = f () in
-  (now () -. t0, r)
+  (mono () -. t0, r)
 
 (* -------------------------------------------------------------- sets *)
 
@@ -195,6 +198,10 @@ let hist_reset h =
 let hist_name h = h.hist_name
 let hist_count h = h.total
 let hist_sum h = h.sum
+
+(* bucket bounds + per-bucket counts (one extra overflow slot) — the
+   Prometheus exposition needs the raw shape, not just percentiles *)
+let hist_buckets h = (Array.copy h.bounds, Array.copy h.counts)
 let hist_mean h = if h.total = 0 then Float.nan else h.sum /. float_of_int h.total
 
 (* Upper bound of the bucket holding the q-quantile observation

@@ -28,10 +28,15 @@ val json_escape : string -> string
 (** {1 Timers} *)
 
 val now : unit -> float
-(** Wall-clock seconds ([Unix.gettimeofday]). *)
+(** Wall-clock seconds ([Unix.gettimeofday]) — for log timestamps
+    only; durations should use {!mono}/{!time}. *)
+
+val mono : unit -> float
+(** Monotonic seconds ({!Sysutil.monotonic}) — for durations. *)
 
 val time : (unit -> 'a) -> float * 'a
-(** [time f] runs [f] and returns [(elapsed_seconds, result)]. *)
+(** [time f] runs [f] and returns [(elapsed_seconds, result)], measured
+    on the monotonic clock. *)
 
 (** {1 Scoped counter sets} *)
 
@@ -84,6 +89,11 @@ val observe : histogram -> float -> unit
 val hist_name : histogram -> string
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
+
+val hist_buckets : histogram -> float array * int array
+(** [(upper bounds in seconds, per-bucket counts)]; the counts array
+    has one extra trailing overflow slot. *)
+
 val hist_mean : histogram -> float
 val hist_reset : histogram -> unit
 

@@ -1,0 +1,115 @@
+(* Slow-statement log: statements whose total latency crosses a
+   configurable threshold leave a structured JSON record — wall
+   timestamp, trace ID, session, statement text, plan-cache hit/miss
+   and a per-span breakdown — in a bounded in-memory ring, and
+   optionally appended as a JSON line to a file.  The ring serves the
+   [\slow] CLI command and the governor report; the file is for
+   external collectors (and the CI artifact).
+
+   Mutex-protected: server workers record concurrently.  The threshold
+   check is done here so call sites stay one function call; when the
+   statement is fast the cost is a float compare. *)
+
+type entry = {
+  sl_at : float; (* wall clock — log timestamp *)
+  sl_trace : string; (* "" when tracing was off *)
+  sl_session : int;
+  sl_text : string;
+  sl_kind : string; (* "query" | "update" | "ddl" | ... *)
+  sl_ok : bool;
+  sl_cached : bool; (* plan-cache hit *)
+  sl_total_ms : float;
+  sl_spans : (string * float) list; (* span name, milliseconds *)
+}
+
+let mu = Mutex.create ()
+let ring : entry Queue.t = Queue.create ()
+let ring_capacity = ref 128
+let threshold_s = ref 1.0 (* statements slower than this are logged *)
+let file : string option ref = ref None
+let recorded = ref 0
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let set_threshold s = threshold_s := s
+let threshold () = !threshold_s
+let set_file p = locked (fun () -> file := p)
+let set_capacity n = ring_capacity := max 1 n
+
+let entry_to_json e =
+  Metrics.Obj
+    [
+      ("at", Metrics.Float e.sl_at);
+      ("trace", Metrics.Str e.sl_trace);
+      ("session", Metrics.Int e.sl_session);
+      ("text", Metrics.Str e.sl_text);
+      ("kind", Metrics.Str e.sl_kind);
+      ("ok", Metrics.Bool e.sl_ok);
+      ("cached", Metrics.Bool e.sl_cached);
+      ("total_ms", Metrics.Float e.sl_total_ms);
+      ( "spans",
+        Metrics.Obj (List.map (fun (n, ms) -> (n, Metrics.Float ms)) e.sl_spans) );
+    ]
+
+let append_to_file path line =
+  try
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+    in
+    output_string oc line;
+    output_char oc '\n';
+    close_out oc
+  with Sys_error _ -> () (* a broken sink must not fail the statement *)
+
+let observe ~trace ~session ~text ~kind ~ok ~cached ~total_s ~spans =
+  if total_s >= !threshold_s then begin
+    let e =
+      {
+        sl_at = Metrics.now ();
+        sl_trace = trace;
+        sl_session = session;
+        sl_text = text;
+        sl_kind = kind;
+        sl_ok = ok;
+        sl_cached = cached;
+        sl_total_ms = total_s *. 1000.0;
+        sl_spans = spans;
+      }
+    in
+    let sink =
+      locked (fun () ->
+          incr recorded;
+          Queue.push e ring;
+          while Queue.length ring > !ring_capacity do
+            ignore (Queue.pop ring)
+          done;
+          !file)
+    in
+    match sink with
+    | Some path -> append_to_file path (Metrics.json_to_string (entry_to_json e))
+    | None -> ()
+  end
+
+let dump () = locked (fun () -> List.of_seq (Queue.to_seq ring))
+let recorded_total () = !recorded
+let clear () = locked (fun () -> Queue.clear ring)
+
+let to_json_lines () =
+  String.concat "\n"
+    (List.map (fun e -> Metrics.json_to_string (entry_to_json e)) (dump ()))
+
+(* Environment hooks so non-server entry points (bench, one-shot CLI)
+   can switch the log on without new flags:
+     SEDNA_SLOW_MS   threshold in milliseconds
+     SEDNA_SLOW_LOG  file to append JSON lines to *)
+let init_from_env () =
+  (match Sys.getenv_opt "SEDNA_SLOW_MS" with
+   | Some s -> ( match float_of_string_opt s with
+     | Some ms -> set_threshold (ms /. 1000.0)
+     | None -> ())
+   | None -> ());
+  match Sys.getenv_opt "SEDNA_SLOW_LOG" with
+  | Some p when p <> "" -> set_file (Some p)
+  | _ -> ()

@@ -1,0 +1,56 @@
+(** Slow-statement log.
+
+    Statements slower than a configurable threshold leave a structured
+    record — wall timestamp, trace ID, session, statement text,
+    plan-cache hit/miss, total latency and a per-span breakdown — in a
+    bounded in-memory ring ([\slow] dumps it) and, when a file sink is
+    set, as an appended JSON line.  Thread-safe. *)
+
+type entry = {
+  sl_at : float;  (** wall-clock timestamp *)
+  sl_trace : string;  (** trace ID, [""] when tracing was off *)
+  sl_session : int;
+  sl_text : string;
+  sl_kind : string;
+  sl_ok : bool;
+  sl_cached : bool;  (** plan served from the plan cache *)
+  sl_total_ms : float;
+  sl_spans : (string * float) list;  (** span name, milliseconds *)
+}
+
+val observe :
+  trace:string ->
+  session:int ->
+  text:string ->
+  kind:string ->
+  ok:bool ->
+  cached:bool ->
+  total_s:float ->
+  spans:(string * float) list ->
+  unit
+(** Record the statement if [total_s] crosses the threshold; a float
+    compare otherwise. *)
+
+val set_threshold : float -> unit
+(** Threshold in seconds (default 1.0); [infinity] disables. *)
+
+val threshold : unit -> float
+
+val set_file : string option -> unit
+(** Also append each record as a JSON line to this file. *)
+
+val set_capacity : int -> unit
+(** Ring capacity (default 128, min 1). *)
+
+val dump : unit -> entry list
+(** Retained entries, oldest first. *)
+
+val recorded_total : unit -> int
+(** Total records since start, including ones the ring dropped. *)
+
+val clear : unit -> unit
+val entry_to_json : entry -> Metrics.json
+val to_json_lines : unit -> string
+
+val init_from_env : unit -> unit
+(** Read [SEDNA_SLOW_MS] / [SEDNA_SLOW_LOG] and configure accordingly. *)

@@ -1,5 +1,38 @@
 (* Small OS helpers shared by the durability-sensitive layers. *)
 
+(* ---- monotonic clock ------------------------------------------------ *)
+
+(* Durations (span timing, latency histograms, deadlines) must not go
+   negative or jump when the wall clock is stepped by NTP or an
+   operator.  No monotonic-clock binding is available in this tree, so
+   we clamp [Unix.gettimeofday] to be non-decreasing: a backward step
+   is absorbed into [skew] and replayed on every later reading, which
+   keeps the reported clock moving forward at (roughly) real-time rate.
+   Forward jumps still pass through — they inflate at most one interval,
+   which is the best a userspace clamp can do.  Mutex-protected because
+   server workers and the replication threads all sample it. *)
+
+let mono_mu = Mutex.create ()
+let mono_last = ref neg_infinity
+let mono_skew = ref 0.0
+
+let monotonic () =
+  Mutex.lock mono_mu;
+  let raw = Unix.gettimeofday () +. !mono_skew in
+  let t =
+    if raw < !mono_last then begin
+      (* wall clock stepped backwards: fold the step into the skew *)
+      mono_skew := !mono_skew +. (!mono_last -. raw);
+      !mono_last
+    end
+    else begin
+      mono_last := raw;
+      raw
+    end
+  in
+  Mutex.unlock mono_mu;
+  t
+
 (* Fsync a directory so a just-created/renamed/truncated entry survives
    a crash (POSIX requires syncing the parent directory for that).
    Some filesystems refuse fsync on directory descriptors; that is a

@@ -1,5 +1,12 @@
 (** OS helpers for the durability-sensitive layers. *)
 
+val monotonic : unit -> float
+(** Non-decreasing clock in seconds, for measuring durations and
+    deadlines.  Backed by [Unix.gettimeofday] clamped so wall-clock
+    steps backwards can never produce negative intervals; use
+    {!Metrics.now} when a log needs a real wall timestamp.
+    Thread-safe. *)
+
 val fsync_dir : string -> unit
 (** Fsync a directory so a created/renamed/truncated entry survives a
     crash.  Errors (filesystems that refuse directory fsync) are

@@ -6,7 +6,10 @@
 
    Emission sites are off the storage hot paths (statement boundaries,
    page faults/evictions, WAL framing, lock transitions), so a
-   timestamp per event is affordable.  Single-domain, like Counters. *)
+   timestamp per event is affordable.  Server workers and the
+   replication threads emit concurrently, so the seq reservation and
+   the slot write happen under one mutex — without it two workers can
+   reserve the same seq and [dump] silently loses entries. *)
 
 type event =
   | Statement_start of { session : int; text : string }
@@ -54,40 +57,50 @@ type entry = { seq : int; at : float; event : event }
 let enabled = ref true
 let ring = ref (Array.make 4096 None)
 let next_seq = ref 0
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 let set_enabled b = enabled := b
 let is_enabled () = !enabled
 
 let clear () =
-  Array.fill !ring 0 (Array.length !ring) None;
-  next_seq := 0
+  locked (fun () ->
+      Array.fill !ring 0 (Array.length !ring) None;
+      next_seq := 0)
 
 let set_capacity n =
-  ring := Array.make (max 1 n) None;
-  next_seq := 0
+  locked (fun () ->
+      ring := Array.make (max 1 n) None;
+      next_seq := 0)
 
 let capacity () = Array.length !ring
 let emitted () = !next_seq
 
 let emit event =
   if !enabled then begin
-    let seq = !next_seq in
-    !ring.(seq mod Array.length !ring) <- Some { seq; at = Metrics.now (); event };
-    next_seq := seq + 1
+    let at = Metrics.now () in
+    locked (fun () ->
+        let seq = !next_seq in
+        !ring.(seq mod Array.length !ring) <- Some { seq; at; event };
+        next_seq := seq + 1)
   end
 
 (* Retained entries, oldest first. *)
 let dump () =
-  let n = Array.length !ring in
-  let first = max 0 (!next_seq - n) in
-  let rec go seq acc =
-    if seq < first then acc
-    else
-      match !ring.(seq mod n) with
-      | Some e when e.seq = seq -> go (seq - 1) (e :: acc)
-      | _ -> go (seq - 1) acc
-  in
-  go (!next_seq - 1) []
+  locked (fun () ->
+      let n = Array.length !ring in
+      let first = max 0 (!next_seq - n) in
+      let rec go seq acc =
+        if seq < first then acc
+        else
+          match !ring.(seq mod n) with
+          | Some e when e.seq = seq -> go (seq - 1) (e :: acc)
+          | _ -> go (seq - 1) acc
+      in
+      go (!next_seq - 1) [])
 
 let event_name = function
   | Statement_start _ -> "statement.start"

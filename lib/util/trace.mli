@@ -66,7 +66,8 @@ type entry = { seq : int; at : float; event : event }
 
 val emit : event -> unit
 (** Append to the ring (drops the oldest entry once full); no-op while
-    tracing is disabled. *)
+    tracing is disabled.  Safe to call from concurrent server
+    workers. *)
 
 val set_enabled : bool -> unit
 val is_enabled : unit -> bool

@@ -23,6 +23,7 @@ let () =
       ("crash", Test_crash.suite);
       ("server", Test_server.suite);
       ("replication", Test_replication.suite);
+      ("tracing", Test_tracing.suite);
       ("regex", Test_rx.suite);
       ("tools", Test_tools.suite);
     ]

@@ -46,9 +46,15 @@ let test_wire_roundtrip () =
       List.iter (Wire.write_request a) requests;
       List.iter
         (fun want ->
-          let got = Wire.read_request b in
+          let trace, got = Wire.read_request b in
+          Alcotest.(check bool) "no trace header" true (trace = None);
           Alcotest.(check bool) "request round trip" true (got = want))
         requests;
+      (* the optional trace header rides inside the same frame *)
+      Wire.write_request ~trace:"00c0ffee00c0ffee:42" a (Wire.Execute "1+1");
+      let trace, got = Wire.read_request b in
+      Alcotest.(check bool) "trace header round trip" true
+        (trace = Some "00c0ffee00c0ffee:42" && got = Wire.Execute "1+1");
       let responses =
         [
           Wire.Opened 7;
