@@ -1233,6 +1233,55 @@ let crash () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* CHAOS — network chaos drills (robustness hardening)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The Chaoskit matrix: concurrent wire clients under one seeded
+   network fault flavor per cell, a mid-run promotion in every cell,
+   and a hard exit on any invariant violation so CI can gate on it.
+   SEDNA_CHAOS_SEED replays a different (or a failed) schedule;
+   SEDNA_NETFAULT restricts the run to the named cells/specs. *)
+let chaos () =
+  header "CHAOS network chaos drills — fencing and acked-commit safety"
+    "concurrent clients under seeded network faults with a mid-run \
+     promotion: no acked commit lost, no write acked past the fence";
+  let dir_prefix =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sedna-chaos-%d" (Unix.getpid ()))
+  in
+  let clients, ops = if quick () then (2, 12) else (4, 24) in
+  let seed =
+    match Sys.getenv_opt "SEDNA_CHAOS_SEED" with
+    | Some s -> ( match int_of_string_opt (String.trim s) with Some n -> n | None -> 1)
+    | None -> 1
+  in
+  pf "  seed %d (SEDNA_CHAOS_SEED replays a schedule; %d clients x %d ops)\n\n"
+    seed clients ops;
+  let cells =
+    match Sys.getenv_opt Sedna_util.Netfault.env_var with
+    | Some specs when String.trim specs <> "" ->
+      List.map String.trim (String.split_on_char ',' specs)
+    | _ -> Sedna_replication.Chaoskit.default_cells
+  in
+  let outcomes =
+    Sedna_replication.Chaoskit.run_matrix ~clients ~ops ~seed ~cells ~dir_prefix ()
+  in
+  List.iter (fun o -> pf "  %s\n" (Sedna_replication.Chaoskit.render o)) outcomes;
+  let failed =
+    List.filter (fun o -> not (Sedna_replication.Chaoskit.ok o)) outcomes
+  in
+  pf "\n  %d/%d cells passed\n"
+    (List.length outcomes - List.length failed)
+    (List.length outcomes);
+  record_int "chaos.cells" (List.length outcomes);
+  record_int "chaos.failures" (List.length failed);
+  record_int "chaos.seed" seed;
+  if failed <> [] then begin
+    pf "  CHAOS MATRIX FAILED (replay with SEDNA_CHAOS_SEED=%d)\n" seed;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* TRACE — observability: span instrumentation overhead                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1290,7 +1339,8 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E4b", e4b);
     ("E5", e5); ("E6", e6); ("E6b", e6b); ("E7", e7); ("E7b", e7b); ("E8", e8);
     ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", e15); ("CRASH", crash); ("TRACE", trace_overhead);
+    ("E14", e14); ("E15", e15); ("CRASH", crash); ("CHAOS", chaos);
+    ("TRACE", trace_overhead);
   ]
 
 let () =

@@ -81,11 +81,34 @@ let run_statement_inner session text =
   | "\\faults disarm" ->
     Sedna_util.Fault.disarm_all ();
     print_endline "all fault policies disarmed"
+  | "\\netfaults" ->
+    List.iter
+      (fun (name, hits, armed) ->
+        Printf.printf "%-20s %6d hits%s\n" name hits
+          (match armed with
+           | Some p -> Printf.sprintf "  armed: %s" p
+           | None -> ""))
+      (Sedna_util.Netfault.report ());
+    (match Sedna_util.Netfault.partitions () with
+     | [] -> ()
+     | ps -> List.iter (fun (a, b) -> Printf.printf "partition: %s->%s\n" a b) ps)
+  | "\\netfaults disarm" ->
+    Sedna_util.Netfault.disarm_all ();
+    print_endline "all network fault policies disarmed, partitions healed"
+  | "\\netfaults heal" ->
+    Sedna_util.Netfault.heal_all ();
+    print_endline "all partitions healed"
   | "\\quit" | "\\q" -> raise Exit
   | text when String.length text > 12 && String.sub text 0 12 = "\\faults arm " -> (
     let spec = String.trim (String.sub text 12 (String.length text - 12)) in
     try
       Sedna_util.Fault.arm_spec spec;
+      Printf.printf "armed %s\n" spec
+    with e -> Printf.printf "error: %s\n" (Printexc.to_string e))
+  | text when String.length text > 15 && String.sub text 0 15 = "\\netfaults arm " -> (
+    let spec = String.trim (String.sub text 15 (String.length text - 15)) in
+    try
+      Sedna_util.Netfault.arm_spec spec;
       Printf.printf "armed %s\n" spec
     with e -> Printf.printf "error: %s\n" (Printexc.to_string e))
   | text when String.length text > 7 && String.sub text 0 7 = "\\trace " -> (
@@ -126,7 +149,8 @@ let interactive session =
      \\counters (\\counters reset) \\trace (\\trace clear)\n\
      \\traces \\trace <id> (span tree) \\slow (\\slow clear)\n\
      \\checkpoint \\check (integrity) \\explain <query> \\profile <query>\n\
-     \\faults (\\faults arm <site>:<policy>, \\faults disarm)";
+     \\faults (\\faults arm <site>:<policy>, \\faults disarm)\n\
+     \\netfaults (\\netfaults arm <spec>, \\netfaults disarm, \\netfaults heal)";
   let buf = Buffer.create 256 in
   try
     while true do
@@ -259,8 +283,15 @@ let serve_mode db_dir create host port db_name max_sessions query_timeout
         in
         let health () =
           if Sedna_server.Server.is_draining srv then (false, "draining")
-          else if recv <> None && not !promoted then (true, "standby")
-          else (true, "primary")
+          else
+            match find_db () with
+            | Some db when Database.is_fenced db ->
+              (* deposed primary: still answers reads, but a load
+                 balancer must stop routing here *)
+              (false, "fenced")
+            | _ ->
+              if recv <> None && not !promoted then (true, "standby")
+              else (true, "primary")
         in
         Sedna_server.Metrics_http.start ~host ~gauges ~health ~port:mport ())
       metrics_port
@@ -328,8 +359,10 @@ let main db_dir create stmts serve connect promote host port db_name
     max_sessions query_timeout repl_port standby_of metrics_port slow_ms
     slow_log =
   (* SEDNA_FAULT=<site>:<policy>[,...] arms injection before the
-     database opens, so recovery itself can be put under fault *)
+     database opens, so recovery itself can be put under fault;
+     SEDNA_NETFAULT does the same for the wire layer *)
   Sedna_util.Fault.arm_from_env ();
+  Sedna_util.Netfault.arm_from_env ();
   (* slow-statement log: SEDNA_SLOW_MS / SEDNA_SLOW_LOG first, explicit
      flags override *)
   Sedna_util.Slow_log.init_from_env ();

@@ -25,6 +25,14 @@ type t = {
   active : (int, Txn.t) Hashtbl.t;
   mutable current : Txn.t option; (* transaction executing right now *)
   mutable standby : bool; (* hot standby: continuous redo, writes refused *)
+  (* Fencing (split-brain protection): the cluster epoch is the
+     promotion generation of the replication group — distinct from the
+     WAL epoch, which counts checkpoint truncations of one node's log.
+     Promotion mints epoch+1; a node that *observes* a higher epoch on
+     any wire exchange knows another node was promoted past it and
+     fences itself: writes refused with SE-FENCED until re-seeded. *)
+  mutable cluster_epoch : int;
+  mutable fenced : bool;
 }
 
 let store db : Store.t = Store.create db.bm db.cat
@@ -37,6 +45,50 @@ let directory db = db.dir
 let wal db = db.wal
 let set_standby db b = db.standby <- b
 let is_standby db = db.standby
+
+(* ---- cluster epoch / fencing ---------------------------------------- *)
+
+(* The epoch survives restarts in a tiny sidecar (durable write: a
+   fenced node must not come back up believing it is current). *)
+let cluster_path dir = Filename.concat dir "cluster.epoch"
+
+let read_cluster_file dir =
+  match open_in_bin (cluster_path dir) with
+  | ic ->
+    let v = try int_of_string (String.trim (input_line ic)) with _ -> 0 in
+    close_in ic;
+    v
+  | exception Sys_error _ -> 0
+
+let cluster_epoch db = db.cluster_epoch
+let is_fenced db = db.fenced
+
+let persist_cluster_epoch db e =
+  db.cluster_epoch <- e;
+  Counters.set Counters.cluster_epoch e;
+  Sysutil.write_file_durable (cluster_path db.dir) (Printf.sprintf "%d\n" e)
+
+(* Adopt an epoch without fencing — promotion minting its own, or a
+   standby tracking its primary's. *)
+let set_cluster_epoch db e =
+  if e > db.cluster_epoch then persist_cluster_epoch db e
+
+let unfence db = db.fenced <- false
+
+(* A wire exchange carried epoch [e].  Higher than ours and we are not
+   a standby (standbys track their primary's epoch; they are already
+   read-only) means another node was promoted past us: demote. *)
+let observe_epoch db e =
+  if e > db.cluster_epoch then begin
+    persist_cluster_epoch db e;
+    if not db.standby && not db.fenced then begin
+      db.fenced <- true;
+      Counters.bump Counters.fence_demotions;
+      Logs.warn (fun m ->
+          m "fenced: observed cluster epoch %d above ours — demoting to read-only" e);
+      Trace.emit (Trace.Repl_state { role = "primary"; state = "fenced" })
+    end
+  end
 
 (* ---- write / read hooks ------------------------------------------------ *)
 
@@ -132,8 +184,11 @@ let create ?(buffer_frames = 256) dir =
       active = Hashtbl.create 8;
       current = None;
       standby = false;
+      cluster_epoch = read_cluster_file dir;
+      fenced = false;
     }
   in
+  Counters.set Counters.cluster_epoch db.cluster_epoch;
   install_hooks db;
   checkpoint db;
   db
@@ -210,8 +265,11 @@ let open_existing ?(buffer_frames = 256) dir =
       active = Hashtbl.create 8;
       current = None;
       standby = false;
+      cluster_epoch = read_cluster_file dir;
+      fenced = false;
     }
   in
+  Counters.set Counters.cluster_epoch db.cluster_epoch;
   install_hooks db;
   let replayed = recover db in
   if replayed > 0 then Logs.info (fun m -> m "recovery replayed %d page images" replayed);
@@ -227,6 +285,13 @@ let close db =
 (* ---- transactions --------------------------------------------------------- *)
 
 let begin_txn ?(read_only = false) db : Txn.t =
+  if db.fenced && not read_only then begin
+    Counters.bump Counters.fence_rejected_writes;
+    Error.raise_error Error.Fenced
+      "node is fenced at cluster epoch %d: another node was promoted; writes \
+       refused"
+      db.cluster_epoch
+  end;
   if db.standby && not read_only then
     Error.raise_error Error.Standby_read_only
       "database is a hot standby: only BEGIN READ ONLY is accepted";
@@ -303,25 +368,33 @@ let lock_exn ?(retries = 3) ?(backoff_s = 0.0005) db txn ~doc ~mode =
            (Metrics.Str
               (match mode with Lock_mgr.Shared -> "shared" | Lock_mgr.Exclusive -> "exclusive"))
        | None -> ());
-      let rec go attempt =
-        (* the retry sleeps never pass an executor choke point, so an
-           armed statement deadline is enforced here explicitly *)
+      (* deterministic backoff here: lock convoys are process-local, so
+         jitter buys nothing and would cost test reproducibility.
+         [Retry.pause] checks the armed statement deadline around every
+         sleep. *)
+      let r =
+        Retry.start
+          (Retry.policy ~max_attempts:(retries + 1) ~base_s:backoff_s
+             ~cap_s:(backoff_s *. 256.) ~jitter:false "lock")
+      in
+      let rec go () =
         Deadline.check_now ();
         match lock db txn ~doc ~mode with
         | Lock_mgr.Granted -> ()
         | Lock_mgr.Deadlock_detected ->
           Error.raise_error Error.Deadlock
             "deadlock detected for transaction %d on document %S" txn.Txn.id doc
-        | Lock_mgr.Blocked when attempt < retries ->
-          Counters.bump Counters.lock_retry;
-          Unix.sleepf (backoff_s *. float_of_int (1 lsl attempt));
-          go (attempt + 1)
         | Lock_mgr.Blocked ->
-          Error.raise_error Error.Lock_timeout
-            "transaction %d blocked on document %S (after %d retries)" txn.Txn.id
-            doc retries
+          if Retry.pause r then begin
+            Counters.bump Counters.lock_retry;
+            go ()
+          end
+          else
+            Error.raise_error Error.Lock_timeout
+              "transaction %d blocked on document %S (after %d retries)"
+              txn.Txn.id doc retries
       in
-      go 0)
+      go ())
 
 let commit db (txn : Txn.t) =
   if not (Txn.is_active txn) then
@@ -333,6 +406,15 @@ let commit db (txn : Txn.t) =
     Lock_mgr.release_all db.locks ~txn:txn.Txn.id
   end
   else begin
+    (* a fence observed *after* this transaction began must still stop
+       its commit: nothing may be acked past the fence point *)
+    if db.fenced then begin
+      Counters.bump Counters.fence_rejected_writes;
+      Error.raise_error Error.Fenced
+        "node fenced at cluster epoch %d while transaction %d was open: \
+         commit refused"
+        db.cluster_epoch txn.Txn.id
+    end;
     let pages = Txn.dirty_pages txn in
     (* WAL protocol: after-images + commit record, then fsync *)
     Span.with_span "commit.fsync" (fun sp ->

@@ -42,6 +42,31 @@ val set_standby : t -> bool -> unit
 
 val is_standby : t -> bool
 
+(** {1 Cluster epoch and fencing (split-brain protection)}
+
+    The cluster epoch is the promotion generation of the replication
+    group — distinct from the WAL epoch, which counts checkpoint
+    truncations of one node's log.  It is persisted durably in a
+    [cluster.epoch] sidecar and gossiped on every wire exchange; a
+    non-standby node observing a higher epoch demotes itself: both
+    {!begin_txn} and {!commit} then refuse writes with [SE-FENCED]. *)
+
+val cluster_epoch : t -> int
+
+val set_cluster_epoch : t -> int -> unit
+(** Adopt a (higher) epoch without fencing: promotion minting its own,
+    or a standby tracking its primary's.  Persists durably. *)
+
+val observe_epoch : t -> int -> unit
+(** An epoch seen on the wire.  Higher than ours on a non-standby node
+    means another node was promoted past us: persist it and fence. *)
+
+val is_fenced : t -> bool
+
+val unfence : t -> unit
+(** Clear the fence — only promotion (with a freshly minted epoch) or a
+    re-seed may do this. *)
+
 val apply_txn :
   t -> txn_id:int -> images:(int * Bytes.t) list -> catalog_blob:string option -> unit
 (** Standby redo of one shipped committed transaction: install the page

@@ -1,0 +1,340 @@
+(* Jepsen-lite network chaos drills.
+
+   {!Repl_crashkit} proves the shipped copy survives process death;
+   this module proves the whole distributed stack — primary server,
+   hot standby, and a handful of concurrent wire clients — survives
+   network weather, including the one scenario crash drills cannot
+   produce: a mid-run promotion while the old primary is still alive
+   and still acking writes (split brain).
+
+   Each cell of the matrix arms one seeded network fault flavor on the
+   {!Sedna_util.Netfault} sites, runs N client threads hammering
+   inserts through the real TCP servers, promotes the standby halfway
+   through, gossips the new cluster epoch back to the deposed primary
+   over the wire (exactly what a failed-over client does), and then
+   checks three invariants:
+
+     no acked loss     every insert a client saw succeed is present on
+                       at least one survivor (the deposed primary or
+                       the promoted standby) — asynchronous shipping
+                       means the union, not the new primary alone
+     fencing holds     once the deposed primary is observably fenced,
+                       no client gets another write acked by it: the
+                       divergence window closes at the fence point
+     integrity         both survivors pass structural checks
+
+   Every probabilistic trigger carries the run's seed, so a failed
+   drill replays identically from the seed printed in its report. *)
+
+open Sedna_util
+open Sedna_core
+open Sedna_db
+open Sedna_server
+
+type outcome = {
+  spec : string;  (** the armed SEDNA_NETFAULT spec for this cell *)
+  seed : int;
+  attempted : int;  (** client ops started *)
+  acked : int;  (** ops a client saw succeed *)
+  refused : int;  (** clean refusals: SE-READ-ONLY / SE-FENCED / SE-FAILOVER *)
+  lost : int;  (** acked ops missing from BOTH survivors *)
+  post_fence_acked : int;  (** acked by the deposed primary after its fence *)
+  new_primary_acked : int;  (** acked after failover to the promoted standby *)
+  injected : int;  (** net.injected delta over the run *)
+  fenced : bool;  (** the deposed primary ended up fenced *)
+  failures : string list;
+}
+
+let ok o = o.failures = [] && o.lost = 0 && o.post_fence_acked = 0 && o.fenced
+
+let render o =
+  if ok o then
+    Printf.sprintf
+      "PASS %-28s seed=%-6d acked %d/%d (refused %d)  lost 0  post-fence 0  \
+       new-primary %d  injected %d"
+      o.spec o.seed o.acked o.attempted o.refused o.new_primary_acked o.injected
+  else
+    Printf.sprintf
+      "FAIL %-28s seed=%-6d acked %d/%d lost %d post-fence %d fenced %b%s"
+      o.spec o.seed o.acked o.attempted o.lost o.post_fence_acked o.fenced
+      (String.concat ""
+         (List.map (fun f -> "\n       - " ^ f) o.failures))
+
+let entry_token c i = Printf.sprintf "|%d:%d|" c i
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let rm_rf dir =
+  if Sys.file_exists dir then
+    ignore (Sys.command ("rm -rf " ^ Filename.quote dir))
+
+(* The named fault flavors of the default matrix.  Frame-level [drop]
+   is deliberately absent: on a blocking request/response protocol a
+   silently vanished frame is an unbounded client hang, so connection-
+   level drop (refused accepts) models loss instead.  [torn] kills
+   connections mid-frame, [delay] adds latency to every site, and
+   [partition] cuts primary<->standby both ways until healed. *)
+let default_cells = [ "drop"; "delay"; "torn"; "partition" ]
+
+let spec_of ~seed = function
+  | "drop" -> Printf.sprintf "net.accept:drop%%0.3/%d" seed
+  | "delay" -> Printf.sprintf "net.recv:delay=2%%0.2/%d" seed
+  | "torn" -> Printf.sprintf "net.send:torn%%0.015/%d" seed
+  | "partition" -> "part:primary<->standby"
+  | s -> s (* raw spec passthrough for custom drills *)
+
+(* a failed-over client re-contacting the deposed primary: open a
+   session and send one statement carrying the new cluster epoch in
+   the 'E' header — the server folds the epoch in and fences *)
+let gossip_epoch ~port ~epoch =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      Wire.write_request fd (Wire.Open "db");
+      (match Wire.read_response fd with _ -> ());
+      Wire.write_request ~epoch fd (Wire.Execute "1");
+      match Wire.read_response fd with _ -> ())
+
+let run_spec ?(clients = 4) ?(ops = 24) ?(seed = 1) ~dir cell : outcome =
+  Fault.disarm_all ();
+  Netfault.disarm_all ();
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  let spec = spec_of ~seed cell in
+  let mu = Mutex.create () in
+  let failures = ref [] in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Mutex.lock mu;
+        failures := m :: !failures;
+        Mutex.unlock mu)
+      fmt
+  in
+  let attempted = ref 0 in
+  let refused = ref 0 in
+  (* acked op: (client, op, start time, port that acked it) *)
+  let acked : (int * int * float * int) list ref = ref [] in
+  let injected0 = Counters.get Counters.net_injected in
+  (* ---- the pair, each half behind its own server ------------------- *)
+  let gov_p = Governor.create () in
+  let gov_s = Governor.create () in
+  let db =
+    Governor.create_database gov_p ~name:"db" ~dir:(Filename.concat dir "primary")
+  in
+  ignore
+    (Database.with_txn db (fun txn st ->
+         Database.lock_exn db txn ~doc:"log" ~mode:Lock_mgr.Exclusive;
+         Loader.load_string st ~doc_name:"log" "<log/>"));
+  let sender = Repl_sender.start ~gov:gov_p db in
+  let recv =
+    Repl_receiver.start ~poll_s:0.005 ~heartbeat_timeout_s:0.5 ~gov:gov_s
+      ~name:"db" ~dir:(Filename.concat dir "standby") ~host:"127.0.0.1"
+      ~port:(Repl_sender.port sender) ()
+  in
+  (* a worker serves one connection for its lifetime: size the pools
+     so every chaos client AND the fence-gossip probe get a seat, or
+     the gossip starves in the accept queue behind the long-lived
+     client connections and the fence never propagates *)
+  let config = { Server.default_config with Server.pool_size = clients + 2 } in
+  let srv_p = Server.start ~config gov_p in
+  let srv_s =
+    Server.start ~config
+      ~on_promote:(fun () -> Repl_receiver.promote recv)
+      gov_s
+  in
+  let p_port = Server.port srv_p and s_port = Server.port srv_s in
+  let epoch0 = Wal.epoch (Database.wal db) and pos0 = Wal.size (Database.wal db) in
+  if not (Repl_receiver.wait_caught_up recv ~epoch:epoch0 ~pos:pos0) then
+    fail "standby never finished the initial seed";
+  (* ---- chaos on, clients in ---------------------------------------- *)
+  (try Netfault.arm_spec spec with e -> fail "bad spec %s: %s" spec (Printexc.to_string e));
+  let endpoints = [ ("127.0.0.1", p_port); ("127.0.0.1", s_port) ] in
+  (* raised once the deposed primary's fence has been confirmed (or
+     given up on): releases the workers into the tail phase, whose
+     writes all START after the fence point — if the old primary acks
+     any of them, the fencing invariant is broken *)
+  let tail_go = ref false in
+  let tail_ops = 4 in
+  let worker c () =
+    match
+      Server_client.connect ~endpoints ~retries:8 ~backoff_s:0.01 ~port:p_port ()
+    with
+    | exception e -> fail "client %d never connected: %s" c (Printexc.to_string e)
+    | cl ->
+      (try ignore (Server_client.open_db cl "db")
+       with e -> fail "client %d open failed: %s" c (Printexc.to_string e));
+      let one i =
+        Mutex.lock mu;
+        incr attempted;
+        Mutex.unlock mu;
+        let t0 = Metrics.mono () in
+        (match
+           Server_client.execute cl
+             (Printf.sprintf
+                {|UPDATE insert <entry>%s</entry> into doc("log")/log|}
+                (entry_token c i))
+         with
+         | _ ->
+           let port = snd (Server_client.endpoint cl) in
+           Mutex.lock mu;
+           acked := (c, i, t0, port) :: !acked;
+           Mutex.unlock mu
+         | exception
+             Server_client.Remote_error
+               (("SE-READ-ONLY" | "SE-FENCED" | "SE-FAILOVER" | "SE-OVERLOADED"), _)
+           ->
+           (* clean, honest refusal: the op did not happen anywhere *)
+           Mutex.lock mu;
+           incr refused;
+           Mutex.unlock mu;
+           Unix.sleepf 0.005
+         | exception e ->
+           fail "client %d op %d: %s" c i (Printexc.to_string e));
+        Unix.sleepf 0.002
+      in
+      for i = 1 to ops do one i done;
+      let d = Unix.gettimeofday () +. 30. in
+      while not !tail_go && Unix.gettimeofday () < d do
+        Unix.sleepf 0.01
+      done;
+      for j = 1 to tail_ops do one (ops + j) done;
+      (try Server_client.close cl with _ -> ())
+  in
+  let threads = List.init clients (fun c -> Thread.create (worker (c + 1)) ()) in
+  (* ---- mid-run: promote the standby while the primary lives -------- *)
+  let total = clients * ops in
+  let deadline = Unix.gettimeofday () +. 30. in
+  while
+    (Mutex.lock mu;
+     let done_ = List.length !acked + !refused in
+     Mutex.unlock mu;
+     done_ < total / 2)
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.01
+  done;
+  let dbg fmt =
+    Printf.ksprintf
+      (fun m ->
+        if Sys.getenv_opt "SEDNA_CHAOS_DEBUG" <> None then
+          Printf.eprintf "  dbg %.3f %s\n%!" (Metrics.mono ()) m)
+      fmt
+  in
+  dbg "half-done trigger (acked+refused=%d)" (List.length !acked + !refused);
+  let fence_seen = ref infinity in
+  (match Repl_receiver.promote recv with
+   | _msg -> dbg "promoted"
+   | exception e -> fail "promote failed: %s" (Printexc.to_string e));
+  Netfault.heal_all ();
+  (match Repl_receiver.database recv with
+   | None -> fail "no standby database after promotion"
+   | Some sdb ->
+     let epoch = Database.cluster_epoch sdb in
+     if epoch <= Database.cluster_epoch db then
+       fail "promotion did not raise the cluster epoch (%d vs %d)" epoch
+         (Database.cluster_epoch db);
+     (* fence gossip may race armed accept/torn faults: keep knocking *)
+     let rec knock n =
+       if Database.is_fenced db then ()
+       else if n = 0 then ()
+       else begin
+         (try gossip_epoch ~port:p_port ~epoch
+          with _ -> Unix.sleepf 0.01);
+         Unix.sleepf 0.005;
+         knock (n - 1)
+       end
+     in
+     knock 50;
+     dbg "knocked";
+     let d = Unix.gettimeofday () +. 5. in
+     while not (Database.is_fenced db) && Unix.gettimeofday () < d do
+       Unix.sleepf 0.005
+     done;
+     if Database.is_fenced db then fence_seen := Metrics.mono ()
+     else fail "deposed primary never fenced");
+  tail_go := true;
+  List.iter Thread.join threads;
+  Netfault.disarm_all ();
+  (* ---- invariants --------------------------------------------------- *)
+  let acked = List.rev !acked in
+  let lost = ref 0 and post_fence = ref 0 and new_primary = ref 0 in
+  let read_log which d =
+    match
+      let s = Session.connect d in
+      Session.execute_string s {|string(doc("log")/log)|}
+    with
+    | text -> text
+    | exception e ->
+      fail "read on %s failed: %s" which (Printexc.to_string e);
+      ""
+  in
+  (if !failures = [] then
+     match Repl_receiver.database recv with
+     | None -> ()
+     | Some sdb ->
+       let old_text = read_log "deposed primary" db in
+       let new_text = read_log "promoted standby" sdb in
+       if Sys.getenv_opt "SEDNA_CHAOS_DEBUG" <> None then
+         List.iter
+           (fun (c, i, t0, port) ->
+             Printf.eprintf "  dbg ack %d:%d t0-fence=%+.3f port=%d (p=%d s=%d)\n%!"
+               c i (t0 -. !fence_seen) port p_port s_port)
+           acked;
+       List.iter
+         (fun (c, i, t0, port) ->
+           let tok = entry_token c i in
+           if not (contains old_text tok || contains new_text tok) then begin
+             incr lost;
+             fail "acked entry %s missing from both survivors" tok
+           end;
+           if port = s_port then incr new_primary
+           else if t0 > !fence_seen then begin
+             incr post_fence;
+             fail "entry %s acked by the deposed primary after its fence" tok
+           end)
+         acked;
+       if !new_primary = 0 then
+         fail "no client ever acked a write on the promoted standby";
+       (match Integrity.check_document (Database.store sdb) "log" with
+        | [] -> ()
+        | es -> List.iter (fail "promoted standby integrity: %s") es);
+       match Integrity.check_document (Database.store db) "log" with
+       | [] -> ()
+       | es -> List.iter (fail "deposed primary integrity: %s") es);
+  let fenced = Database.is_fenced db in
+  (* ---- teardown ----------------------------------------------------- *)
+  Server.stop ~shutdown_governor:false srv_p;
+  Server.stop ~shutdown_governor:false srv_s;
+  Repl_receiver.stop recv;
+  Repl_sender.stop sender;
+  (try Governor.shutdown gov_s with _ -> ());
+  (try Governor.shutdown gov_p with _ -> ());
+  rm_rf dir;
+  {
+    spec;
+    seed;
+    attempted = !attempted;
+    acked = List.length acked;
+    refused = !refused;
+    lost = !lost;
+    post_fence_acked = !post_fence;
+    new_primary_acked = !new_primary;
+    injected = Counters.get Counters.net_injected - injected0;
+    fenced;
+    failures = List.rev !failures;
+  }
+
+let run_matrix ?clients ?ops ?(seed = 1) ?(cells = default_cells) ~dir_prefix () =
+  List.mapi
+    (fun k cell ->
+      run_spec ?clients ?ops ~seed:(seed + k)
+        ~dir:(Printf.sprintf "%s-%s" dir_prefix cell)
+        cell)
+    cells

@@ -1,0 +1,54 @@
+(** Jepsen-lite network chaos drills over a live primary/standby pair.
+
+    Each drill runs concurrent wire clients against the real TCP
+    servers under one seeded {!Sedna_util.Netfault} flavor, promotes
+    the standby mid-run while the old primary is still alive, gossips
+    the new cluster epoch back to it, and asserts:
+
+    - zero acked-commit loss across the union of survivors,
+    - zero writes acked by the deposed primary after its fence,
+    - structural integrity on both survivors.
+
+    A failed drill replays identically from the seed in its report. *)
+
+type outcome = {
+  spec : string;  (** the armed SEDNA_NETFAULT spec for this cell *)
+  seed : int;
+  attempted : int;  (** client ops started *)
+  acked : int;  (** ops a client saw succeed *)
+  refused : int;  (** clean refusals: SE-READ-ONLY / SE-FENCED / SE-FAILOVER *)
+  lost : int;  (** acked ops missing from BOTH survivors *)
+  post_fence_acked : int;  (** acked by the deposed primary after its fence *)
+  new_primary_acked : int;  (** acked after failover to the promoted standby *)
+  injected : int;  (** net.injected delta over the run *)
+  fenced : bool;  (** the deposed primary ended up fenced *)
+  failures : string list;
+}
+
+val ok : outcome -> bool
+val render : outcome -> string
+
+val default_cells : string list
+(** ["drop"; "delay"; "torn"; "partition"] — connection-refusal loss,
+    per-frame latency, mid-frame connection death, and a two-way
+    primary<->standby partition.  Every cell includes the mid-run
+    promotion. *)
+
+val spec_of : seed:int -> string -> string
+(** Expand a cell name to its seeded [SEDNA_NETFAULT] spec; unknown
+    names pass through as raw specs for custom drills. *)
+
+val run_spec :
+  ?clients:int -> ?ops:int -> ?seed:int -> dir:string -> string -> outcome
+(** Run one cell ([dir] is scratch space, recreated and removed).
+    [ops] is per client. *)
+
+val run_matrix :
+  ?clients:int ->
+  ?ops:int ->
+  ?seed:int ->
+  ?cells:string list ->
+  dir_prefix:string ->
+  unit ->
+  outcome list
+(** One {!run_spec} per cell, seeds derived from [seed] by offset. *)

@@ -52,6 +52,7 @@ type t = {
   max_batch : int;
   mu : Mutex.t;
   mutable db : Database.t option;
+  mutable cluster : int; (* highest cluster (fencing) epoch seen *)
   mutable epoch : int; (* primary WAL epoch being tracked *)
   mutable pos : int; (* next primary WAL position to pull *)
   mutable boundary : int; (* last txn-boundary position (durable resume point) *)
@@ -70,9 +71,11 @@ let rm_rf dir =
 
 let state_path dir = Filename.concat dir "repl.state"
 
+(* third field (cluster epoch) added later: absent in state files
+   written by older standbys, so reading tolerates both forms *)
 let persist_state t =
   Sysutil.write_file_durable (state_path t.dir)
-    (Printf.sprintf "%d %d\n" t.epoch t.boundary)
+    (Printf.sprintf "%d %d %d\n" t.epoch t.boundary t.cluster)
 
 let read_state dir =
   let p = state_path dir in
@@ -84,9 +87,23 @@ let read_state dir =
     match String.split_on_char ' ' (String.trim line) with
     | [ e; pos ] -> (
       match (int_of_string_opt e, int_of_string_opt pos) with
-      | Some e, Some pos -> Some (e, pos)
+      | Some e, Some pos -> Some (e, pos, 0)
+      | _ -> None)
+    | [ e; pos; c ] -> (
+      match (int_of_string_opt e, int_of_string_opt pos, int_of_string_opt c) with
+      | Some e, Some pos, Some c -> Some (e, pos, c)
       | _ -> None)
     | _ -> None
+  end
+
+(* A response from the primary carried its cluster epoch: track it (the
+   standby's own database adopts it too, so a promotion here mints a
+   strictly higher one even after restarts). *)
+let note_cluster t c =
+  if c > t.cluster then begin
+    t.cluster <- c;
+    (match t.db with Some db -> Database.set_cluster_epoch db c | None -> ());
+    persist_state t
   end
 
 (* ---- wire helpers ----------------------------------------------------- *)
@@ -145,12 +162,14 @@ let seed t fd =
   let rec recv files =
     match read_response_timed t fd with
     | Wire.Seed_file { name; data } -> recv ((name, data) :: files)
-    | Wire.Seed_done { epoch; pos } -> (List.rev files, epoch, pos)
+    | Wire.Seed_done { cluster; epoch; pos } -> (List.rev files, cluster, epoch, pos)
+    | Wire.Fenced _ -> raise (Wire.Disconnected "seeding primary is fenced")
     | Wire.Batch _ | Wire.Heartbeat _ | Wire.Hole _ ->
       raise (Wire.Protocol_error "unexpected response during seed")
   in
-  let files, epoch, pos = recv [] in
+  let files, cluster, epoch, pos = recv [] in
   install_seed t files;
+  note_cluster t cluster;
   (* count the install before publishing epoch/pos: anyone who waited
      for the new epoch to appear must also see this seed counted *)
   Counters.bump Counters.repl_reseeds;
@@ -190,9 +209,16 @@ let apply_batch t db frames =
 let pull_loop t fd =
   while not t.stopping do
     Wire.write_repl_request fd
-      (Wire.Pull { epoch = t.epoch; pos = t.pos; max_bytes = t.max_batch });
+      (Wire.Pull
+         { cluster = t.cluster; epoch = t.epoch; pos = t.pos; max_bytes = t.max_batch });
     match read_response_timed t fd with
-    | Wire.Batch { epoch; next_pos; frames; marks } when epoch = t.epoch ->
+    | Wire.Fenced { cluster } ->
+      (* the sender demoted itself in response to our (higher) epoch:
+         this link is dead, there is nothing to pull here any more *)
+      note_cluster t cluster;
+      raise (Wire.Disconnected "primary fenced")
+    | Wire.Batch { cluster; epoch; next_pos; frames; marks } when epoch = t.epoch ->
+      note_cluster t cluster;
       (* fires before anything is persisted or acked: safe to re-pull *)
       Fault.check apply_site;
       let db = Option.get t.db in
@@ -230,7 +256,9 @@ let pull_loop t fd =
     | Wire.Batch _ | Wire.Hole _ ->
       (* wrong or bumped epoch: our position is meaningless now *)
       seed t fd
-    | Wire.Heartbeat _ -> if not t.stopping then Unix.sleepf t.poll_s
+    | Wire.Heartbeat { cluster; epoch = _; pos = _ } ->
+      note_cluster t cluster;
+      if not t.stopping then Unix.sleepf t.poll_s
     | Wire.Seed_file _ | Wire.Seed_done _ ->
       raise (Wire.Protocol_error "unsolicited seed frame")
   done
@@ -242,20 +270,22 @@ let connect_primary t =
   try
     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string t.host, t.port));
     Unix.setsockopt fd Unix.TCP_NODELAY true;
+    Netfault.register fd ~local:"standby" ~peer:"primary";
     fd
   with e ->
     (try Unix.close fd with _ -> ());
     raise e
 
 let session_loop t () =
-  let backoff = ref 0.01 in
+  (* unbounded: a standby outlives arbitrary primary outages.  Jittered
+     so several standbys severed by the same event don't stampede the
+     recovering primary; reset after each successful connection. *)
+  let retry = Retry.start (Retry.policy ~base_s:0.01 ~cap_s:1.0 "repl.reconnect") in
   while not t.stopping do
     match connect_primary t with
-    | exception _ ->
-      Unix.sleepf !backoff;
-      backoff := Float.min 1.0 (!backoff *. 2.)
+    | exception _ -> ignore (Retry.pause retry : bool)
     | fd ->
-      backoff := 0.01;
+      Retry.reset retry;
       t.fd <- Some fd;
       t.connected <- true;
       Counters.set Counters.repl_standby_connected 1;
@@ -266,7 +296,7 @@ let session_loop t () =
          pull_loop t fd
        with
        | Heartbeat_timeout | End_of_file | Unix.Unix_error _
-       | Wire.Protocol_error _ ->
+       | Wire.Protocol_error _ | Wire.Disconnected _ ->
          ()
        | Fault.Injected_fault _ | Fault.Injected_crash _ ->
          (* injected replication fault: treated as a channel death —
@@ -275,6 +305,7 @@ let session_loop t () =
       t.connected <- false;
       Counters.set Counters.repl_standby_connected 0;
       t.fd <- None;
+      Netfault.unregister fd;
       (try Unix.close fd with _ -> ());
       if not t.stopping then begin
         Trace.emit (Trace.Repl_state { role = "standby"; state = "disconnected" });
@@ -296,6 +327,7 @@ let start ?(poll_s = 0.01) ?(heartbeat_timeout_s = 2.0) ?(max_batch = 1 lsl 20)
       max_batch;
       mu = Mutex.create ();
       db = None;
+      cluster = 0;
       epoch = 0;
       pos = 0;
       boundary = 0;
@@ -312,7 +344,8 @@ let start ?(poll_s = 0.01) ?(heartbeat_timeout_s = 2.0) ?(max_batch = 1 lsl 20)
      whatever committed work the local WAL already holds, and pulling
      restarts from the persisted transaction boundary *)
   (match read_state dir with
-   | Some (epoch, pos) when Sys.file_exists (Filename.concat dir "catalog.sdb") -> (
+   | Some (epoch, pos, cluster)
+     when Sys.file_exists (Filename.concat dir "catalog.sdb") -> (
      match Database.open_existing dir with
      | db ->
        Database.set_standby db true;
@@ -320,6 +353,7 @@ let start ?(poll_s = 0.01) ?(heartbeat_timeout_s = 2.0) ?(max_batch = 1 lsl 20)
         | None -> Governor.register_database gov ~name db
         | Some _ -> Governor.swap_database gov ~name db);
        t.db <- Some db;
+       t.cluster <- max cluster (Database.cluster_epoch db);
        t.epoch <- epoch;
        Counters.set Counters.repl_standby_epoch epoch;
        t.pos <- pos;
@@ -355,7 +389,11 @@ let wait_caught_up ?(timeout_s = 10.) t ~epoch ~pos =
 let join_pull_thread t =
   t.stopping <- true;
   (match t.fd with
-   | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+   | Some fd ->
+     (* the pull thread may be parked in a partitioned send/recv;
+        release it or this join deadlocks until the partition heals *)
+     Netfault.interrupt fd;
+     (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
    | None -> ());
   (match t.thread with Some th -> Thread.join th | None -> ());
   t.thread <- None
@@ -384,6 +422,16 @@ let promote t =
         | Some db ->
           Hashtbl.reset t.pending;
           Database.set_standby db false;
+          (* Fencing: mint a cluster epoch strictly above everything
+             this node has ever seen — on the wire or persisted — and
+             durably record it BEFORE accepting writes.  Every response
+             this node now sends carries the new epoch, so the deposed
+             primary fences itself on first contact with any client or
+             standby that has talked to us. *)
+          let cluster = max t.cluster (Database.cluster_epoch db) + 1 in
+          t.cluster <- cluster;
+          Database.set_cluster_epoch db cluster;
+          Database.unfence db;
           (try Governor.with_engine t.gov (fun () -> Database.checkpoint db)
            with Error.Sedna_error (Error.Txn_not_active, _) ->
              (* read-only sessions still open: skip the checkpoint, the
@@ -392,7 +440,10 @@ let promote t =
           t.promoted <- true;
           Counters.bump Counters.repl_promotions;
           let epoch = Wal.epoch (Database.wal db) in
+          persist_state t;
           Trace.emit (Trace.Repl_promote { epoch });
-          Logs.info (fun m -> m "standby %s promoted to primary (epoch %d)" t.name epoch);
-          Printf.sprintf "promoted to primary (epoch %d)" epoch
+          Logs.info (fun m ->
+              m "standby %s promoted to primary (wal epoch %d, cluster epoch %d)"
+                t.name epoch cluster);
+          Printf.sprintf "promoted to primary (epoch %d, cluster %d)" epoch cluster
       end)

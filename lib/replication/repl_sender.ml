@@ -80,23 +80,39 @@ let serve_seed t conn_id fd =
           if Sys.file_exists p then
             Wire.write_repl_response fd (Wire.Seed_file { name; data = read_file p }))
         [ "data.sdb"; "wal.sdb"; "catalog.sdb" ];
-      Wire.write_repl_response fd (Wire.Seed_done { epoch; pos }))
+      Wire.write_repl_response fd
+        (Wire.Seed_done { cluster = Database.cluster_epoch t.db; epoch; pos }))
 
-let serve_pull t fd ~epoch ~pos ~max_bytes =
+let serve_pull t fd ~cluster ~epoch ~pos ~max_bytes =
+  (* Fencing gate: a pull carrying a higher cluster epoch means the
+     standby (or whoever re-seeded it) was promoted past us.  Demote
+     before serving anything, and tell the puller the link is dead —
+     a deposed primary must never ship WAL as if it were current. *)
+  Database.observe_epoch t.db cluster;
+  if cluster > 0 && Database.is_fenced t.db then begin
+    Counters.bump Counters.fence_rejected_pulls;
+    Wire.write_repl_response fd
+      (Wire.Fenced { cluster = Database.cluster_epoch t.db })
+  end
+  else begin
+  let my_cluster = Database.cluster_epoch t.db in
   let wal = Database.wal t.db in
   let cur_epoch = Wal.epoch wal in
   if epoch <> cur_epoch || pos > Wal.size wal then
-    Wire.write_repl_response fd (Wire.Hole { epoch = cur_epoch })
+    Wire.write_repl_response fd
+      (Wire.Hole { cluster = my_cluster; epoch = cur_epoch })
   else begin
     let max_bytes = max 1 (min max_bytes (Wire.max_frame / 2)) in
     let frames, count, next_pos = Wal.stream_from (Wal.path wal) ~pos ~max_bytes in
     if Wal.epoch wal <> cur_epoch then
       (* a checkpoint truncated the log while we were reading it *)
-      Wire.write_repl_response fd (Wire.Hole { epoch = Wal.epoch wal })
+      Wire.write_repl_response fd
+        (Wire.Hole { cluster = my_cluster; epoch = Wal.epoch wal })
     else if count = 0 then begin
       Fault.check heartbeat_site;
       Counters.bump Counters.repl_heartbeats;
-      Wire.write_repl_response fd (Wire.Heartbeat { epoch = cur_epoch; pos = Wal.size wal })
+      Wire.write_repl_response fd
+        (Wire.Heartbeat { cluster = my_cluster; epoch = cur_epoch; pos = Wal.size wal })
     end
     else begin
       Fault.check send_site;
@@ -113,24 +129,27 @@ let serve_pull t fd ~epoch ~pos ~max_bytes =
           (Wal.marks_between wal ~lo:pos ~hi:next_pos)
       in
       Wire.write_repl_response fd
-        (Wire.Batch { epoch = cur_epoch; next_pos; frames; marks })
+        (Wire.Batch { cluster = my_cluster; epoch = cur_epoch; next_pos; frames; marks })
     end;
     (* the pull position acknowledges everything before it *)
     Counters.set Counters.repl_acked_pos pos;
     Counters.set Counters.repl_lag_bytes (max 0 (Wal.size wal - pos))
+  end
   end
 
 let serve_conn t conn_id fd =
   let rec loop () =
     if not t.stopping then begin
       (match Wire.read_repl_request fd with
-       | Wire.Pull { epoch; pos; max_bytes } -> serve_pull t fd ~epoch ~pos ~max_bytes
+       | Wire.Pull { cluster; epoch; pos; max_bytes } ->
+         serve_pull t fd ~cluster ~epoch ~pos ~max_bytes
        | Wire.Seed_request -> serve_seed t conn_id fd);
       loop ()
     end
   in
   (try loop () with
-   | End_of_file | Unix.Unix_error _ | Wire.Protocol_error _ -> ()
+   | End_of_file | Unix.Unix_error _ | Wire.Protocol_error _
+   | Wire.Disconnected _ -> ()
    | Fault.Injected_fault _ | Fault.Injected_crash _ ->
      (* an injected replication fault costs the connection, nothing
         more: the standby reconnects and re-pulls from its acked
@@ -139,11 +158,15 @@ let serve_conn t conn_id fd =
   Mutex.lock t.mu;
   Hashtbl.remove t.conns conn_id;
   Mutex.unlock t.mu;
+  Netfault.unregister fd;
   try Unix.close fd with _ -> ()
 
 let listener_main t () =
   let rec loop () =
     match Unix.accept t.listen_fd with
+    | fd, _addr when not (Netfault.on_accept fd ~local:"primary" ~peer:"standby") ->
+      (try Unix.close fd with _ -> ());
+      loop ()
     | fd, _addr ->
       Unix.setsockopt fd Unix.TCP_NODELAY true;
       Mutex.lock t.mu;
@@ -216,6 +239,10 @@ let stop t =
     let serving = t.serving in
     t.serving <- [];
     Mutex.unlock t.mu;
-    List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) fds;
+    List.iter
+      (fun fd ->
+        Netfault.interrupt fd;
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+      fds;
     List.iter Thread.join serving
   end

@@ -6,7 +6,8 @@
                     embedding process supplies (buffer-pool occupancy,
                     active sessions, WAL size, replication lag, ...)
      GET /health    readiness probe: 200 with the role ("ok primary" /
-                    "ok standby") while serving, 503 while draining
+                    "ok standby") while serving, 503 while draining or
+                    fenced (a deposed primary must drop out of the LB)
 
    One accept thread, one request per connection (Connection: close) —
    a scrape every few seconds is the design load, so no pool.  The
@@ -46,9 +47,12 @@ let prom_float f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.9g" f
 
-(* counters that are really gauges: their value moves both ways *)
+(* counters that are really gauges: their value moves both ways.  The
+   cluster epoch is here so the series exists from the first scrape —
+   an alert on a fencing event compares epochs across nodes and must
+   not find the series missing on a node that was never promoted. *)
 let gauge_counters =
-  [ Counters.repl_lag_bytes; Counters.repl_acked_pos ]
+  [ Counters.repl_lag_bytes; Counters.repl_acked_pos; Counters.cluster_epoch ]
 
 let render_metrics gauges =
   let b = Buffer.create 4096 in
@@ -162,6 +166,11 @@ let handle t fd =
       (render_metrics t.gauges)
   | "/health" ->
     let ready, role = t.health () in
+    (* belt-and-braces: a draining or fenced node is never ready, even
+       if the embedder's closure forgot to flip the bool — an LB
+       routing writes to a fenced ex-primary is exactly the split-brain
+       the fence exists to stop *)
+    let ready = ready && role <> "draining" && role <> "fenced" in
     if ready then
       http_respond fd ~status:"200 OK" ~content_type:"text/plain" ("ok " ^ role ^ "\n")
     else

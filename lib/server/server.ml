@@ -76,7 +76,18 @@ type conn = {
   mutable queue_wait_reported : bool;  (* span emitted on first traced request *)
 }
 
-let send conn resp = Wire.write_response conn.fd resp
+(* Every response is stamped with the session database's cluster epoch
+   ('E' header), so fencing epochs gossip to clients on traffic they
+   already exchange; the client folds them into later requests. *)
+let send conn resp =
+  let epoch =
+    match conn.session with
+    | Some s ->
+      let e = Sedna_core.Database.cluster_epoch (Session.database s) in
+      if e > 0 then Some e else None
+    | None -> None
+  in
+  Wire.write_response ?epoch conn.fd resp
 
 let err_of_exn = function
   | Error.Sedna_error (code, msg) ->
@@ -88,6 +99,7 @@ let reject fd ~code ~msg ~reason =
   Counters.bump Counters.conn_rejected;
   Trace.emit (Trace.Conn_reject { reason });
   (try Wire.write_response fd (Wire.Err { code; msg }) with _ -> ());
+  Netfault.unregister fd;
   try Unix.close fd with _ -> ()
 
 (* ---- statement handling ---------------------------------------------- *)
@@ -231,6 +243,7 @@ let close_conn t (conn : conn) =
      try Governor.disconnect t.gov gid with _ -> ())
    | _ -> ());
   Trace.emit (Trace.Conn_close { conn = conn.conn_id; requests = conn.requests });
+  Netfault.unregister conn.fd;
   try Unix.close conn.fd with _ -> ()
 
 (* One traced request: rebuild the client's span context, surface the
@@ -293,13 +306,18 @@ let handle_conn t fd queue_wait_s =
   in
   let rec loop () =
     match Wire.read_request fd with
-    | trace_hdr, req ->
+    | trace_hdr, epoch_hdr, req ->
       conn.requests <- conn.requests + 1;
+      (* a client relaying a higher cluster epoch fences us before the
+         request runs: its write must not be acked past the fence *)
+      (match (epoch_hdr, conn.session) with
+       | Some e, Some s -> Sedna_core.Database.observe_epoch (Session.database s) e
+       | _ -> ());
       let keep = try handle_traced t conn trace_hdr req with _ -> false in
       (* a drain lets the in-flight request finish and deliver its
          response, then ends the connection *)
       if keep && not t.draining then loop ()
-    | exception (End_of_file | Unix.Unix_error _) -> ()
+    | exception (End_of_file | Unix.Unix_error _ | Wire.Disconnected _) -> ()
     | exception Wire.Protocol_error msg ->
       (try send conn (Wire.Err { code = "SE-PROTOCOL"; msg }) with _ -> ())
   in
@@ -333,6 +351,10 @@ let worker_main t () =
 let listener_main t () =
   let rec loop () =
     match Unix.accept t.listen_fd with
+    | fd, _addr when not (Netfault.on_accept fd ~local:"server" ~peer:"client") ->
+      (* injected accept fault: the SYN never completed *)
+      (try Unix.close fd with _ -> ());
+      loop ()
     | fd, _addr ->
       let decision =
         Mutex.lock t.qmu;
@@ -436,7 +458,11 @@ let stop ?(shutdown_governor = true) t =
     Mutex.lock t.amu;
     let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.active [] in
     Mutex.unlock t.amu;
-    List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ()) fds;
+    List.iter
+      (fun fd ->
+        Netfault.interrupt fd;
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+      fds;
     List.iter Thread.join t.workers;
     t.workers <- [];
     (* every session is now disconnected (open transactions rolled
@@ -471,7 +497,11 @@ let kill t =
     Mutex.lock t.amu;
     let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.active [] in
     Mutex.unlock t.amu;
-    List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) fds;
+    List.iter
+      (fun fd ->
+        Netfault.interrupt fd;
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+      fds;
     List.iter Thread.join t.workers;
     t.workers <- [];
     Trace.emit (Trace.Server_state { state = "killed" })

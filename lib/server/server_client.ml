@@ -14,6 +14,8 @@
 open Sedna_db
 module Span = Sedna_util.Span
 module Metrics = Sedna_util.Metrics
+module Retry = Sedna_util.Retry
+module Netfault = Sedna_util.Netfault
 
 exception Remote_error of string * string
 
@@ -33,6 +35,7 @@ type t = {
   mutable database : string option; (* re-opened after a failover *)
   mutable in_txn : bool; (* inside an explicit BEGIN ... COMMIT *)
   mutable last_trace : string option; (* trace id of the last traced request *)
+  mutable seen_epoch : int; (* highest cluster epoch seen on any response *)
 }
 
 let try_connect host port =
@@ -40,10 +43,15 @@ let try_connect host port =
   try
     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
     Unix.setsockopt fd Unix.TCP_NODELAY true;
+    Netfault.register fd ~local:"client" ~peer:"server";
     fd
   with e ->
     (try Unix.close fd with _ -> ());
     raise e
+
+let close_fd fd =
+  Netfault.unregister fd;
+  try Unix.close fd with _ -> ()
 
 (* Connection attempts that mean "not up (yet / any more)" — worth
    retrying against the same or another endpoint.  Anything else
@@ -58,21 +66,26 @@ let transient_connect_error = function
   | _ -> false
 
 (* Walk the endpoint list starting at [start]; between full rounds,
-   sleep with exponential backoff.  [retries] counts extra rounds after
-   the first. *)
+   sleep under {!Retry}'s decorrelated jitter — after a primary kill
+   every failed-over client lands here at the same instant, and the
+   old deterministic backoff made them all reconnect in lockstep
+   (thundering herd on the survivor).  [retries] counts extra rounds
+   after the first. *)
 let connect_any ~endpoints ~start ~retries ~backoff_s =
   let n = Array.length endpoints in
-  let rec round attempt last_exn =
+  let r =
+    Retry.start
+      (Retry.policy ~max_attempts:(retries + 1) ~base_s:backoff_s
+         ~cap_s:(backoff_s *. 256.) "connect")
+  in
+  let rec round last_exn =
     let rec ep i last_exn =
       if i >= n then
-        if attempt >= retries then
+        if Retry.pause r then round last_exn
+        else
           raise
             (Option.value last_exn
                ~default:(Unix.Unix_error (Unix.ECONNREFUSED, "connect", "")))
-        else begin
-          Unix.sleepf (backoff_s *. float_of_int (1 lsl min attempt 8));
-          round (attempt + 1) last_exn
-        end
       else begin
         let host, port = endpoints.((start + i) mod n) in
         match try_connect host port with
@@ -82,7 +95,7 @@ let connect_any ~endpoints ~start ~retries ~backoff_s =
     in
     ep 0 last_exn
   in
-  round 0 None
+  round None
 
 let connect ?(host = "127.0.0.1") ?(fetch_chunk = 64 * 1024) ?endpoints
     ?(retries = 0) ?(backoff_s = 0.05) ~port () : t =
@@ -106,17 +119,27 @@ let connect ?(host = "127.0.0.1") ?(fetch_chunk = 64 * 1024) ?endpoints
     database = None;
     in_txn = false;
     last_trace = None;
+    seen_epoch = 0;
   }
 
 let endpoint t = t.endpoints.(t.cur)
 let in_transaction t = t.in_txn
 let last_trace_id t = t.last_trace
 
-(* one request/response round trip; servers only ever push a frame in
-   response to one of ours, so this is the whole protocol *)
+(* One request/response round trip; servers only ever push a frame in
+   response to one of ours, so this is the whole protocol.  The client
+   relays the highest cluster epoch it has seen on every request and
+   folds in whatever the response carries: after a failover to a
+   promoted standby, the client itself becomes the messenger that
+   fences the deposed primary on its next contact. *)
 let request ?trace (t : t) (req : Wire.request) : Wire.response =
-  Wire.write_request ?trace t.fd req;
-  Wire.read_response t.fd
+  let epoch = if t.seen_epoch > 0 then Some t.seen_epoch else None in
+  Wire.write_request ?trace ?epoch t.fd req;
+  let e, resp = Wire.read_response t.fd in
+  (match e with
+   | Some e when e > t.seen_epoch -> t.seen_epoch <- e
+   | _ -> ());
+  resp
 
 let fail_err = function
   | Wire.Err { code; msg } -> raise (Remote_error (code, msg))
@@ -139,14 +162,6 @@ let with_trace (t : t) name f =
       (fun () ->
         f (Some (Span.wire_of ~trace:(Span.trace_id c) ~parent:sp.Span.sp_id)))
 
-let open_db (t : t) (database : string) : int =
-  with_trace t "client.open" (fun trace ->
-      match fail_err (request ?trace t (Wire.Open database)) with
-      | Wire.Opened id ->
-        t.database <- Some database;
-        id
-      | _ -> raise (Wire.Protocol_error "unexpected response to Open"))
-
 let fetch_all ?trace (t : t) (total : int) : string =
   let b = Buffer.create total in
   let rec go () =
@@ -162,13 +177,10 @@ let fetch_all ?trace (t : t) (total : int) : string =
 (* ---- failover -------------------------------------------------------- *)
 
 (* The connection itself died (as opposed to the server answering with
-   an error frame). *)
+   an error frame).  Wire normalizes all the peer-death errnos into
+   [Disconnected], so there is no errno list to maintain here. *)
 let connection_failure = function
-  | End_of_file -> true
-  | Unix.Unix_error
-      ((Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED | Unix.ECONNABORTED), _, _)
-    ->
-    true
+  | End_of_file | Wire.Disconnected _ -> true
   | _ -> false
 
 let statement_kind text =
@@ -186,7 +198,7 @@ let statement_kind text =
 (* Reconnect to the next endpoint in the list and re-open the session.
    Whatever transaction was open on the old connection is gone. *)
 let reconnect t =
-  (try Unix.close t.fd with _ -> ());
+  close_fd t.fd;
   t.in_txn <- false;
   let n = Array.length t.endpoints in
   let fd, cur =
@@ -201,6 +213,26 @@ let reconnect t =
     | Wire.Opened _ -> ()
     | _ -> raise (Wire.Protocol_error "unexpected response to Open"))
   | None -> ()
+
+(* Opening a session is idempotent (nothing exists on the server until
+   it succeeds), so a connection lost mid-open just means: reconnect —
+   possibly to the next endpoint — and ask again. *)
+let open_db (t : t) (database : string) : int =
+  let attempt () =
+    with_trace t "client.open" (fun trace ->
+        match fail_err (request ?trace t (Wire.Open database)) with
+        | Wire.Opened id ->
+          t.database <- Some database;
+          id
+        | _ -> raise (Wire.Protocol_error "unexpected response to Open"))
+  in
+  let rec go n =
+    match attempt () with
+    | id -> id
+    | exception e when connection_failure e && n > 0 ->
+      if (try reconnect t; true with _ -> false) then go (n - 1) else raise e
+  in
+  go (max 1 t.retries)
 
 let execute (t : t) (text : string) : Session.result =
   let kind = statement_kind text in
@@ -221,26 +253,41 @@ let execute (t : t) (text : string) : Session.result =
      | `Read | `Write -> ());
     r
   in
-  match run () with
-  | r -> track r
-  | exception e when connection_failure e ->
-    let was_in_txn = t.in_txn in
-    (* [BEGIN] is safe to replay (no transaction existed yet anywhere);
-       a read outside a transaction is idempotent; anything else may
-       have half-happened on the dead server *)
-    let retryable =
-      (not was_in_txn) && match kind with `Read | `Begin -> true | _ -> false
-    in
-    let reconnected = try reconnect t; true with _ -> false in
-    if retryable && reconnected then track (run ())
-    else if retryable then raise e
-    else
-      raise
-        (Remote_error
-           ( "SE-FAILOVER",
-             "connection to the server was lost; the transaction (if any) is \
-              gone and the statement may not have been applied — re-run \
-              against the surviving endpoint" ))
+  (* [budget] bounds the failover hops of one statement, so a retry
+     that itself dies (or lands on a second fenced node) still ends in
+     a clean refusal instead of leaking a raw connection error *)
+  let rec attempt budget =
+    match run () with
+    | r -> track r
+    | exception (Remote_error ("SE-FENCED", _) as e) when not t.in_txn ->
+      (* A fenced node refuses before doing anything, so unlike a lost
+         connection the refusal is definitive: failing over to the next
+         endpoint and re-running is safe even for writes. *)
+      if budget > 0 && (try reconnect t; true with _ -> false) then
+        attempt (budget - 1)
+      else raise e
+    | exception e when connection_failure e ->
+      let was_in_txn = t.in_txn in
+      (* [BEGIN] is safe to replay (no transaction existed yet anywhere);
+         a read outside a transaction is idempotent; anything else may
+         have half-happened on the dead server *)
+      let retryable =
+        (not was_in_txn) && match kind with `Read | `Begin -> true | _ -> false
+      in
+      let reconnected =
+        budget > 0 && (try reconnect t; true with _ -> false)
+      in
+      if retryable && reconnected then attempt (budget - 1)
+      else if retryable then raise e
+      else
+        raise
+          (Remote_error
+             ( "SE-FAILOVER",
+               "connection to the server was lost; the transaction (if any) is \
+                gone and the statement may not have been applied — re-run \
+                against the surviving endpoint" ))
+  in
+  attempt 2
 
 let execute_string t text = Session.result_to_string (execute t text)
 
@@ -252,5 +299,5 @@ let close (t : t) =
            match request ?trace t Wire.Close with
            | Wire.Bye | _ -> ())
      with _ -> ());
-    try Unix.close t.fd with _ -> ()
+    close_fd t.fd
   end

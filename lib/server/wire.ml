@@ -11,9 +11,14 @@
      'F' u32 max_bytes         fetch the next chunk of a query result
      'C'                       close the session
 
-   Any request may be prefixed (inside the same frame) with a trace
-   context header, so old-style un-traced requests remain valid:
-     'T' str "trace_id:parent_span_id", then the request as above
+   Any request or response may be prefixed (inside the same frame) with
+   in-frame headers, so old-style bare messages remain valid:
+     'T' str "trace_id:parent_span_id"   trace context (requests)
+     'E' u32 cluster_epoch               fencing epoch (both directions):
+                                         each side stamps the highest
+                                         cluster epoch it has observed,
+                                         so epochs gossip along every
+                                         existing exchange
 
    Responses (server -> client):
      'o' u32 session_id        session opened
@@ -29,22 +34,33 @@
    everything before [pos]):
 
    Repl requests (standby -> primary):
-     'P' u32 epoch, u32 pos, u32 max_bytes    pull frames from (epoch,pos)
+     'P' u32 cluster, u32 epoch, u32 pos, u32 max_bytes
+                                              pull frames from (epoch,pos);
+                                              cluster is the standby's fencing
+                                              epoch, so a deposed primary
+                                              learns of its deposition from
+                                              the very next pull
      'S'                                      request a full seed (backup)
 
-   Repl responses (primary -> standby):
-     'B' u32 epoch, u32 next_pos, str frames  raw WAL frames [pos,next_pos),
+   Repl responses (primary -> standby), all carrying the primary's
+   cluster (fencing) epoch as their first field:
+     'B' u32 cluster, u32 epoch, u32 next_pos, str frames
         u32 nmarks, nmarks * (u32 pos, str trace, u32 span)
+                                              raw WAL frames [pos,next_pos);
                                               trace marks: commits inside the
                                               batch whose statement was traced,
                                               so the standby can hang its apply
                                               span under the right parent
-     'h' u32 epoch, u32 pos                   heartbeat: no new frames; pos =
+     'h' u32 cluster, u32 epoch, u32 pos      heartbeat: no new frames; pos =
                                               primary WAL end
-     'H' u32 epoch                            hole: (epoch,pos) not servable
+     'H' u32 cluster, u32 epoch               hole: (epoch,pos) not servable
                                               (checkpoint truncation) — re-seed
      'f' str name, str data                   one file of a full backup
-     'd' u32 epoch, u32 pos                   seed complete; stream from here *)
+     'd' u32 cluster, u32 epoch, u32 pos      seed complete; stream from here
+     'x' u32 cluster                          fenced: the pull carried a higher
+                                              cluster epoch than the sender's —
+                                              the sender has demoted itself and
+                                              this link is dead *)
 
 type request =
   | Open of string
@@ -62,7 +78,7 @@ type response =
   | Err of { code : string; msg : string }
 
 type repl_request =
-  | Pull of { epoch : int; pos : int; max_bytes : int }
+  | Pull of { cluster : int; epoch : int; pos : int; max_bytes : int }
   | Seed_request
 
 (* commit position, trace id, parent span id — see the 'B' frame *)
@@ -70,15 +86,17 @@ type trace_mark = { mk_pos : int; mk_trace : string; mk_span : int }
 
 type repl_response =
   | Batch of {
+      cluster : int;
       epoch : int;
       next_pos : int;
       frames : string;
       marks : trace_mark list;
     }
-  | Heartbeat of { epoch : int; pos : int }
-  | Hole of { epoch : int }
+  | Heartbeat of { cluster : int; epoch : int; pos : int }
+  | Hole of { cluster : int; epoch : int }
   | Seed_file of { name : string; data : string }
-  | Seed_done of { epoch : int; pos : int }
+  | Seed_done of { cluster : int; epoch : int; pos : int }
+  | Fenced of { cluster : int }
 
 (* Frames larger than this are a protocol violation, not a payload:
    reject before allocating. *)
@@ -86,7 +104,14 @@ let max_frame = 64 * 1024 * 1024
 
 exception Protocol_error of string
 
+exception Disconnected of string
+(* The peer died: ECONNRESET / EPIPE / unexpected EOF mid-frame, all
+   normalized here so retry classification upstream matches one
+   exception instead of errno lists. *)
+
 let perror fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+let disconnected fmt = Printf.ksprintf (fun m -> raise (Disconnected m)) fmt
 
 (* ---- byte-level helpers -------------------------------------------- *)
 
@@ -106,6 +131,14 @@ let rec wait_writable fd =
   | _ -> ()
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_writable fd
 
+(* errnos that mean "the peer is gone", normalized to {!Disconnected}
+   so no caller has to pattern-match this list again *)
+let peer_death = function
+  | Unix.ECONNRESET | Unix.EPIPE | Unix.ECONNABORTED | Unix.ENOTCONN
+  | Unix.ESHUTDOWN | Unix.ETIMEDOUT ->
+    true
+  | _ -> false
+
 let really_read fd buf off len =
   let rec go off len =
     if len > 0 then begin
@@ -116,6 +149,8 @@ let really_read fd buf off len =
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         wait_readable fd;
         go off len
+      | exception Unix.Unix_error (e, _, _) when peer_death e ->
+        disconnected "read: %s" (Unix.error_message e)
     end
   in
   go off len
@@ -129,6 +164,8 @@ let really_write fd buf off len =
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         wait_writable fd;
         go off len
+      | exception Unix.Unix_error (e, _, _) when peer_death e ->
+        disconnected "write: %s" (Unix.error_message e)
     end
   in
   go off len
@@ -167,6 +204,14 @@ let get_str r =
 
 (* ---- framing -------------------------------------------------------- *)
 
+open Sedna_util
+
+(* Every frame passes a {!Netfault} site on the way out and in.  The
+   injected weather lives entirely below the message codecs: a dropped
+   send never reaches the socket, a torn send kills the connection
+   after a prefix, a dropped recv silently reads the next frame — the
+   codecs above see either a whole frame or {!Disconnected}. *)
+
 let write_frame fd (payload : Buffer.t) =
   let len = Buffer.length payload in
   let b = Bytes.create (4 + len) in
@@ -175,11 +220,43 @@ let write_frame fd (payload : Buffer.t) =
   Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
   Bytes.set b 3 (Char.chr (len land 0xff));
   Bytes.blit_string (Buffer.contents payload) 0 b 4 len;
-  really_write fd b 0 (4 + len)
+  match Netfault.on_send fd ~len:(4 + len) with
+  | Proceed -> really_write fd b 0 (4 + len)
+  | Drop_frame -> () (* the sender believes it went *)
+  | Dup_frame ->
+    really_write fd b 0 (4 + len);
+    really_write fd b 0 (4 + len)
+  | Torn_frame n ->
+    (* a strict prefix hits the wire, then the connection dies: the
+       peer sees EOF mid-frame *)
+    really_write fd b 0 (min n (4 + len - 1));
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    disconnected "torn frame injected"
 
-let read_frame fd : reader =
+let rec read_frame fd : reader =
+  let verdict = Netfault.on_recv fd in
+  (match verdict with
+   | Torn_frame _ ->
+     (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+     disconnected "torn read injected"
+   | _ -> ());
   let hdr = Bytes.create 4 in
-  really_read fd hdr 0 4;
+  (* EOF on the first header byte is a clean close (End_of_file);
+     anywhere later the peer died mid-frame *)
+  (let rec go off =
+     if off < 4 then begin
+       match Unix.read fd hdr off (4 - off) with
+       | 0 -> if off = 0 then raise End_of_file else disconnected "EOF mid-frame"
+       | n -> go (off + n)
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+         wait_readable fd;
+         go off
+       | exception Unix.Unix_error (e, _, _) when peer_death e ->
+         disconnected "read: %s" (Unix.error_message e)
+     end
+   in
+   go 0);
   let len =
     (Char.code (Bytes.get hdr 0) lsl 24)
     lor (Char.code (Bytes.get hdr 1) lsl 16)
@@ -188,17 +265,25 @@ let read_frame fd : reader =
   in
   if len > max_frame then perror "frame of %d bytes exceeds the limit" len;
   let payload = Bytes.create len in
-  really_read fd payload 0 len;
-  { bytes = payload; pos = 0 }
+  (try really_read fd payload 0 len
+   with End_of_file -> disconnected "EOF mid-frame");
+  match verdict with
+  | Drop_frame -> read_frame fd (* the frame vanishes; deliver the next one *)
+  | _ -> { bytes = payload; pos = 0 }
 
 (* ---- requests -------------------------------------------------------- *)
 
-let write_request ?trace fd (req : request) =
+let write_request ?trace ?epoch fd (req : request) =
   let b = Buffer.create 64 in
   (match trace with
    | Some t ->
      Buffer.add_char b 'T';
      add_str b t
+   | None -> ());
+  (match epoch with
+   | Some e ->
+     Buffer.add_char b 'E';
+     add_u32 b e
    | None -> ());
   (match req with
    | Open db ->
@@ -213,17 +298,28 @@ let write_request ?trace fd (req : request) =
    | Close -> Buffer.add_char b 'C');
   write_frame fd b
 
-(* returns the trace-context header (if the client sent one) alongside
-   the request proper *)
-let read_request fd : string option * request =
-  let r = read_frame fd in
-  let opcode = Char.chr (get_u8 r) in
-  let trace, opcode =
-    if opcode = 'T' then
-      let t = get_str r in
-      (Some t, Char.chr (get_u8 r))
-    else (None, opcode)
+(* consume any in-frame headers ('T' trace, 'E' epoch) before the
+   opcode proper; either may be absent, order free *)
+let read_headers r =
+  let trace = ref None and epoch = ref None in
+  let rec go opcode =
+    match opcode with
+    | 'T' ->
+      trace := Some (get_str r);
+      go (Char.chr (get_u8 r))
+    | 'E' ->
+      epoch := Some (get_u32 r);
+      go (Char.chr (get_u8 r))
+    | c -> c
   in
+  let opcode = go (Char.chr (get_u8 r)) in
+  (!trace, !epoch, opcode)
+
+(* returns the trace-context and epoch headers (if the client sent
+   them) alongside the request proper *)
+let read_request fd : string option * int option * request =
+  let r = read_frame fd in
+  let trace, epoch, opcode = read_headers r in
   let req =
     match opcode with
     | 'O' -> Open (get_str r)
@@ -232,12 +328,17 @@ let read_request fd : string option * request =
     | 'C' -> Close
     | c -> perror "unknown request opcode %C" c
   in
-  (trace, req)
+  (trace, epoch, req)
 
 (* ---- responses ------------------------------------------------------- *)
 
-let write_response fd (resp : response) =
+let write_response ?epoch fd (resp : response) =
   let b = Buffer.create 64 in
+  (match epoch with
+   | Some e ->
+     Buffer.add_char b 'E';
+     add_u32 b e
+   | None -> ());
   (match resp with
    | Opened id ->
      Buffer.add_char b 'o';
@@ -262,29 +363,34 @@ let write_response fd (resp : response) =
      add_str b msg);
   write_frame fd b
 
-let read_response fd : response =
+let read_response fd : int option * response =
   let r = read_frame fd in
-  match Char.chr (get_u8 r) with
-  | 'o' -> Opened (get_u32 r)
-  | 'u' -> Updated (get_u32 r)
-  | 'm' -> Message (get_str r)
-  | 'r' -> Result_ready (get_u32 r)
-  | 'c' ->
-    let last = get_u8 r <> 0 in
-    Chunk { last; data = get_str r }
-  | 'b' -> Bye
-  | 'e' ->
-    let code = get_str r in
-    Err { code; msg = get_str r }
-  | c -> perror "unknown response opcode %C" c
+  let _trace, epoch, opcode = read_headers r in
+  let resp =
+    match opcode with
+    | 'o' -> Opened (get_u32 r)
+    | 'u' -> Updated (get_u32 r)
+    | 'm' -> Message (get_str r)
+    | 'r' -> Result_ready (get_u32 r)
+    | 'c' ->
+      let last = get_u8 r <> 0 in
+      Chunk { last; data = get_str r }
+    | 'b' -> Bye
+    | 'e' ->
+      let code = get_str r in
+      Err { code; msg = get_str r }
+    | c -> perror "unknown response opcode %C" c
+  in
+  (epoch, resp)
 
 (* ---- replication ----------------------------------------------------- *)
 
 let write_repl_request fd (req : repl_request) =
   let b = Buffer.create 16 in
   (match req with
-   | Pull { epoch; pos; max_bytes } ->
+   | Pull { cluster; epoch; pos; max_bytes } ->
      Buffer.add_char b 'P';
+     add_u32 b cluster;
      add_u32 b epoch;
      add_u32 b pos;
      add_u32 b max_bytes
@@ -295,17 +401,19 @@ let read_repl_request fd : repl_request =
   let r = read_frame fd in
   match Char.chr (get_u8 r) with
   | 'P' ->
+    let cluster = get_u32 r in
     let epoch = get_u32 r in
     let pos = get_u32 r in
-    Pull { epoch; pos; max_bytes = get_u32 r }
+    Pull { cluster; epoch; pos; max_bytes = get_u32 r }
   | 'S' -> Seed_request
   | c -> perror "unknown replication request opcode %C" c
 
 let write_repl_response fd (resp : repl_response) =
   let b = Buffer.create 64 in
   (match resp with
-   | Batch { epoch; next_pos; frames; marks } ->
+   | Batch { cluster; epoch; next_pos; frames; marks } ->
      Buffer.add_char b 'B';
+     add_u32 b cluster;
      add_u32 b epoch;
      add_u32 b next_pos;
      add_str b frames;
@@ -316,27 +424,34 @@ let write_repl_response fd (resp : repl_response) =
          add_str b mk_trace;
          add_u32 b mk_span)
        marks
-   | Heartbeat { epoch; pos } ->
+   | Heartbeat { cluster; epoch; pos } ->
      Buffer.add_char b 'h';
+     add_u32 b cluster;
      add_u32 b epoch;
      add_u32 b pos
-   | Hole { epoch } ->
+   | Hole { cluster; epoch } ->
      Buffer.add_char b 'H';
+     add_u32 b cluster;
      add_u32 b epoch
    | Seed_file { name; data } ->
      Buffer.add_char b 'f';
      add_str b name;
      add_str b data
-   | Seed_done { epoch; pos } ->
+   | Seed_done { cluster; epoch; pos } ->
      Buffer.add_char b 'd';
+     add_u32 b cluster;
      add_u32 b epoch;
-     add_u32 b pos);
+     add_u32 b pos
+   | Fenced { cluster } ->
+     Buffer.add_char b 'x';
+     add_u32 b cluster);
   write_frame fd b
 
 let read_repl_response fd : repl_response =
   let r = read_frame fd in
   match Char.chr (get_u8 r) with
   | 'B' ->
+    let cluster = get_u32 r in
     let epoch = get_u32 r in
     let next_pos = get_u32 r in
     let frames = get_str r in
@@ -348,15 +463,20 @@ let read_repl_response fd : repl_response =
           let mk_trace = get_str r in
           { mk_pos; mk_trace; mk_span = get_u32 r })
     in
-    Batch { epoch; next_pos; frames; marks }
+    Batch { cluster; epoch; next_pos; frames; marks }
   | 'h' ->
+    let cluster = get_u32 r in
     let epoch = get_u32 r in
-    Heartbeat { epoch; pos = get_u32 r }
-  | 'H' -> Hole { epoch = get_u32 r }
+    Heartbeat { cluster; epoch; pos = get_u32 r }
+  | 'H' ->
+    let cluster = get_u32 r in
+    Hole { cluster; epoch = get_u32 r }
   | 'f' ->
     let name = get_str r in
     Seed_file { name; data = get_str r }
   | 'd' ->
+    let cluster = get_u32 r in
     let epoch = get_u32 r in
-    Seed_done { epoch; pos = get_u32 r }
+    Seed_done { cluster; epoch; pos = get_u32 r }
+  | 'x' -> Fenced { cluster = get_u32 r }
   | c -> perror "unknown replication response opcode %C" c

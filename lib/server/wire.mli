@@ -25,7 +25,9 @@ type response =
     everything before it. *)
 
 type repl_request =
-  | Pull of { epoch : int; pos : int; max_bytes : int }
+  | Pull of { cluster : int; epoch : int; pos : int; max_bytes : int }
+      (** [cluster] is the standby's fencing epoch: a deposed primary
+          learns of its deposition from the very next pull *)
   | Seed_request  (** ship a full backup (the standby must re-seed) *)
 
 type trace_mark = { mk_pos : int; mk_trace : string; mk_span : int }
@@ -35,36 +37,46 @@ type trace_mark = { mk_pos : int; mk_trace : string; mk_span : int }
 
 type repl_response =
   | Batch of {
+      cluster : int;
       epoch : int;
       next_pos : int;
       frames : string;
       marks : trace_mark list;
     }
       (** raw WAL frames [pos, next_pos) of the requested epoch *)
-  | Heartbeat of { epoch : int; pos : int }
+  | Heartbeat of { cluster : int; epoch : int; pos : int }
       (** no new frames; [pos] is the primary's current WAL end *)
-  | Hole of { epoch : int }
+  | Hole of { cluster : int; epoch : int }
       (** the requested (epoch, pos) is no longer servable — the log
           was truncated by a checkpoint; the standby must re-seed *)
   | Seed_file of { name : string; data : string }
-  | Seed_done of { epoch : int; pos : int }
+  | Seed_done of { cluster : int; epoch : int; pos : int }
       (** seed complete; resume streaming from (epoch, pos) *)
+  | Fenced of { cluster : int }
+      (** the pull carried a higher cluster epoch than the sender held:
+          the sender has demoted itself; this link is dead *)
 
 val max_frame : int
 
 exception Protocol_error of string
 
-val write_request : ?trace:string -> Unix.file_descr -> request -> unit
-(** [trace] is a ["trace_id:parent_span_id"] context header
-    ({!Sedna_util.Span.wire_of}); it rides in the same frame. *)
+exception Disconnected of string
+(** The peer died mid-conversation: [ECONNRESET], [EPIPE], EOF inside
+    a frame — all normalized to this one exception so retry
+    classification upstream never matches errno lists. *)
 
-val read_request : Unix.file_descr -> string option * request
-(** Returns the trace-context header, if the client sent one, alongside
-    the request.
+val write_request : ?trace:string -> ?epoch:int -> Unix.file_descr -> request -> unit
+(** [trace] is a ["trace_id:parent_span_id"] context header
+    ({!Sedna_util.Span.wire_of}); [epoch] the sender's highest observed
+    cluster epoch.  Both ride in the same frame. *)
+
+val read_request : Unix.file_descr -> string option * int option * request
+(** Returns the trace-context and cluster-epoch headers, if the client
+    sent them, alongside the request.
     @raise End_of_file on a cleanly closed peer. *)
 
-val write_response : Unix.file_descr -> response -> unit
-val read_response : Unix.file_descr -> response
+val write_response : ?epoch:int -> Unix.file_descr -> response -> unit
+val read_response : Unix.file_descr -> int option * response
 
 val write_repl_request : Unix.file_descr -> repl_request -> unit
 val read_repl_request : Unix.file_descr -> repl_request

@@ -80,6 +80,15 @@ let repl_lag_bytes = "repl.lag_bytes"
 let repl_acked_pos = "repl.acked_pos"
 let repl_standby_connected = "repl.standby_connected"
 let repl_standby_epoch = "repl.standby_epoch"
+let retry_sleeps = "retry.sleeps"
+let net_send = "net.send"
+let net_recv = "net.recv"
+let net_accept = "net.accept"
+let net_injected = "net.injected"
+let fence_demotions = "fence.demotions"
+let fence_rejected_writes = "fence.rejected_writes"
+let fence_rejected_pulls = "fence.rejected_pulls"
+let cluster_epoch = "cluster.epoch"
 
 (* Pre-resolved cells for the hot-path counters: incrementing these is
    a plain [incr], so instrumentation does not distort the pointer-

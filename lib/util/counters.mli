@@ -125,6 +125,33 @@ val repl_standby_connected : string
 val repl_standby_epoch : string
 (** Gauge (standby side): WAL epoch the standby is tracking. *)
 
+val retry_sleeps : string
+(** A {!Retry} loop slept before re-attempting an operation. *)
+
+val net_send : string
+(** Frames offered to the wire by {!Netfault.on_send} (hits, not faults). *)
+
+val net_recv : string
+(** Frame reads offered to {!Netfault.on_recv}. *)
+
+val net_accept : string
+(** Accepted connections offered to {!Netfault.on_accept}. *)
+
+val net_injected : string
+(** A network fault actually fired (also bumped per action). *)
+
+val fence_demotions : string
+(** A node demoted itself after observing a higher cluster epoch. *)
+
+val fence_rejected_writes : string
+(** Write transactions refused with SE-FENCED. *)
+
+val fence_rejected_pulls : string
+(** Replication pulls refused because the peer holds a higher epoch. *)
+
+val cluster_epoch : string
+(** Gauge: this node's current cluster (fencing) epoch. *)
+
 (** {1 Pre-resolved hot-path cells (same storage as the names above)} *)
 
 val vas_fast_hit_cell : int ref

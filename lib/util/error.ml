@@ -30,6 +30,7 @@ type code =
   | Server_shutdown
   | Standby_read_only
   | Failover
+  | Fenced
 
 let code_name = function
   | Storage_corruption -> "SE-STORAGE-CORRUPTION"
@@ -59,6 +60,7 @@ let code_name = function
   | Server_shutdown -> "SE-SHUTDOWN"
   | Standby_read_only -> "SE-READ-ONLY"
   | Failover -> "SE-FAILOVER"
+  | Fenced -> "SE-FENCED"
 
 exception Sedna_error of code * string
 

@@ -33,6 +33,9 @@ type code =
   | Failover
       (** SE-FAILOVER: the primary died mid-transaction; the client must
           re-run its transaction against the surviving endpoint *)
+  | Fenced
+      (** SE-FENCED: this node observed a higher cluster epoch (another
+          node was promoted) and refuses writes until re-seeded *)
 
 exception Sedna_error of code * string
 

@@ -20,10 +20,69 @@ exception Injected_crash of string
 
 type action = Fail | Crash | Torn
 
-type trigger =
-  | Nth of int (* fire on the Nth hit after arming (1-based), once *)
-  | Every of int (* fire on every Nth hit after arming *)
-  | Prob of float * int (* probability per hit, deterministic seed *)
+(* The trigger half of the policy grammar is shared with the network
+   chaos layer ({!Netfault}): same suffix syntax, same deterministic
+   LCG, so a seed reproduces the same firing pattern in both worlds. *)
+module Trigger = struct
+  type t =
+    | Nth of int (* fire on the Nth hit after arming (1-based), once *)
+    | Every of int (* fire on every Nth hit after arming *)
+    | Prob of float * int (* probability per hit, deterministic seed *)
+
+  (* per-armed-policy mutable half: hit count since arming + LCG state *)
+  type state = { mutable hits : int; mutable rng : int }
+
+  let state = function
+    | Prob (_, seed) -> { hits = 0; rng = (2 * seed) + 1 }
+    | _ -> { hits = 0; rng = 1 }
+
+  (* minimal-standard LCG; only the trigger decision consumes it *)
+  let next_rng st =
+    st.rng <- st.rng * 48271 mod 0x7FFFFFFF;
+    st.rng
+
+  (* record one hit against the armed policy and decide whether it
+     fires.  [Nth] policies are one-shot: the caller disarms on fire. *)
+  let fire st t =
+    st.hits <- st.hits + 1;
+    match t with
+    | Nth n -> st.hits = n
+    | Every n -> n > 0 && st.hits mod n = 0
+    | Prob (p, _) -> float_of_int (next_rng st) /. 2147483647.0 < p
+
+  let one_shot = function Nth _ -> true | Every _ | Prob _ -> false
+
+  (* the suffix after the action name: "" | "@N" | "@N+" | "%P[/SEED]" *)
+  let parse rest =
+    if rest = "" then Nth 1
+    else if rest.[0] = '@' then begin
+      let num = String.sub rest 1 (String.length rest - 1) in
+      if num <> "" && num.[String.length num - 1] = '+' then
+        Every (int_of_string (String.sub num 0 (String.length num - 1)))
+      else Nth (int_of_string num)
+    end
+    else if rest.[0] = '%' then begin
+      let body = String.sub rest 1 (String.length rest - 1) in
+      match String.index_opt body '/' with
+      | Some i ->
+        Prob
+          ( float_of_string (String.sub body 0 i),
+            int_of_string (String.sub body (i + 1) (String.length body - i - 1)) )
+      | None -> Prob (float_of_string body, 1)
+    end
+    else invalid_arg (Printf.sprintf "Fault.Trigger.parse: bad trigger in %S" rest)
+
+  let to_string = function
+    | Nth 1 -> ""
+    | Nth n -> Printf.sprintf "@%d" n
+    | Every n -> Printf.sprintf "@%d+" n
+    | Prob (pr, seed) -> Printf.sprintf "%%%g/%d" pr seed
+end
+
+type trigger = Trigger.t =
+  | Nth of int
+  | Every of int
+  | Prob of float * int
 
 type policy = { action : action; trigger : trigger }
 
@@ -64,15 +123,7 @@ let site_armed s = s.armed
 
 let action_name = function Fail -> "fail" | Crash -> "crash" | Torn -> "torn"
 
-let policy_to_string p =
-  let t =
-    match p.trigger with
-    | Nth 1 -> ""
-    | Nth n -> Printf.sprintf "@%d" n
-    | Every n -> Printf.sprintf "@%d+" n
-    | Prob (pr, seed) -> Printf.sprintf "%%%g/%d" pr seed
-  in
-  action_name p.action ^ t
+let policy_to_string p = action_name p.action ^ Trigger.to_string p.trigger
 
 let arm name policy =
   let s = site name in
@@ -160,26 +211,7 @@ let parse_policy spec =
     else if take "torn" then (Torn, String.sub spec 4 (String.length spec - 4))
     else invalid_arg (Printf.sprintf "Fault.parse_policy: bad action in %S" spec)
   in
-  let trigger =
-    if rest = "" then Nth 1
-    else if rest.[0] = '@' then begin
-      let num = String.sub rest 1 (String.length rest - 1) in
-      if num <> "" && num.[String.length num - 1] = '+' then
-        Every (int_of_string (String.sub num 0 (String.length num - 1)))
-      else Nth (int_of_string num)
-    end
-    else if rest.[0] = '%' then begin
-      let body = String.sub rest 1 (String.length rest - 1) in
-      match String.index_opt body '/' with
-      | Some i ->
-        Prob
-          ( float_of_string (String.sub body 0 i),
-            int_of_string (String.sub body (i + 1) (String.length body - i - 1)) )
-      | None -> Prob (float_of_string body, 1)
-    end
-    else invalid_arg (Printf.sprintf "Fault.parse_policy: bad trigger in %S" spec)
-  in
-  { action; trigger }
+  { action; trigger = Trigger.parse rest }
 
 let parse_spec spec =
   match String.index_opt spec ':' with

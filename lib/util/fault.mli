@@ -18,10 +18,34 @@ exception Injected_crash of string
 
 type action = Fail | Crash | Torn
 
-type trigger =
-  | Nth of int  (** fire on the Nth hit after arming (1-based), once *)
-  | Every of int  (** fire on every Nth hit after arming *)
-  | Prob of float * int  (** probability per hit, deterministic seed *)
+(** The trigger half of the policy grammar, shared with {!Netfault}:
+    same [@N]/[@N+]/[%P/SEED] suffix syntax, same deterministic LCG. *)
+module Trigger : sig
+  type t =
+    | Nth of int  (** fire on the Nth hit after arming (1-based), once *)
+    | Every of int  (** fire on every Nth hit after arming *)
+    | Prob of float * int  (** probability per hit, deterministic seed *)
+
+  type state
+  (** Mutable firing state: hit count since arming plus LCG state. *)
+
+  val state : t -> state
+  val fire : state -> t -> bool
+  (** Record one hit; [true] iff the policy fires on it.  One-shot
+      [Nth] policies must be disarmed by the caller when they fire. *)
+
+  val one_shot : t -> bool
+  val parse : string -> t
+  (** The suffix after the action name: [""], ["@N"], ["@N+"], or
+      ["%P[/SEED]"].  Raises [Invalid_argument] on garbage. *)
+
+  val to_string : t -> string
+end
+
+type trigger = Trigger.t =
+  | Nth of int
+  | Every of int
+  | Prob of float * int
 
 type policy = { action : action; trigger : trigger }
 type verdict = Proceed | Short_write of int

@@ -1,0 +1,84 @@
+(** Deterministic network fault injection for the wire layer.
+
+    {!Wire} calls {!on_send} / {!on_recv} around every length-prefixed
+    frame and {!on_accept} per accepted connection.  Sites are cheap
+    hit counters until a policy is armed (via [SEDNA_NETFAULT] or the
+    [\netfaults] CLI); triggers reuse {!Fault.Trigger}'s grammar and
+    LCG, so seeded schedules replay identically.
+
+    Spec grammar (comma-separated in the env var):
+    {v
+      net.send:drop@3          drop the 3rd frame sent
+      net.recv:delay=50@2+     hold every 2nd received frame 50ms
+      net.send:torn%0.1/7      10% of sends torn (seed 7)
+      net.send:dup             duplicate the next frame
+      net.accept:drop@1+       refuse every connection
+      part:primary->standby    one-way partition by connection role
+      part:client<->server     two-way partition
+    v} *)
+
+type action = Drop | Dup | Torn | Delay of float  (** seconds *)
+
+type policy = { action : action; trigger : Fault.Trigger.t }
+
+type verdict =
+  | Proceed
+  | Drop_frame  (** pretend the frame was transmitted *)
+  | Dup_frame  (** transmit it twice (send side only) *)
+  | Torn_frame of int
+      (** send: write only this prefix then kill the connection;
+          recv: the peer died mid-frame — surface [Disconnected] *)
+
+val register : Unix.file_descr -> local:string -> peer:string -> unit
+(** Declare the connection's direction for partition matching. *)
+
+val unregister : Unix.file_descr -> unit
+
+val interrupt : Unix.file_descr -> unit
+(** Unblock any partition wait on this fd: call before shutting the
+    socket down, or a thread parked in a partitioned send/recv would
+    keep the owner's stop/promote joined on it until the partition
+    heals.  The released I/O fails at the syscall instead. *)
+
+val partition : ?both:bool -> from_role:string -> to_role:string -> unit -> unit
+(** Block sends (and recvs) on connections registered [from -> to]
+    until healed; [both] also blocks the reverse direction. *)
+
+val heal : ?both:bool -> from_role:string -> to_role:string -> unit -> unit
+val heal_all : unit -> unit
+val partitions : unit -> (string * string) list
+
+val on_send : Unix.file_descr -> len:int -> verdict
+(** Called before writing a frame of [len] bytes.  Blocks while the
+    fd's direction is partitioned; sleeps for delay policies. *)
+
+val on_recv : Unix.file_descr -> verdict
+(** Called before reading a frame. *)
+
+val on_accept : Unix.file_descr -> local:string -> peer:string -> bool
+(** Called after [accept].  [false] = refuse (caller closes the fd);
+    [true] = proceed (the fd's roles have been registered). *)
+
+val arm : string -> policy -> unit
+(** Site is one of ["net.send"], ["net.recv"], ["net.accept"]. *)
+
+val disarm : string -> unit
+
+val disarm_all : unit -> unit
+(** Also heals all partitions. *)
+
+val armed_count : unit -> int
+(** Armed site policies plus active partition directions. *)
+
+val parse_policy : string -> policy
+val arm_spec : string -> unit
+val policy_to_string : policy -> string
+val action_name : action -> string
+
+val env_var : string
+(** ["SEDNA_NETFAULT"] — comma-separated arm specs. *)
+
+val arm_from_env : unit -> unit
+
+val report : unit -> (string * int * string option) list
+(** Per site: name, total hits, armed policy if any. *)

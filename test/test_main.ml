@@ -24,6 +24,7 @@ let () =
       ("server", Test_server.suite);
       ("replication", Test_replication.suite);
       ("tracing", Test_tracing.suite);
+      ("netchaos", Test_netchaos.suite);
       ("regex", Test_rx.suite);
       ("tools", Test_tools.suite);
     ]

@@ -46,15 +46,17 @@ let test_wire_roundtrip () =
       List.iter (Wire.write_request a) requests;
       List.iter
         (fun want ->
-          let trace, got = Wire.read_request b in
+          let trace, epoch, got = Wire.read_request b in
           Alcotest.(check bool) "no trace header" true (trace = None);
+          Alcotest.(check bool) "no epoch header" true (epoch = None);
           Alcotest.(check bool) "request round trip" true (got = want))
         requests;
-      (* the optional trace header rides inside the same frame *)
-      Wire.write_request ~trace:"00c0ffee00c0ffee:42" a (Wire.Execute "1+1");
-      let trace, got = Wire.read_request b in
+      (* the optional trace and epoch headers ride inside the same frame *)
+      Wire.write_request ~trace:"00c0ffee00c0ffee:42" ~epoch:7 a (Wire.Execute "1+1");
+      let trace, epoch, got = Wire.read_request b in
       Alcotest.(check bool) "trace header round trip" true
         (trace = Some "00c0ffee00c0ffee:42" && got = Wire.Execute "1+1");
+      Alcotest.(check bool) "epoch header round trip" true (epoch = Some 7);
       let responses =
         [
           Wire.Opened 7;
@@ -70,9 +72,15 @@ let test_wire_roundtrip () =
       List.iter (Wire.write_response b) responses;
       List.iter
         (fun want ->
-          let got = Wire.read_response a in
+          let epoch, got = Wire.read_response a in
+          Alcotest.(check bool) "no response epoch" true (epoch = None);
           Alcotest.(check bool) "response round trip" true (got = want))
-        responses)
+        responses;
+      (* responses carry the epoch header too *)
+      Wire.write_response ~epoch:9 b (Wire.Message "fenced gossip");
+      let epoch, got = Wire.read_response a in
+      Alcotest.(check bool) "response epoch round trip" true
+        (epoch = Some 9 && got = Wire.Message "fenced gossip"))
 
 (* ---- basic execution over TCP ----------------------------------------- *)
 
