@@ -1187,6 +1187,100 @@ let e15 () =
   ignore (Sys.command ("rm -rf " ^ Filename.quote base))
 
 (* ------------------------------------------------------------------ *)
+(* E17 — group commit: write throughput vs writer concurrency         *)
+(* ------------------------------------------------------------------ *)
+
+(* W writer threads, each auto-committing inserts into its own document
+   through the governor's engine lock, with group commit on and off at
+   equal durability (every ack is behind an fsync covering its commit
+   record).  Grouped mode parks commits outside the engine lock so one
+   leader fsync acknowledges a batch; ungrouped is the one-fsync-per-
+   commit baseline.  Per-writer documents keep the S2PL document lock
+   out of the measurement: same-document writers serialize on the lock
+   hand-off, which bounds coalescing by contention, not by fsync. *)
+let e17 () =
+  header "E17 group commit — commit throughput at equal durability"
+    "parked commits share one covering WAL fsync: throughput scales \
+     with writer concurrency while the fsync rate stays near-flat";
+  let module G = Sedna_db.Governor in
+  let per_writer = if quick () then 25 else 80 in
+  let saved = Sedna_core.Database.group_commit_on () in
+  let run_mode ~grouped writers =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "sedna-bench-gc-%d-%b-%d-%f" (Unix.getpid ()) grouped
+           writers (Unix.gettimeofday ()))
+    in
+    if Sys.file_exists dir then
+      ignore (Sys.command ("rm -rf " ^ Filename.quote dir));
+    let g = G.create () in
+    let db = G.create_database g ~name:"main" ~dir in
+    let doc w = Printf.sprintf "log%d" w in
+    for w = 0 to writers - 1 do
+      G.with_engine g (fun () ->
+          ignore
+            (Sedna_core.Database.with_txn db (fun txn st ->
+                 Sedna_core.Database.lock_exn db txn ~doc:(doc w)
+                   ~mode:Sedna_core.Lock_mgr.Exclusive;
+                 Sedna_core.Loader.load_string st ~doc_name:(doc w) "<log/>")))
+    done;
+    Sedna_core.Database.set_group_commit grouped;
+    let syncs0 = Sedna_util.Counters.get Sedna_util.Counters.wal_syncs in
+    let failures = ref 0 in
+    let fail_mu = Mutex.create () in
+    let body w () =
+      try
+        let _, s = G.connect g ~database:"main" in
+        (* constant statement text per writer: the plan cache absorbs
+           compilation, so the loop measures the commit path *)
+        let stmt =
+          Printf.sprintf {|UPDATE insert <e/> into doc(%S)/log|} (doc w)
+        in
+        for _ = 1 to per_writer do
+          G.with_engine g (fun () -> ignore (Sedna_db.Session.execute s stmt))
+        done
+      with e ->
+        Mutex.lock fail_mu;
+        incr failures;
+        Mutex.unlock fail_mu;
+        pf "  writer %d failed: %s\n" w (Printexc.to_string e)
+    in
+    let t_wall, () =
+      time_once (fun () ->
+          let ts = List.init writers (fun w -> Thread.create (body w) ()) in
+          List.iter Thread.join ts)
+    in
+    let syncs = Sedna_util.Counters.get Sedna_util.Counters.wal_syncs - syncs0 in
+    G.shutdown g;
+    ignore (Sys.command ("rm -rf " ^ Filename.quote dir));
+    if !failures > 0 then begin
+      pf "  E17 FAILED: %d writers errored\n" !failures;
+      exit 1
+    end;
+    let commits = writers * per_writer in
+    (float_of_int commits /. t_wall, syncs, commits)
+  in
+  row4 "writers" "off (cps)" "on (cps)" "speedup / syncs";
+  List.iter
+    (fun writers ->
+      let off_cps, off_syncs, commits = run_mode ~grouped:false writers in
+      let on_cps, on_syncs, _ = run_mode ~grouped:true writers in
+      record (Printf.sprintf "e17.w%d.off_cps" writers)
+        (Sedna_util.Metrics.Float off_cps);
+      record (Printf.sprintf "e17.w%d.on_cps" writers)
+        (Sedna_util.Metrics.Float on_cps);
+      record_int (Printf.sprintf "e17.w%d.off_syncs" writers) off_syncs;
+      record_int (Printf.sprintf "e17.w%d.on_syncs" writers) on_syncs;
+      record_int (Printf.sprintf "e17.w%d.commits" writers) commits;
+      row4
+        (string_of_int writers)
+        (Printf.sprintf "%.0f" off_cps)
+        (Printf.sprintf "%.0f" on_cps)
+        (Printf.sprintf "%.2fx / %d->%d" (on_cps /. off_cps) off_syncs on_syncs))
+    [ 1; 4; 16 ];
+  Sedna_core.Database.set_group_commit saved
+
+(* ------------------------------------------------------------------ *)
 (* CRASH — crash-recovery matrix (crash-safety hardening)              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1339,7 +1433,7 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E4b", e4b);
     ("E5", e5); ("E6", e6); ("E6b", e6b); ("E7", e7); ("E7b", e7b); ("E8", e8);
     ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", e15); ("CRASH", crash); ("CHAOS", chaos);
+    ("E14", e14); ("E15", e15); ("E17", e17); ("CRASH", crash); ("CHAOS", chaos);
     ("TRACE", trace_overhead);
   ]
 

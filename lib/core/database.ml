@@ -18,9 +18,18 @@ type t = {
   fs : File_store.t;
   bm : Buffer_mgr.t;
   wal : Wal.t;
+  gc : Group_commit.t; (* coalesces concurrent commit fsyncs *)
   versions : Versions.t;
   locks : Lock_mgr.t;
   mutable cat : Catalog.t;
+  (* serialized catalog as of the last *completed* commit.  Readers
+     deserialize their private catalog from this, never from the live
+     [cat]: during a parked group commit the live catalog already holds
+     the committing transaction's schema changes (block-chain heads,
+     counts) while that transaction's pages are still rolled back by
+     the before-image overlay — handing a reader the live catalog over
+     overlaid pages is a mixed view whose block pointers can cycle. *)
+  mutable cat_snapshot : string;
   mutable next_txn_id : int;
   active : (int, Txn.t) Hashtbl.t;
   mutable current : Txn.t option; (* transaction executing right now *)
@@ -35,7 +44,28 @@ type t = {
   mutable fenced : bool;
 }
 
+(* Group commit is on by default; SEDNA_GROUP_COMMIT=0 (or a runtime
+   [set_group_commit false]) restores the per-transaction fsync under
+   the engine lock — the pre-coalescing baseline the benches compare
+   against.  Both paths give identical durability: commit is only
+   acknowledged after an fsync covering its records. *)
+let group_commit_enabled =
+  ref
+    (match Sys.getenv_opt "SEDNA_GROUP_COMMIT" with
+     | Some ("0" | "false" | "off") -> false
+     | _ -> true)
+
+let set_group_commit b = group_commit_enabled := b
+let group_commit_on () = !group_commit_enabled
+
 let store db : Store.t = Store.create db.bm db.cat
+
+(* refresh the committed-catalog snapshot; callers must only do this
+   when the live catalog holds no uncommitted changes *)
+let snapshot_catalog db =
+  db.cat_snapshot <-
+    Catalog.serialize db.cat ~page_count:(File_store.page_count db.fs)
+      ~free_pages:[]
 
 let catalog db = db.cat
 let buffer db = db.bm
@@ -162,6 +192,10 @@ let checkpoint db =
   let flushed = Buffer_mgr.flush_all db.bm in
   write_catalog_file db;
   Wal.reset db.wal;
+  (* WAL positions restarted at 0: the group committer's notion of
+     "durably synced up to" must restart with them, or a later commit
+     at a small position would be treated as already synced *)
+  Group_commit.note_reset db.gc;
   Wal.append db.wal Wal.Checkpoint;
   Wal.sync db.wal;
   Trace.emit (Trace.Checkpoint { pages_flushed = flushed })
@@ -177,9 +211,11 @@ let create ?(buffer_frames = 256) dir =
       fs;
       bm;
       wal;
+      gc = Group_commit.create wal;
       versions = Versions.create ();
       locks = Lock_mgr.create ();
       cat = Catalog.create ();
+      cat_snapshot = "";
       next_txn_id = 1;
       active = Hashtbl.create 8;
       current = None;
@@ -191,6 +227,7 @@ let create ?(buffer_frames = 256) dir =
   Counters.set Counters.cluster_epoch db.cluster_epoch;
   install_hooks db;
   checkpoint db;
+  snapshot_catalog db;
   db
 
 (* Two-step recovery (paper §6.4): step 1 restores the persistent
@@ -258,9 +295,11 @@ let open_existing ?(buffer_frames = 256) dir =
       fs;
       bm;
       wal;
+      gc = Group_commit.create wal;
       versions = Versions.create ();
       locks = Lock_mgr.create ();
       cat = p.Catalog.p_catalog;
+      cat_snapshot = "";
       next_txn_id = 1;
       active = Hashtbl.create 8;
       current = None;
@@ -275,6 +314,7 @@ let open_existing ?(buffer_frames = 256) dir =
   if replayed > 0 then Logs.info (fun m -> m "recovery replayed %d page images" replayed);
   (* make the recovered state the new persistent snapshot *)
   checkpoint db;
+  snapshot_catalog db;
   db
 
 let close db =
@@ -300,13 +340,12 @@ let begin_txn ?(read_only = false) db : Txn.t =
   let snapshot_ts, reader_catalog =
     if read_only then
       let ts = Versions.acquire_snapshot db.versions in
-      (* the reader's catalog is a private copy consistent with its
-         snapshot: schema changes by later commits must stay invisible *)
-      let blob =
-        Catalog.serialize db.cat ~page_count:(File_store.page_count db.fs)
-          ~free_pages:[]
-      in
-      (ts, Some (Catalog.deserialize blob).Catalog.p_catalog)
+      (* the reader's catalog is a private copy of the *last committed*
+         catalog ([cat_snapshot]), which matches the reader's page view:
+         the overlay serves active updaters' pages from their
+         before-images, so the live catalog — already carrying those
+         updaters' schema pointers — must stay invisible *)
+      (ts, Some (Catalog.deserialize db.cat_snapshot).Catalog.p_catalog)
     else (0, None)
   in
   let txn =
@@ -358,7 +397,14 @@ let lock db (txn : Txn.t) ~doc ~mode : Lock_mgr.outcome =
    few times (the holder may release between attempts — e.g. another
    cooperative scheduler slot commits) before surfacing Lock_timeout.
    Deadlocks are never retried: the cycle can only be broken by an
-   abort. *)
+   abort.
+
+   This wait MUST stay short: it sleeps while the caller holds the
+   engine lock, and a likely holder of the wanted document lock is a
+   commit parked in the group fsync — which needs the engine lock back
+   to complete and release.  Waiting long here waits on ourselves.
+   Fail fast instead; the session layer restarts auto-commit
+   statements with its pause *outside* the engine lock. *)
 let lock_exn ?(retries = 3) ?(backoff_s = 0.0005) db txn ~doc ~mode =
   Span.with_span "lock.wait" (fun sp ->
       (match sp with
@@ -396,7 +442,7 @@ let lock_exn ?(retries = 3) ?(backoff_s = 0.0005) db txn ~doc ~mode =
       in
       go ())
 
-let commit db (txn : Txn.t) =
+let commit ?(park = fun wait -> wait ()) db (txn : Txn.t) =
   if not (Txn.is_active txn) then
     Error.raise_error Error.Txn_not_active "commit of inactive transaction";
   if txn.Txn.read_only then begin
@@ -416,37 +462,76 @@ let commit db (txn : Txn.t) =
         db.cluster_epoch txn.Txn.id
     end;
     let pages = Txn.dirty_pages txn in
-    (* WAL protocol: after-images + commit record, then fsync *)
-    Span.with_span "commit.fsync" (fun sp ->
-        List.iter
-          (fun op -> Wal.append db.wal (Wal.Logical (txn.Txn.id, op)))
-          (List.rev txn.Txn.logical_ops);
-        List.iter
-          (fun (pid, _before) ->
-            let after = Buffer_mgr.page_image db.bm pid in
-            Wal.append db.wal (Wal.Image (txn.Txn.id, pid, after)))
-          pages;
+    (* WAL protocol: after-images + commit record appended as one
+       contiguous group under the writer cursor, then an fsync covering
+       the group's end position before the commit is acknowledged.
+
+       Under group commit the fsync wait happens *outside* the engine
+       lock ([park] releases and re-takes it): while this transaction
+       parks, other sessions run statements and append their own commit
+       groups, and one leader fsync acknowledges them all.  The parked
+       transaction still holds its document locks and keeps its dirty
+       pages pinned, so to every other session it looks exactly like an
+       idle open transaction. *)
+    let cat_blob =
+      Span.with_span "commit.fsync" (fun sp ->
         let cat_blob =
-          if Catalog.is_dirty db.cat then
-            Some
-              (Catalog.serialize db.cat ~page_count:(File_store.page_count db.fs)
-                 ~free_pages:(File_store.free_list db.fs))
+          if Catalog.is_dirty db.cat then begin
+            let blob =
+              Catalog.serialize db.cat
+                ~page_count:(File_store.page_count db.fs)
+                ~free_pages:(File_store.free_list db.fs)
+            in
+            (* clear while still holding the engine lock, atomically
+               with the serialization: dirt added by another session
+               while this commit parks belongs to *that* session's
+               commit record, not to a late clear here *)
+            Catalog.clear_dirty db.cat;
+            Some blob
+          end
           else None
         in
-        Wal.append db.wal (Wal.Commit (txn.Txn.id, cat_blob));
-        Wal.sync db.wal;
-        match sp with
-        | Some sp ->
-          Span.annotate sp "txn" (Metrics.Int txn.Txn.id);
-          Span.annotate sp "pages" (Metrics.Int (List.length pages));
-          (* remember the commit point so the replication sender can
-             parent the standby's apply span under this fsync span *)
-          Wal.mark_trace db.wal ~trace:sp.Span.sp_trace ~span:sp.Span.sp_id
-        | None -> ());
-    Catalog.clear_dirty db.cat;
+        let records =
+          List.rev_map
+            (fun op -> Wal.Logical (txn.Txn.id, op))
+            txn.Txn.logical_ops
+          @ List.map
+              (fun (pid, _before) ->
+                Wal.Image (txn.Txn.id, pid, Buffer_mgr.page_image db.bm pid))
+              pages
+          @ [ Wal.Commit (txn.Txn.id, cat_blob) ]
+        in
+        let commit_pos = Wal.append_group db.wal records in
+        (match sp with
+         | Some sp ->
+           Span.annotate sp "txn" (Metrics.Int txn.Txn.id);
+           Span.annotate sp "pages" (Metrics.Int (List.length pages));
+           (* remember the commit point so the replication sender can
+              parent the standby's apply span under this fsync span.
+              [commit_pos], not the current log end: a concurrent
+              committer may already have appended past us. *)
+           Wal.mark_trace db.wal ~pos:commit_pos ~trace:sp.Span.sp_trace
+             ~span:sp.Span.sp_id
+         | None -> ());
+        (if group_commit_on () then
+           (* the commit.fsync span stays open across the park, so its
+              duration is the shared group sync this transaction actually
+              waited on, not a no-op *)
+           Span.with_span "commit.park" (fun psp ->
+               (match psp with
+                | Some p -> Span.annotate p "pos" (Metrics.Int commit_pos)
+                | None -> ());
+               park (fun () -> Group_commit.sync_to db.gc ~pos:commit_pos))
+         else Wal.sync db.wal);
+        cat_blob)
+    in
     (* versions: displaced images become snapshot versions if needed *)
     let commit_ts = Versions.last_commit_ts db.versions + 1 in
     Versions.install_commit db.versions ~commit_ts pages;
+    (* the commit is durable: publish its catalog to new readers *)
+    (match cat_blob with
+     | Some blob -> db.cat_snapshot <- blob
+     | None -> ());
     (* unpin so committed pages become evictable *)
     List.iter (fun (pid, _) -> Buffer_mgr.unpin_pid db.bm pid) pages;
     Txn.mark_committed txn;
@@ -529,6 +614,7 @@ let apply_txn db ~txn_id ~images ~catalog_blob =
    | Some blob ->
      let p = Catalog.deserialize blob in
      db.cat <- p.Catalog.p_catalog;
+     db.cat_snapshot <- blob;
      File_store.set_page_count db.fs p.Catalog.p_page_count;
      File_store.set_free_list db.fs p.Catalog.p_free_pages
    | None -> ());

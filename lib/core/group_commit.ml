@@ -1,0 +1,128 @@
+(* Group commit: coalesce concurrent commit fsyncs into one covering
+   [Wal.sync] (leader/follower).
+
+   A committer appends its frames under the WAL writer cursor (getting
+   back its end position), then calls [sync_to] with the engine lock
+   *released*: if the log is already durably synced past its position
+   it returns immediately; otherwise it enrolls as a waiter and either
+   parks on the condition variable or — when no sync is in flight —
+   becomes the leader, reads the current log end, and runs one fsync
+   that covers every committer that appended before the cursor was
+   read.  Followers that appended while the leader was fsyncing form
+   the next group, so under concurrency the fsync rate decouples from
+   the commit rate.
+
+   Acknowledgement order respects sync order by construction: a waiter
+   leaves [sync_to] only once a covering fsync has completed
+   ([synced_pos] is monotone), and a waiter parked behind a *failed*
+   fsync is completed with that failure — it must abort, never ack —
+   while committers that enroll afterwards are untouched and may retry
+   a fresh sync (failure isolation). *)
+
+open Sedna_util
+
+(* Fires in the leader just before the covering fsync: a crash here
+   must lose nothing that was acked and may lose everything that was
+   merely parked; a fail here must refuse the whole parked group. *)
+let group_sync_site = Fault.site "wal.group_sync"
+
+type outcome = Pending | Done | Failed of exn
+
+type waiter = {
+  w_pos : int;
+  mutable w_outcome : outcome;
+}
+
+type t = {
+  wal : Wal.t;
+  mu : Mutex.t;
+  cond : Condition.t;
+  (* log positions at or below this are durable (monotone except for
+     [note_reset], which is only legal with no committers in flight) *)
+  mutable synced_pos : int;
+  mutable syncing : bool;
+  mutable waiters : waiter list;
+}
+
+(* group size is a count, not a latency: explicit power-of-two buckets *)
+let group_size_hist =
+  Metrics.histogram
+    ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
+    "commit.group_size"
+
+let create wal =
+  {
+    wal;
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    synced_pos = 0;
+    syncing = false;
+    waiters = [];
+  }
+
+(* The WAL was truncated (checkpoint) or swapped; forget durable
+   progress.  Only legal with no commit in flight — checkpoint already
+   requires an empty active-transaction table. *)
+let note_reset t =
+  Mutex.lock t.mu;
+  t.synced_pos <- 0;
+  t.syncing <- false;
+  Mutex.unlock t.mu
+
+let run_leader t =
+  (* called with t.mu held and t.syncing = true; returns with t.mu held *)
+  let target = Wal.size t.wal in
+  Mutex.unlock t.mu;
+  let result =
+    try
+      Fault.check group_sync_site;
+      Wal.sync t.wal;
+      Ok target
+    with e -> Error e
+  in
+  Mutex.lock t.mu;
+  t.syncing <- false;
+  (match result with
+   | Ok target ->
+     t.synced_pos <- max t.synced_pos target;
+     let covered, remaining =
+       List.partition (fun w -> w.w_pos <= target) t.waiters
+     in
+     List.iter (fun w -> w.w_outcome <- Done) covered;
+     t.waiters <- remaining;
+     Counters.bump Counters.wal_group_syncs;
+     Metrics.observe group_size_hist (float_of_int (List.length covered))
+   | Error e ->
+     (* every committer parked behind this fsync shares its failure:
+        the log end it covered is not durable, so none of them may be
+        acknowledged.  Committers arriving later enroll into an empty
+        list and retry a fresh sync. *)
+     List.iter (fun w -> w.w_outcome <- Failed e) t.waiters;
+     t.waiters <- []);
+  Condition.broadcast t.cond
+
+let sync_to t ~pos =
+  Mutex.lock t.mu;
+  if t.synced_pos >= pos then Mutex.unlock t.mu
+  else begin
+    let w = { w_pos = pos; w_outcome = Pending } in
+    t.waiters <- w :: t.waiters;
+    let rec wait () =
+      match w.w_outcome with
+      | Done -> Mutex.unlock t.mu
+      | Failed e ->
+        Mutex.unlock t.mu;
+        raise e
+      | Pending ->
+        if t.syncing then begin
+          Condition.wait t.cond t.mu;
+          wait ()
+        end
+        else begin
+          t.syncing <- true;
+          run_leader t;
+          wait ()
+        end
+    in
+    wait ()
+  end

@@ -1,0 +1,32 @@
+(** Group commit: coalesce concurrent commit fsyncs into one covering
+    {!Wal.sync}.
+
+    A committer appends its after-images and commit record under the
+    WAL writer cursor ({!Wal.append_group}), releases the engine lock,
+    and calls {!sync_to} with its end position: it returns once a
+    single fsync covering that position has completed — run by this
+    thread as the group leader, or by an earlier leader whose cursor
+    already covered it.  Acknowledgement order respects sync order:
+    no committer leaves {!sync_to} before a covering fsync completes,
+    and committers parked behind a failed fsync share its failure (they
+    abort and are never acknowledged) while later committers retry a
+    fresh sync.
+
+    Observability: each covering fsync bumps [wal.group_syncs] and
+    feeds the number of committers it acknowledged into the
+    [commit.group_size] histogram.  Fault site [wal.group_sync] fires
+    in the leader just before the fsync. *)
+
+type t
+
+val create : Wal.t -> t
+
+val sync_to : t -> pos:int -> unit
+(** Block until the log is durably synced at least to [pos] (the cursor
+    returned by {!Wal.append_group}).  Raises the leader's failure if
+    the fsync covering [pos] failed; the caller must abort, not ack.
+    Call without holding the engine lock. *)
+
+val note_reset : t -> unit
+(** The WAL was truncated (checkpoint) and positions restarted at 0;
+    forget durable progress.  Only legal with no commit in flight. *)

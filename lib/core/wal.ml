@@ -30,6 +30,9 @@ type t = {
      apply spans join the statement's trace.  In-memory only: marks
      are observability, not durability. *)
   mutable marks : (int * string * int) list;
+  (* writer cursor: appends from concurrent committers serialize here
+     so a transaction's multi-record group stays frame-contiguous *)
+  mu : Mutex.t;
 }
 
 let max_marks = 256
@@ -63,7 +66,7 @@ let create path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   let epoch = read_epoch path + 1 in
   write_epoch path epoch;
-  { fd; path; size = 0; epoch; marks = [] }
+  { fd; path; size = 0; epoch; marks = []; mu = Mutex.create () }
 
 let checksum (s : string) =
   (* FNV-1a over the payload, folded to 31 bits so the value survives
@@ -134,7 +137,13 @@ let decode_record tag payload =
       (Logical (Bytes_util.get_i32 b 0, Bytes.sub_string b 4 (Bytes.length b - 4)))
   | _ -> None
 
-let append t record =
+(* Hold the writer cursor for [f]; unlocks on exception too (a torn
+   fault raises {!Fault.Injected_crash} mid-append). *)
+let with_writer t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let append_unlocked t record =
   let payload = encode_payload record in
   let n = String.length payload in
   let frame = Bytes.create (4 + 1 + n + 4) in
@@ -169,9 +178,34 @@ let append t record =
   in
   Trace.emit (Trace.Wal_append { tag; bytes = len })
 
+let append t record = with_writer t (fun () -> append_unlocked t record)
+
+(* Append a transaction's records as one contiguous run of frames and
+   return the log position just past them — the position a covering
+   {!sync} must reach before the commit may be acknowledged.  Holding
+   the writer cursor across the whole group is what keeps interleaved
+   multi-record appends from concurrent committers frame-contiguous. *)
+let append_group t records =
+  with_writer t (fun () ->
+      List.iter (append_unlocked t) records;
+      t.size)
+
+(* The log tip as of a moment when no append is mid-frame: [size] is
+   only advanced after a frame's bytes are fully written, so every byte
+   at or below the returned position is in the file (though not
+   necessarily fsynced).  A file copy taken *after* this read therefore
+   contains every frame the position covers.  The seed path records
+   this as the standby's resume position *before* copying: a commit
+   racing the copy can only leave the copy ahead of the recorded
+   position — harmless, since the standby replays its local log and
+   re-pulls idempotently — never behind it, which would lose the
+   commit on the standby forever. *)
+let stable_tip t = with_writer t (fun () -> (t.epoch, t.size))
+
 let sync t =
   Fault.check sync_site;
-  Unix.fsync t.fd
+  Unix.fsync t.fd;
+  Counters.bump Counters.wal_syncs
 
 (* Walk the well-formed frames of [b] starting at [start]: decoded
    records each paired with the position just past their frame, plus
@@ -262,13 +296,14 @@ let records_of_frames s =
    The caller syncs; checksums were validated when the frames were cut
    from the primary's log. *)
 let append_raw t s =
-  let len = String.length s in
-  let b = Bytes.unsafe_of_string s in
-  let rec drain off =
-    if off < len then drain (off + Unix.write t.fd b off (len - off))
-  in
-  drain 0;
-  t.size <- t.size + len
+  with_writer t (fun () ->
+      let len = String.length s in
+      let b = Bytes.unsafe_of_string s in
+      let rec drain off =
+        if off < len then drain (off + Unix.write t.fd b off (len - off))
+      in
+      drain 0;
+      t.size <- t.size + len)
 
 (* Open an existing log, dropping any torn tail first: without the
    truncation, records appended after recovery would sit behind the
@@ -293,12 +328,13 @@ let open_existing path =
       1
     | e -> e
   in
-  { fd; path; size = valid; epoch; marks = [] }
+  { fd; path; size = valid; epoch; marks = []; mu = Mutex.create () }
 
 (* Truncate the log after a checkpoint has made it redundant.  The file
    and its directory are fsynced so a crash immediately after the
    checkpoint cannot resurrect the stale tail. *)
 let reset t =
+  with_writer t @@ fun () ->
   Fault.check reset_site;
   Unix.close t.fd;
   let fd = Unix.openfile t.path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
@@ -320,14 +356,16 @@ let close t = Unix.close t.fd
 
 (* ---- trace marks (observability, in-memory) ------------------------- *)
 
-(* called right after the commit's frames are appended, so t.size is
-   the position just past them *)
-let mark_trace t ~trace ~span =
+(* [pos] is the position just past the commit's frames — under group
+   commit other committers may have appended behind it, so the caller
+   passes the cursor returned by {!append_group} rather than reading
+   the (possibly advanced) log end. *)
+let mark_trace t ~pos ~trace ~span =
   let rec take n = function
     | x :: tl when n > 0 -> x :: take (n - 1) tl
     | _ -> []
   in
-  t.marks <- take max_marks ((t.size, trace, span) :: t.marks)
+  with_writer t (fun () -> t.marks <- take max_marks ((pos, trace, span) :: t.marks))
 
 (* marks covered by the half-open WAL range (lo, hi] — i.e. the commits
    a batch of frames [lo, hi) completes *)

@@ -24,6 +24,13 @@ val open_existing : string -> t
 (** Open for appending (recovery reads via {!read_all}). *)
 
 val append : t -> record -> unit
+
+val append_group : t -> record list -> int
+(** Append the records as one contiguous run of frames under the writer
+    cursor — concurrent committers cannot interleave within the group —
+    and return the position just past them, the position a covering
+    {!sync} must reach before the commit is acknowledged. *)
+
 val sync : t -> unit
 
 val read_all : string -> record list
@@ -50,6 +57,14 @@ val close : t -> unit
 
 val epoch : t -> int
 (** Generation id of the open log. *)
+
+val stable_tip : t -> int * int
+(** [(epoch, size)] read under the writer cursor, so no append is
+    mid-frame: every byte at or below the returned position is fully
+    written to the log file (though not necessarily fsynced).  The
+    backup/seed path records this as the resume position {e before}
+    copying the log, so a commit racing the copy can only leave the
+    copy ahead of the recorded position, never behind it. *)
 
 val read_epoch : string -> int
 (** Epoch recorded in the sidecar file next to the log at this path;
@@ -83,8 +98,9 @@ val append_raw : t -> string -> unit
     by each shipped batch so standby apply spans join the right
     trace. *)
 
-val mark_trace : t -> trace:string -> span:int -> unit
-(** Mark the current log end as the commit point of this trace. *)
+val mark_trace : t -> pos:int -> trace:string -> span:int -> unit
+(** Mark [pos] (the cursor returned by {!append_group}, just past the
+    commit's frames) as the commit point of this trace. *)
 
 val marks_between : t -> lo:int -> hi:int -> (int * string * int) list
 (** Marks with position in (lo, hi], oldest first — the traced commits

@@ -22,6 +22,7 @@ type t = {
   mutable limits : limits;
   mu : Mutex.t; (* guards the registry fields above *)
   engine : Mutex.t; (* the coarse store lock: one statement in the engine *)
+  mutable engine_owner : int; (* Thread.id of the holder, -1 when free *)
 }
 
 let create () =
@@ -32,6 +33,7 @@ let create () =
     limits = default_limits;
     mu = Mutex.create ();
     engine = Mutex.create ();
+    engine_owner = -1;
   }
 
 let limits t = t.limits
@@ -46,7 +48,47 @@ let locked mu f =
    an uncommitted writer keeps its S2PL document locks but not this
    mutex, so snapshot readers slip in between its statements and read
    their version chain without waiting for the commit (paper §6.3). *)
-let with_engine t f = locked t.engine f
+let with_engine t f =
+  Mutex.lock t.engine;
+  t.engine_owner <- Thread.id (Thread.self ());
+  Fun.protect
+    ~finally:(fun () ->
+      t.engine_owner <- -1;
+      Mutex.unlock t.engine)
+    f
+
+(* Release the engine lock around a blocking wait — the group-commit
+   park.  The caller is mid-statement inside [with_engine]; while it
+   waits for the covering fsync, other sessions' statements run.
+
+   Two global single-owner cells ride on "one statement in the engine
+   at a time" and must not leak to whoever takes the lock next: the
+   statement's [Deadline] budget is detached for the duration (the
+   wait is bounded by the group leader's fsync, not by the budget),
+   and the ambient [Span] context is cleared so a statement that runs
+   while we park cannot attach its spans to our trace.  Both are
+   restored after the lock is re-acquired, preserving the single-owner
+   invariant on both sides of the wait.
+
+   Callers that never took the engine lock (single-threaded tests and
+   benches drive sessions directly) just run [f] inline: with no lock
+   held there is nothing to release and no cell to detach. *)
+let without_engine t f =
+  if t.engine_owner <> Thread.id (Thread.self ()) then f ()
+  else begin
+    let budget = Deadline.suspend () in
+    let cx = Span.current () in
+    Span.set_current None;
+    t.engine_owner <- -1;
+    Mutex.unlock t.engine;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock t.engine;
+        t.engine_owner <- Thread.id (Thread.self ());
+        Span.set_current cx;
+        Deadline.resume budget)
+      f
+  end
 
 let create_database t ~name ~dir =
   if Hashtbl.mem t.databases name then
@@ -92,6 +134,10 @@ let connect t ~database : int * Session.t =
           t.limits.max_sessions
       end;
       let s = Session.connect db in
+      (* governor sessions run statements under the engine lock, so
+         their commits may park outside it and let other sessions
+         proceed during the group fsync *)
+      Session.set_park s (fun wait -> without_engine t wait);
       let id = t.next_session_id in
       t.next_session_id <- id + 1;
       t.sessions <- (id, s) :: t.sessions;

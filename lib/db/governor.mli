@@ -25,6 +25,15 @@ val with_engine : t -> (unit -> 'a) -> 'a
     between statements but not this mutex, so snapshot readers run
     without waiting for its commit (paper §6.3).  Not reentrant. *)
 
+val without_engine : t -> (unit -> 'a) -> 'a
+(** Release the engine lock around a blocking wait (the group-commit
+    park) from inside {!with_engine}, re-acquiring it afterwards even
+    on exception.  The statement's [Deadline] budget and ambient [Span]
+    context are detached for the duration and restored with the lock,
+    so the statement that runs in the window owns both cells cleanly.
+    If the calling thread does not hold the engine lock (single-threaded
+    tests and benches drive sessions without it), [f] runs inline. *)
+
 val create_database : t -> name:string -> dir:string -> Sedna_core.Database.t
 val open_database : t -> name:string -> dir:string -> Sedna_core.Database.t
 

@@ -41,6 +41,11 @@ type t = {
   plans : (string, plan) Hashtbl.t; (* keyed by statement text *)
   metrics : Metrics.set; (* per-session scope, parent = Metrics.global *)
   latency : Metrics.histogram; (* per-session statement latency *)
+  (* how this session's commits wait for the covering group fsync: the
+     governor points this at [Governor.without_engine] so the engine
+     lock is released while the commit parks; the default runs the
+     wait inline (standalone sessions hold no engine lock) *)
+  mutable park : (unit -> unit) -> unit;
 }
 
 (* All sessions feed one registered latency histogram besides their
@@ -61,8 +66,10 @@ let connect db =
     metrics =
       Metrics.create ~name:(Printf.sprintf "session-%d" id) ~parent:Metrics.global ();
     latency = Metrics.histogram ~register:false "session.latency";
+    park = (fun wait -> wait ());
   }
 
+let set_park t f = t.park <- f
 let database t = t.db
 let id t = t.id
 let metrics t = t.metrics
@@ -204,7 +211,7 @@ let begin_txn ?(read_only = false) t =
 let commit t =
   match t.txn with
   | Some txn when Txn.is_active txn ->
-    Database.commit t.db txn;
+    Database.commit ~park:t.park t.db txn;
     t.txn <- None
   | _ -> Error.raise_error Error.Txn_not_active "no active transaction"
 
@@ -498,26 +505,50 @@ let execute t (text : string) : result =
               raise e)
           | _ ->
             let read_only = is_query stmt in
-            let txn = Database.begin_txn ~read_only t.db in
-            (try
-               if not read_only then
-                 List.iter
-                   (fun (doc, mode) -> Database.lock_exn t.db txn ~doc ~mode)
-                   locks;
-               let r =
-                 Span.with_span "eval" (fun _ ->
-                     Database.run t.db txn (fun () -> run_statement t stmt txn))
-               in
-               Database.commit t.db txn;
-               r
-             with
-             | Fault.Injected_crash _ as e -> raise e
-             | e ->
-               (if Txn.is_active txn then
-                  try Database.abort t.db txn with
-                  | Fault.Injected_crash _ as c -> raise c
-                  | _ -> ());
-               raise e))
+            let run_once () =
+              let txn = Database.begin_txn ~read_only t.db in
+              try
+                if not read_only then
+                  List.iter
+                    (fun (doc, mode) -> Database.lock_exn t.db txn ~doc ~mode)
+                    locks;
+                let r =
+                  Span.with_span "eval" (fun _ ->
+                      Database.run t.db txn (fun () -> run_statement t stmt txn))
+                in
+                Database.commit ~park:t.park t.db txn;
+                r
+              with
+              | Fault.Injected_crash _ as e -> raise e
+              | e ->
+                (if Txn.is_active txn then
+                   try Database.abort t.db txn with
+                   | Fault.Injected_crash _ as c -> raise c
+                   | _ -> ());
+                raise e
+            in
+            (* Lock timeouts restart the whole auto-commit statement: the
+               document lock is typically held by a commit parked in the
+               group fsync, and that commit can only complete — and
+               release — once this session lets go of the engine lock.
+               So the pause between attempts goes through [t.park]
+               (engine lock released, like a commit park).  The timed-out
+               attempt was fully aborted, and locks are acquired before
+               any modification, so the restart is invisible to the
+               client.  Explicit transactions are not restarted: their
+               abort is the documented statement-failure contract. *)
+            let max_attempts = 20 in
+            let rec attempt n =
+              match run_once () with
+              | r -> r
+              | exception Error.Sedna_error (Error.Lock_timeout, _)
+                when n < max_attempts ->
+                Counters.bump Counters.stmt_lock_restarts;
+                t.park (fun () ->
+                    Unix.sleepf (Float.min 0.008 (0.0005 *. float_of_int (1 lsl n))));
+                attempt (n + 1)
+            in
+            attempt 1)
     in
     finish ~kind:(statement_kind stmt) ~ok:true ~ci ~execute_s;
     r

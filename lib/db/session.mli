@@ -18,6 +18,13 @@ type result =
 val result_to_string : result -> string
 
 val connect : Sedna_core.Database.t -> t
+
+val set_park : t -> ((unit -> unit) -> unit) -> unit
+(** How this session's commits wait for the covering group fsync.  The
+    governor installs [Governor.without_engine] here so the engine lock
+    is released while the commit parks; the default runs the wait
+    inline. *)
+
 val database : t -> Sedna_core.Database.t
 
 val id : t -> int

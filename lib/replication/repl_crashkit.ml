@@ -5,15 +5,20 @@
    copy under the same discipline, with the three [repl.*] fault sites
    armed one at a time:
 
-     repl.send       primary dies mid-batch (before the reply)
-     repl.heartbeat  primary dies instead of heartbeating
-     repl.apply      standby dies after receiving a batch, before it
-                     is persisted or acked
+     repl.send         primary dies mid-batch (before the reply)
+     repl.heartbeat    primary dies instead of heartbeating
+     repl.apply        standby dies after receiving a batch, before it
+                       is persisted or acked
+     repl.batch_apply  standby apply stage dies after the batch is
+                       durable and acked, before it is applied
 
-   A fired fault severs the replication connection; the receiver
-   reconnects and re-pulls from its acked position, so the required
-   outcome is always the same: the standby ends caught up and holding
-   every entry the primary acked — added lag, zero loss.
+   A fired fault at the first three sites severs the replication
+   connection; the receiver reconnects and re-pulls from its acked
+   position.  At [repl.batch_apply] the batch is already durable in
+   the standby's own WAL, so the receiver recovers in place (reopen,
+   replay the local log, resume from the persisted boundary).  The
+   required outcome is always the same: the standby ends caught up and
+   holding every entry the primary acked — added lag, zero loss.
 
    Each run also checkpoints the primary mid-workload, bumping the WAL
    epoch under live traffic so the Hole → re-seed path is exercised in
@@ -35,7 +40,7 @@ let rm_rf dir =
   if Sys.file_exists dir then
     ignore (Sys.command ("rm -rf " ^ Filename.quote dir))
 
-let repl_sites = [ "repl.send"; "repl.heartbeat"; "repl.apply" ]
+let repl_sites = [ "repl.send"; "repl.heartbeat"; "repl.apply"; "repl.batch_apply" ]
 
 let run_spec ?(ops = 10) ?(reseed_at = 5) ~dir spec : Crashkit.outcome =
   Fault.disarm_all ();

@@ -1,10 +1,16 @@
-(** Standby side of WAL-shipping replication: continuous redo.
+(** Standby side of WAL-shipping replication: continuous redo,
+    pipelined.
 
     A pull thread tails the primary's WAL over the replication port,
-    appends the shipped frames to the standby's own WAL (durability
-    first), applies complete transactions under the governor's engine
-    lock, and persists its resume position at transaction boundaries.
-    The standby database is registered in the governor under the given
+    appends the shipped frames to the standby's own WAL and fsyncs
+    (durability first), then acknowledges and pulls the next batch
+    while a separate apply thread redoes complete transactions under
+    the governor's engine lock — batch N+1's receive/fsync overlaps
+    batch N's apply, so lag stays bounded by the slower stage rather
+    than their sum.  The resume position is persisted at durably
+    shipped transaction boundaries; restart recovery replays the local
+    WAL, so a durable-but-unapplied transaction is never lost.  The
+    standby database is registered in the governor under the given
     name and accepts [BEGIN READ ONLY] sessions; writes are refused
     with [SE-READ-ONLY].
 
@@ -15,7 +21,11 @@
 
     Fault site [repl.apply] fires after a batch is received but before
     it is persisted or acknowledged: an injected fault costs the
-    connection only, the batch is pulled again on reconnect. *)
+    connection only, the batch is pulled again on reconnect.  Fault
+    site [repl.batch_apply] fires in the apply thread, after the batch
+    is durable and acknowledged: an injected fault there costs an
+    in-place recovery (reopen the directory, replay the local WAL,
+    resume from the persisted boundary) — added lag, zero loss. *)
 
 type t
 

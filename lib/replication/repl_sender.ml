@@ -12,10 +12,10 @@
                 and bumped its epoch; the standby must re-seed
 
    Re-seeding ships a full hot backup over the same connection
-   (Seed_file per file, then Seed_done with the exact (epoch, position)
-   streaming resumes from).  The backup is taken under the engine lock,
-   so the seed is transaction-consistent and the resume position is
-   exact.
+   (Seed_file per file, then Seed_done with the (epoch, position)
+   streaming resumes from).  The resume position is captured under the
+   WAL writer cursor *before* the files are copied, so the shipped log
+   always covers it — see the ordering argument at {!serve_seed}.
 
    Reading the live WAL file concurrently with appends is safe without
    the engine lock: only whole checksum-valid frames are shipped, so a
@@ -59,18 +59,33 @@ let read_file path =
   close_in ic;
   data
 
-(* Ship a transaction-consistent full backup.  Taken under the engine
-   lock: no commit can slide between the copied files and the recorded
-   resume position. *)
+(* Ship a transaction-consistent full backup.
+
+   The resume position is captured *before* the files are copied — the
+   copy order, not a lock, is what makes the seed safe.  Embedded
+   sessions commit without holding the engine lock, so a commit can
+   always land during the copy; with position-first ordering the copied
+   log can only be *ahead* of the recorded position (the standby
+   replays its local log on open and re-pulls from the position — apply
+   is idempotent, so being ahead is harmless).  The reverse order loses
+   the slid commit on the standby forever: the position covers it but
+   the shipped log does not, so it is never pulled and never applied.
+   A checkpoint truncating the log mid-copy invalidates the captured
+   position; the epoch re-check catches that and retries. *)
 let serve_seed t conn_id fd =
   Trace.emit (Trace.Repl_state { role = "primary"; state = "seeding" });
   let tmp = Database.directory t.db ^ Printf.sprintf ".seed%d" conn_id in
-  rm_rf tmp;
-  let epoch, pos =
-    Governor.with_engine t.gov (fun () ->
-        Backup.full t.db ~dest:tmp;
-        (Wal.epoch (Database.wal t.db), Wal.size (Database.wal t.db)))
+  let rec consistent_backup attempts =
+    rm_rf tmp;
+    let epoch, pos = Wal.stable_tip (Database.wal t.db) in
+    Governor.with_engine t.gov (fun () -> Backup.full t.db ~dest:tmp);
+    if Wal.epoch (Database.wal t.db) = epoch then (epoch, pos)
+    else if attempts <= 1 then
+      Error.raise_error Error.Recovery_failure
+        "seed backup kept racing checkpoint log truncations; giving up"
+    else consistent_backup (attempts - 1)
   in
+  let epoch, pos = consistent_backup 5 in
   Fun.protect
     ~finally:(fun () -> rm_rf tmp)
     (fun () ->
@@ -185,6 +200,11 @@ let listener_main t () =
   loop ()
 
 let start ?(host = "127.0.0.1") ?(port = 0) ~gov (db : Database.t) : t =
+  (* a standby tearing down mid-stream must surface as EPIPE on our
+     write, not as a process-killing signal; the TCP server does the
+     same, but replication can run without one (embedded, tests) *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let addr = Unix.inet_addr_of_string host in
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;

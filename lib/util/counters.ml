@@ -1,12 +1,34 @@
-(* Global event counters used by benches to report block touches, buffer
-   faults, pointer dereferences etc.  Kept dead simple: named integer
-   cells.  Not thread-safe by design — benches are single-domain. *)
+(* Global event counters used by benches, the Prometheus endpoint and
+   the observability stack: named integer cells.  The server era bumps
+   these from every worker thread plus the replication and listener
+   threads while /metrics scrapes them live, so the table and every
+   read-modify-write go through one mutex: a bare Hashtbl.add can
+   corrupt the table mid-resize, and [r := !r + n] loses increments
+   when two threads interleave the read and the write.
+
+   The pre-resolved [*_cell] bindings at the bottom stay plain [int
+   ref]s bumped with an unguarded [incr]: those cells are only ever
+   incremented from storage-layer hot paths that run under the
+   governor's engine lock (statement execution, recovery, the
+   standby's apply step), so they are already serialized and the
+   mutex would only distort the measurements they exist for. *)
 
 type t = (string, int ref) Hashtbl.t
 
 let global : t = Hashtbl.create 32
+let mu = Mutex.create ()
 
-let cell name =
+let locked f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+    Mutex.unlock mu;
+    v
+  | exception e ->
+    Mutex.unlock mu;
+    raise e
+
+let cell_unlocked name =
   match Hashtbl.find_opt global name with
   | Some r -> r
   | None ->
@@ -14,28 +36,36 @@ let cell name =
     Hashtbl.add global name r;
     r
 
+let cell name = locked (fun () -> cell_unlocked name)
+
 let bump ?(n = 1) name =
-  let r = cell name in
-  r := !r + n
+  locked (fun () ->
+      let r = cell_unlocked name in
+      r := !r + n)
 
 (* gauge-style assignment: replication lag and other "current value"
    cells are set, not accumulated *)
 let set name v =
-  let r = cell name in
-  r := v
+  locked (fun () ->
+      let r = cell_unlocked name in
+      r := v)
 
-let get name = match Hashtbl.find_opt global name with Some r -> !r | None -> 0
+let get name =
+  locked (fun () ->
+      match Hashtbl.find_opt global name with Some r -> !r | None -> 0)
 
-let reset name = match Hashtbl.find_opt global name with Some r -> r := 0 | None -> ()
+let reset name =
+  locked (fun () ->
+      match Hashtbl.find_opt global name with Some r -> r := 0 | None -> ())
 
-let reset_all () = Hashtbl.iter (fun _ r -> r := 0) global
+let reset_all () = locked (fun () -> Hashtbl.iter (fun _ r -> r := 0) global)
 
 (* The hot-path [*_cell] bindings below pre-register their counters at
    module init, so the table always holds some cells that were never
    bumped.  [snapshot] hides those zero rows; [snapshot_all] keeps them
    for callers that care about registration itself. *)
 let snapshot_all () =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) global []
+  locked (fun () -> Hashtbl.fold (fun k r acc -> (k, !r) :: acc) global [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot () = List.filter (fun (_, v) -> v <> 0) (snapshot_all ())
@@ -64,7 +94,10 @@ let checksum_fail = "checksum.fail"
 let recovery_redo = "recovery.redo"
 let recovery_skip = "recovery.skip"
 let wal_truncated_bytes = "wal.truncated_bytes"
+let wal_syncs = "wal.syncs"
+let wal_group_syncs = "wal.group_syncs"
 let lock_retry = "lock.retry"
+let stmt_lock_restarts = "stmt.lock_restarts"
 let conn_accepted = "server.conn.accepted"
 let conn_rejected = "server.conn.rejected"
 let server_requests = "server.requests"
@@ -75,6 +108,8 @@ let repl_txns_applied = "repl.txns_applied"
 let repl_pages_applied = "repl.pages_applied"
 let repl_heartbeats = "repl.heartbeats"
 let repl_reseeds = "repl.reseeds"
+let repl_apply_restarts = "repl.apply_restarts"
+let repl_batches_pipelined = "repl.batches_pipelined"
 let repl_promotions = "repl.promotions"
 let repl_lag_bytes = "repl.lag_bytes"
 let repl_acked_pos = "repl.acked_pos"

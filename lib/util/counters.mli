@@ -1,10 +1,14 @@
 (** Global event counters: benches and tests read block touches, buffer
     faults, dereference counts, relocation field-writes etc. from here.
-    Single-domain by design.
+    Thread-safe: cell creation and every read-modify-write are guarded
+    by a mutex, because the server's worker threads, the replication
+    threads and the Prometheus scraper all touch the table live.
 
     The hot-path counters are exposed as pre-resolved [int ref] cells so
-    that incrementing them is a plain [incr] — the instrumentation must
-    not distort the dereference measurements it exists to support. *)
+    that incrementing them is a plain (unguarded) [incr] — they are only
+    bumped from paths serialized by the governor's engine lock, and the
+    instrumentation must not distort the dereference measurements it
+    exists to support. *)
 
 val bump : ?n:int -> string -> unit
 
@@ -76,8 +80,22 @@ val recovery_skip : string
 val wal_truncated_bytes : string
 (** Bytes of torn WAL tail dropped by truncation at open/recovery. *)
 
+val wal_syncs : string
+(** Physical WAL fsyncs.  Divided into {!wal_group_syncs} when the sync
+    covered a parked commit group. *)
+
+val wal_group_syncs : string
+(** Coalesced group-commit fsyncs: one covering {!Wal.sync} acknowledged
+    one or more parked committers. *)
+
 val lock_retry : string
 (** Blocked lock acquisition retried after a bounded backoff. *)
+
+val stmt_lock_restarts : string
+(** Auto-commit statement restarted after a lock timeout — typically
+    the document lock was held by a commit parked in the group fsync;
+    the restart waits outside the engine lock so that commit can
+    complete and release. *)
 
 val conn_accepted : string
 (** Server connection admitted to the worker pool. *)
@@ -109,6 +127,14 @@ val repl_heartbeats : string
 
 val repl_reseeds : string
 (** Standby re-seeds from a fresh full backup (epoch mismatch). *)
+
+val repl_apply_restarts : string
+(** Standby apply-stage failures recovered in place by replaying the
+    locally durable WAL (added lag, zero loss). *)
+
+val repl_batches_pipelined : string
+(** Pull batches whose raw append/fsync overlapped the apply of an
+    earlier batch on the standby. *)
 
 val repl_promotions : string
 (** Standby promotions to primary. *)

@@ -44,3 +44,22 @@ let check () =
    long (a sleeping lock retry never touches [check] at all). *)
 let check_now () =
   if !armed && Metrics.mono () > !deadline then expire ()
+
+(* The single-cell design assumes exactly one statement owns the cell
+   at a time.  Group commit parks a committing statement *outside* the
+   engine lock, during which another statement legitimately enters the
+   engine and arms its own deadline — so the parking thread detaches
+   its budget first and reattaches it once it holds the lock again.
+   The parked wait itself is bounded by the group leader's fsync, not
+   by the statement budget. *)
+type snapshot = { snap_armed : bool; snap_deadline : float }
+
+let suspend () =
+  let s = { snap_armed = !armed; snap_deadline = !deadline } in
+  clear ();
+  s
+
+let resume s =
+  armed := s.snap_armed;
+  deadline := s.snap_deadline;
+  tick := 0

@@ -23,3 +23,14 @@ val check_now : unit -> unit
     span-boundary choke points (lock-wait retry loops, phase
     transitions) where calls are rare but the elapsed time between
     them can be long. *)
+
+type snapshot
+
+val suspend : unit -> snapshot
+(** Detach the current statement's budget from the global cell (and
+    disarm it), so another statement may own the cell while this one
+    waits outside the engine lock — group commit parks here.  Pair with
+    {!resume} once the lock is held again. *)
+
+val resume : snapshot -> unit
+(** Reattach a budget detached by {!suspend}. *)

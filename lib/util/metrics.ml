@@ -106,25 +106,47 @@ let create ?(name = "scope") ?parent () =
 
 let name t = t.set_name
 
+(* The root set shares storage with the thread-safe {!Counters} table;
+   route its accesses through that module's mutex so scoped bumps that
+   chain up to the global set cannot race the server threads.  Scoped
+   (non-global) sets stay unguarded: they are per-session and only
+   touched under the governor's engine lock. *)
+let is_global t = t.cells == Counters.global_table
+
 let cell t key =
-  match Hashtbl.find_opt t.cells key with
-  | Some r -> r
-  | None ->
-    let r = ref 0 in
-    Hashtbl.add t.cells key r;
-    r
+  if is_global t then Counters.cell key
+  else
+    match Hashtbl.find_opt t.cells key with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.add t.cells key r;
+      r
 
 let rec bump ?(n = 1) t key =
-  let r = cell t key in
-  r := !r + n;
-  match t.parent with Some p -> bump ~n p key | None -> ()
+  if is_global t then Counters.bump ~n key
+  else begin
+    let r = cell t key in
+    r := !r + n;
+    match t.parent with Some p -> bump ~n p key | None -> ()
+  end
 
-let get t key = match Hashtbl.find_opt t.cells key with Some r -> !r | None -> 0
-let reset t = Hashtbl.iter (fun _ r -> r := 0) t.cells
+let get t key =
+  if is_global t then Counters.get key
+  else match Hashtbl.find_opt t.cells key with Some r -> !r | None -> 0
+
+let reset t =
+  if is_global t then Counters.reset_all ()
+  else Hashtbl.iter (fun _ r -> r := 0) t.cells
 
 let snapshot ?(zeros = false) t =
-  Hashtbl.fold (fun k r acc -> if zeros || !r <> 0 then (k, !r) :: acc else acc) t.cells []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  if is_global t then
+    List.filter (fun (_, v) -> zeros || v <> 0) (Counters.snapshot_all ())
+  else
+    Hashtbl.fold
+      (fun k r acc -> if zeros || !r <> 0 then (k, !r) :: acc else acc)
+      t.cells []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* Per-key [after - before], dropping zero deltas.  Keys present only in
    [before] (a reset happened in between) are reported as negative. *)

@@ -33,9 +33,31 @@ let locked f =
   Mutex.lock mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
+(* The file sink keeps one out-channel open across records (opening per
+   record would dominate the cost of logging) and flushes after every
+   line, so `tail -f` and a collector see a record as soon as the slow
+   statement finishes and nothing is lost on abnormal exit.  The
+   channel is closed at exit and whenever [set_file] changes the
+   path.  All under [mu]: records come from concurrent workers. *)
+let chan : (string * out_channel) option ref = ref None
+
+let close_chan_unlocked () =
+  match !chan with
+  | Some (_, oc) ->
+    chan := None;
+    (try close_out oc with Sys_error _ -> ())
+  | None -> ()
+
+let () = at_exit (fun () -> locked close_chan_unlocked)
+
 let set_threshold s = threshold_s := s
 let threshold () = !threshold_s
-let set_file p = locked (fun () -> file := p)
+
+let set_file p =
+  locked (fun () ->
+      if p <> !file then close_chan_unlocked ();
+      file := p)
+
 let set_capacity n = ring_capacity := max 1 n
 
 let entry_to_json e =
@@ -53,14 +75,22 @@ let entry_to_json e =
         Metrics.Obj (List.map (fun (n, ms) -> (n, Metrics.Float ms)) e.sl_spans) );
     ]
 
-let append_to_file path line =
+let append_to_file_unlocked path line =
   try
     let oc =
-      open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+      match !chan with
+      | Some (p, oc) when p = path -> oc
+      | _ ->
+        close_chan_unlocked ();
+        let oc =
+          open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+        in
+        chan := Some (path, oc);
+        oc
     in
     output_string oc line;
     output_char oc '\n';
-    close_out oc
+    flush oc
   with Sys_error _ -> () (* a broken sink must not fail the statement *)
 
 let observe ~trace ~session ~text ~kind ~ok ~cached ~total_s ~spans =
@@ -78,18 +108,17 @@ let observe ~trace ~session ~text ~kind ~ok ~cached ~total_s ~spans =
         sl_spans = spans;
       }
     in
-    let sink =
-      locked (fun () ->
-          incr recorded;
-          Queue.push e ring;
-          while Queue.length ring > !ring_capacity do
-            ignore (Queue.pop ring)
-          done;
-          !file)
-    in
-    match sink with
-    | Some path -> append_to_file path (Metrics.json_to_string (entry_to_json e))
-    | None -> ()
+    locked (fun () ->
+        incr recorded;
+        Queue.push e ring;
+        while Queue.length ring > !ring_capacity do
+          ignore (Queue.pop ring)
+        done;
+        match !file with
+        | Some path ->
+          append_to_file_unlocked path
+            (Metrics.json_to_string (entry_to_json e))
+        | None -> ())
   end
 
 let dump () = locked (fun () -> List.of_seq (Queue.to_seq ring))

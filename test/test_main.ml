@@ -17,6 +17,7 @@ let () =
       ("session", Test_session.suite);
       ("plan-cache", Test_plan_cache.suite);
       ("metrics", Test_metrics.suite);
+      ("write-path", Test_write_path.suite);
       ("baselines", Test_baselines.suite);
       ("fuzz", Test_fuzz.suite);
       ("hier-lock", Test_hier_lock.suite);
