@@ -98,6 +98,28 @@ let run_statement_inner session text =
   | "\\netfaults heal" ->
     Sedna_util.Netfault.heal_all ();
     print_endline "all partitions healed"
+  | "\\scrub" ->
+    (* one synchronous scrub pass over the session's database (the
+       local shell is single-threaded, so no lock injection needed) *)
+    let db = Sedna_db.Session.database session in
+    let st = Scrubber.run_pass (Scrubber.create db) in
+    Printf.printf
+      "scrub pass: %d pages checked, %d corrupt; repaired %d pool / %d wal        / %d standby; %d deferred, %d failed\n"
+      st.Scrubber.checked st.Scrubber.corrupt st.Scrubber.repaired_pool
+      st.Scrubber.repaired_wal st.Scrubber.repaired_standby
+      st.Scrubber.deferred st.Scrubber.failed
+  | "\\scrub status" ->
+    let g = Sedna_util.Counters.get in
+    let open Sedna_util.Counters in
+    Printf.printf
+      "passes: %d  pages checked: %d  corrupt: %d\n\
+       repaired: %d pool / %d wal / %d standby; deferred: %d  failed: %d\n\
+       degraded: %s (entered %d, recovered %d, writes rejected %d)\n"
+      (g scrub_passes) (g scrub_pages_checked) (g scrub_corrupt)
+      (g scrub_repaired_pool) (g scrub_repaired_wal) (g scrub_repaired_standby)
+      (g scrub_deferred) (g scrub_repair_failed)
+      (if g degraded_state > 0 then "YES" else "no")
+      (g degraded_entered) (g degraded_recovered) (g degraded_rejected_writes)
   | "\\quit" | "\\q" -> raise Exit
   | text when String.length text > 12 && String.sub text 0 12 = "\\faults arm " -> (
     let spec = String.trim (String.sub text 12 (String.length text - 12)) in
@@ -148,7 +170,8 @@ let interactive session =
      Commands: \\begin \\begin-ro \\commit \\rollback \\documents\n\
      \\counters (\\counters reset) \\trace (\\trace clear)\n\
      \\traces \\trace <id> (span tree) \\slow (\\slow clear)\n\
-     \\checkpoint \\check (integrity) \\explain <query> \\profile <query>\n\
+     \\checkpoint \\check (integrity) \\scrub (\\scrub status)\n\
+     \\explain <query> \\profile <query>\n\
      \\faults (\\faults arm <site>:<policy>, \\faults disarm)\n\
      \\netfaults (\\netfaults arm <spec>, \\netfaults disarm, \\netfaults heal)";
   let buf = Buffer.create 256 in
@@ -210,7 +233,7 @@ let parse_endpoint spec =
    seeded and then continuously applied from the primary, and the
    server accepts the PROMOTE admin statement. *)
 let serve_mode db_dir create host port db_name max_sessions query_timeout
-    repl_port standby_of metrics_port =
+    repl_port standby_of metrics_port scrub_rate repair_from =
   let g = Sedna_db.Governor.create () in
   let name =
     match db_name with Some n -> n | None -> Filename.basename db_dir
@@ -220,10 +243,19 @@ let serve_mode db_dir create host port db_name max_sessions query_timeout
     match standby_of with
     | Some spec ->
       let rhost, rport = parse_endpoint spec in
-      ( Some
-          (Sedna_replication.Repl_receiver.start ~gov:g ~name ~dir:db_dir
-             ~host:rhost ~port:rport ()),
-        None )
+      let r =
+        Sedna_replication.Repl_receiver.start ~gov:g ~name ~dir:db_dir
+          ~host:rhost ~port:rport ()
+      in
+      (* a standby with its own replication port serves page-repair
+         fetches (Wire.Page_request) for the primary's scrubber — the
+         source closure tracks the live database across re-seeds *)
+      ( Some r,
+        Option.map
+          (fun p ->
+            Sedna_replication.Repl_sender.start_source ~host ~port:p ~gov:g
+              (fun () -> Sedna_replication.Repl_receiver.database r))
+          repl_port )
     | None ->
       let db =
         if create || not (Sys.file_exists (Filename.concat db_dir "data.sdb"))
@@ -257,6 +289,31 @@ let serve_mode db_dir create host port db_name max_sessions query_timeout
     | Some r -> Sedna_replication.Repl_receiver.database r
     | None -> Sedna_db.Governor.find_database g name
   in
+  (* self-healing: online scrubber on the primary (the standby's copy
+     is rewritten by the apply stream; re-seeds would invalidate a
+     scrubber's database handle) and the resource watchdog everywhere *)
+  let scrubber =
+    if scrub_rate <= 0 || standby_of <> None then None
+    else
+      match find_db () with
+      | None -> None
+      | Some db ->
+        let fetch =
+          Option.map
+            (fun spec ->
+              let rh, rp = parse_endpoint spec in
+              Sedna_replication.Repl_client.page_fetcher ~host:rh ~port:rp db)
+            repair_from
+        in
+        let sc =
+          Scrubber.create ~pages_per_sec:scrub_rate ?fetch
+            ~lock:(fun f -> Sedna_db.Governor.with_engine g f)
+            db
+        in
+        Scrubber.start sc;
+        Some sc
+  in
+  let watchdog = Watchdog.start ~dir:db_dir ~get_db:find_db () in
   let msrv =
     Option.map
       (fun mport ->
@@ -289,6 +346,10 @@ let serve_mode db_dir create host port db_name max_sessions query_timeout
               (* deposed primary: still answers reads, but a load
                  balancer must stop routing here *)
               (false, "fenced")
+            | Some db when Database.is_degraded db ->
+              (* resource exhaustion: reads fine, writes shed — drop
+                 out of the write pool until the watchdog recovers *)
+              (false, "degraded")
             | _ ->
               if recv <> None && not !promoted then (true, "standby")
               else (true, "primary")
@@ -316,6 +377,13 @@ let serve_mode db_dir create host port db_name max_sessions query_timeout
      Printf.printf "metrics endpoint on %s:%d (/metrics, /health)\n%!" host
        (Sedna_server.Metrics_http.port m)
    | None -> ());
+  (match scrubber with
+   | Some _ ->
+     Printf.printf "online scrubber at %d pages/s%s\n%!" scrub_rate
+       (match repair_from with
+        | Some spec -> Printf.sprintf ", standby repair from %s" spec
+        | None -> "")
+   | None -> ());
   let stop_requested = ref false in
   let handler _ = stop_requested := true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
@@ -324,6 +392,8 @@ let serve_mode db_dir create host port db_name max_sessions query_timeout
     try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
   Printf.printf "draining...\n%!";
+  Option.iter Scrubber.stop scrubber;
+  Watchdog.stop watchdog;
   Option.iter Sedna_replication.Repl_receiver.stop recv;
   Option.iter Sedna_replication.Repl_sender.stop sender;
   Sedna_server.Server.stop srv;
@@ -356,8 +426,8 @@ let promote_mode host port db_name =
     exit 1
 
 let main db_dir create stmts serve connect promote host port db_name
-    max_sessions query_timeout repl_port standby_of metrics_port slow_ms
-    slow_log =
+    max_sessions query_timeout repl_port standby_of metrics_port scrub_rate
+    repair_from slow_ms slow_log =
   (* SEDNA_FAULT=<site>:<policy>[,...] arms injection before the
      database opens, so recovery itself can be put under fault;
      SEDNA_NETFAULT does the same for the wire layer *)
@@ -378,7 +448,7 @@ let main db_dir create stmts serve connect promote host port db_name
   | false, false, true, Some dir ->
     (try
        serve_mode dir create host port db_name max_sessions query_timeout
-         repl_port standby_of metrics_port
+         repl_port standby_of metrics_port scrub_rate repair_from
      with Failure m ->
        prerr_endline ("sedna_cli: " ^ m);
        exit 2)
@@ -473,6 +543,24 @@ let metrics_port_arg =
               exposition) and $(b,GET /health) (readiness probe) on this \
               port (0 picks an ephemeral port).")
 
+let scrub_rate_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "scrub-rate" ] ~docv:"PAGES_PER_SEC"
+        ~doc:"With $(b,--serve): background scrub rate in pages per second \
+              (0 disables the online scrubber).  The scrubber verifies every \
+              data page against its CRC sidecar and repairs confirmed-corrupt \
+              pages online.")
+
+let repair_from_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "repair-from" ] ~docv:"HOST:PORT"
+        ~doc:"With $(b,--serve): a standby's replication endpoint to fetch \
+              clean page copies from when a corrupt page has no committed \
+              WAL after-image left (standby-assisted repair).")
+
 let slow_ms_arg =
   Arg.(
     value
@@ -505,6 +593,6 @@ let cmd =
       const main $ db_arg $ create_arg $ exec_arg $ serve_arg $ connect_arg
       $ promote_arg $ host_arg $ port_arg $ db_name_arg $ max_sessions_arg
       $ query_timeout_arg $ repl_port_arg $ standby_of_arg $ metrics_port_arg
-      $ slow_ms_arg $ slow_log_arg)
+      $ scrub_rate_arg $ repair_from_arg $ slow_ms_arg $ slow_log_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -295,6 +295,27 @@ let overwrite_page t pid (img : Bytes.t) =
   Bytes.blit img 0 t.frames.(fi).bytes 0 Page.page_size;
   t.frames.(fi).dirty <- true
 
+(* Pool residency of a page, without faulting it in: the scrubber picks
+   its repair source from this. *)
+let residency t pid =
+  match Hashtbl.find_opt t.table pid with
+  | None -> `Absent
+  | Some fi -> if t.frames.(fi).dirty then `Dirty else `Clean
+
+(* Scrubber repair: install a known-good image (WAL after-image or a
+   standby's copy) without reading the corrupt on-disk page, write it
+   straight through, and leave the frame clean — the disk now matches
+   the frame, so a later flush would be redundant. *)
+let repair_page t pid (img : Bytes.t) =
+  let fi =
+    match Hashtbl.find_opt t.table pid with
+    | Some fi -> fi
+    | None -> install t pid ~load:false
+  in
+  Bytes.blit img 0 t.frames.(fi).bytes 0 Page.page_size;
+  File_store.write_page t.store pid t.frames.(fi).bytes;
+  t.frames.(fi).dirty <- false
+
 (* Allocate a fresh page: claims a page id from the file store and maps
    a zeroed frame for it without a disk read. *)
 let allocate_page t =

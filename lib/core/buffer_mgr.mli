@@ -76,6 +76,15 @@ val overwrite_page : t -> int -> Bytes.t -> unit
 (** Recovery redo: install the image without faulting the on-disk page
     in first (it may be torn or checksum-stale from the crash). *)
 
+val residency : t -> int -> [ `Absent | `Clean | `Dirty ]
+(** Whether the page is resident in the pool, without faulting it in.
+    The scrubber picks its repair source from this. *)
+
+val repair_page : t -> int -> Bytes.t -> unit
+(** Scrubber repair: install a known-good image without reading the
+    corrupt on-disk page, write it through to the data file, and leave
+    the frame clean.  Call under the engine lock. *)
+
 (** {1 Pinning and flushing} *)
 
 val pin_pid : t -> int -> unit

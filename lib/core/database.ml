@@ -42,6 +42,14 @@ type t = {
      fences itself: writes refused with SE-FENCED until re-seeded. *)
   mutable cluster_epoch : int;
   mutable fenced : bool;
+  (* Degraded read-only mode (resource exhaustion): distinct from
+     fencing (split-brain) and standby (replication role).  Entered
+     when a storage call site hits ENOSPC/EDQUOT/EMFILE or the
+     watchdog's free-space probe fails; writes are refused with
+     SE-DEGRADED while reads keep serving.  Left when the watchdog has
+     seen the resource healthy for a few consecutive probes. *)
+  mutable degraded : bool;
+  mutable degraded_reason : string;
 }
 
 (* Group commit is on by default; SEDNA_GROUP_COMMIT=0 (or a runtime
@@ -120,6 +128,47 @@ let observe_epoch db e =
     end
   end
 
+(* ---- degraded mode (resource exhaustion) ----------------------------- *)
+
+let is_degraded db = db.degraded
+let degraded_reason db = db.degraded_reason
+
+let enter_degraded db reason =
+  if not db.degraded then begin
+    db.degraded <- true;
+    db.degraded_reason <- reason;
+    Counters.bump Counters.degraded_entered;
+    Counters.set Counters.degraded_state 1;
+    Logs.warn (fun m ->
+        m "degraded: %s — shedding writes, reads keep serving" reason);
+    Trace.emit (Trace.Degraded_mode { entered = true; reason })
+  end
+
+let exit_degraded db =
+  if db.degraded then begin
+    let reason = db.degraded_reason in
+    db.degraded <- false;
+    db.degraded_reason <- "";
+    Counters.bump Counters.degraded_recovered;
+    Counters.set Counters.degraded_state 0;
+    Logs.info (fun m -> m "degraded mode cleared (was: %s) — writes resume" reason);
+    Trace.emit (Trace.Degraded_mode { entered = false; reason })
+  end
+
+(* Classify an exception from a storage write/sync call site: resource
+   exhaustion flips the node into degraded mode and resurfaces as
+   SE-DEGRADED (a clean, retryable refusal); anything else passes
+   through untouched. *)
+let reraise_classified db ~what e =
+  if Sysutil.is_resource_exhaustion e then begin
+    Counters.bump Counters.resource_errors;
+    enter_degraded db (Printf.sprintf "%s: %s" what (Printexc.to_string e));
+    Error.raise_error Error.Degraded "%s hit resource exhaustion (%s): node \
+                                      is degraded, writes refused"
+      what (Printexc.to_string e)
+  end
+  else raise e
+
 (* ---- write / read hooks ------------------------------------------------ *)
 
 (* Every page write is attributed to the current transaction: first
@@ -189,19 +238,27 @@ let checkpoint db =
   if Hashtbl.length db.active > 0 then
     Error.raise_error Error.Txn_not_active
       "checkpoint with active transactions is not supported";
-  let flushed = Buffer_mgr.flush_all db.bm in
-  write_catalog_file db;
-  Wal.reset db.wal;
-  (* WAL positions restarted at 0: the group committer's notion of
-     "durably synced up to" must restart with them, or a later commit
-     at a small position would be treated as already synced *)
-  Group_commit.note_reset db.gc;
-  Wal.append db.wal Wal.Checkpoint;
-  Wal.sync db.wal;
-  Trace.emit (Trace.Checkpoint { pages_flushed = flushed })
+  try
+    let flushed = Buffer_mgr.flush_all db.bm in
+    write_catalog_file db;
+    Wal.reset db.wal;
+    (* WAL positions restarted at 0: the group committer's notion of
+       "durably synced up to" must restart with them, or a later commit
+       at a small position would be treated as already synced *)
+    Group_commit.note_reset db.gc;
+    Wal.append db.wal Wal.Checkpoint;
+    Wal.sync db.wal;
+    Trace.emit (Trace.Checkpoint { pages_flushed = flushed })
+  with
+  | (Fault.Injected_fault _ | Fault.Injected_crash _) as e -> raise e
+  | e -> reraise_classified db ~what:"checkpoint" e
 
 let create ?(buffer_frames = 256) dir =
-  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  if not (Sys.file_exists dir) then begin
+    Unix.mkdir dir 0o755;
+    (* persist the new directory entry itself *)
+    Sysutil.fsync_dir (Filename.dirname dir)
+  end;
   let fs = File_store.create (data_path dir) in
   let bm = Buffer_mgr.create ~frames:buffer_frames fs in
   let wal = Wal.create (wal_path dir) in
@@ -222,6 +279,8 @@ let create ?(buffer_frames = 256) dir =
       standby = false;
       cluster_epoch = read_cluster_file dir;
       fenced = false;
+      degraded = false;
+      degraded_reason = "";
     }
   in
   Counters.set Counters.cluster_epoch db.cluster_epoch;
@@ -306,6 +365,8 @@ let open_existing ?(buffer_frames = 256) dir =
       standby = false;
       cluster_epoch = read_cluster_file dir;
       fenced = false;
+      degraded = false;
+      degraded_reason = "";
     }
   in
   Counters.set Counters.cluster_epoch db.cluster_epoch;
@@ -331,6 +392,12 @@ let begin_txn ?(read_only = false) db : Txn.t =
       "node is fenced at cluster epoch %d: another node was promoted; writes \
        refused"
       db.cluster_epoch
+  end;
+  if db.degraded && not read_only then begin
+    Counters.bump Counters.degraded_rejected_writes;
+    Error.raise_error Error.Degraded
+      "node is degraded (%s): writes refused until resources recover"
+      db.degraded_reason
   end;
   if db.standby && not read_only then
     Error.raise_error Error.Standby_read_only
@@ -363,7 +430,11 @@ let begin_txn ?(read_only = false) db : Txn.t =
      later checkpoint).  Read-only transactions write nothing at
      commit either — logging their Begin would leave permanently
      unresolved transactions in a shipped log stream. *)
-  if not read_only then Wal.append db.wal (Wal.Begin id);
+  if not read_only then begin
+    try Wal.append db.wal (Wal.Begin id)
+    with e when Sysutil.is_resource_exhaustion e ->
+      reraise_classified db ~what:"WAL begin append" e
+  end;
   Hashtbl.add db.active id txn;
   txn
 
@@ -461,6 +532,14 @@ let commit ?(park = fun wait -> wait ()) db (txn : Txn.t) =
          commit refused"
         db.cluster_epoch txn.Txn.id
     end;
+    (* same for degraded: a disk that filled while this transaction was
+       open must not receive (or falsely ack) its commit group *)
+    if db.degraded then begin
+      Counters.bump Counters.degraded_rejected_writes;
+      Error.raise_error Error.Degraded
+        "node degraded (%s) while transaction %d was open: commit refused"
+        db.degraded_reason txn.Txn.id
+    end;
     let pages = Txn.dirty_pages txn in
     (* WAL protocol: after-images + commit record appended as one
        contiguous group under the writer cursor, then an fsync covering
@@ -474,6 +553,13 @@ let commit ?(park = fun wait -> wait ()) db (txn : Txn.t) =
        pages pinned, so to every other session it looks exactly like an
        idle open transaction. *)
     let cat_blob =
+      (* ENOSPC (real or injected) anywhere in the append/group-fsync —
+         including the failure a parked waiter receives when the group
+         leader's covering sync died — flips the node degraded and
+         surfaces SE-DEGRADED.  The session layer then aborts the
+         transaction, so the client gets a clean refusal, never a false
+         ack and never a dead process. *)
+      try
       Span.with_span "commit.fsync" (fun sp ->
         let cat_blob =
           if Catalog.is_dirty db.cat then begin
@@ -524,6 +610,8 @@ let commit ?(park = fun wait -> wait ()) db (txn : Txn.t) =
                park (fun () -> Group_commit.sync_to db.gc ~pos:commit_pos))
          else Wal.sync db.wal);
         cat_blob)
+      with e when Sysutil.is_resource_exhaustion e ->
+        reraise_classified db ~what:"commit append/fsync" e
     in
     (* versions: displaced images become snapshot versions if needed *)
     let commit_ts = Versions.last_commit_ts db.versions + 1 in
@@ -558,7 +646,16 @@ let abort db (txn : Txn.t) =
       allocated := pid :: !allocated
     done;
     File_store.set_free_list db.fs (txn.Txn.fs_free @ !allocated);
-    Wal.append db.wal (Wal.Abort txn.Txn.id)
+    (* A full disk must not poison the abort path: the in-memory
+       rollback above is complete, and a transaction whose Commit
+       record never made a covering fsync was never acknowledged, so a
+       missing Abort record cannot resurrect anything that was acked.
+       Flip degraded and move on. *)
+    try Wal.append db.wal (Wal.Abort txn.Txn.id)
+    with e when Sysutil.is_resource_exhaustion e ->
+      Counters.bump Counters.resource_errors;
+      enter_degraded db
+        (Printf.sprintf "abort append: %s" (Printexc.to_string e))
   end
   else Versions.release_snapshot db.versions txn.Txn.snapshot_ts;
   Txn.mark_aborted txn;

@@ -67,6 +67,26 @@ val unfence : t -> unit
 (** Clear the fence — only promotion (with a freshly minted epoch) or a
     re-seed may do this. *)
 
+(** {1 Degraded read-only mode (resource exhaustion)}
+
+    Orthogonal to fencing and to the standby role.  Entered when a
+    storage write/sync site hits ENOSPC/EDQUOT/EMFILE (real or
+    injected) or the {!Watchdog} free-space probe fails; {!begin_txn}
+    and {!commit} then refuse writes with [SE-DEGRADED] while reads
+    keep serving.  The watchdog clears it with hysteresis once the
+    resource has been healthy for several consecutive probes. *)
+
+val is_degraded : t -> bool
+val degraded_reason : t -> string
+
+val enter_degraded : t -> string -> unit
+(** Flip into degraded mode (idempotent); [string] is the operator-
+    visible reason. *)
+
+val exit_degraded : t -> unit
+(** Clear degraded mode (idempotent).  Callers are expected to apply
+    hysteresis — see {!Watchdog}. *)
+
 val apply_txn :
   t -> txn_id:int -> images:(int * Bytes.t) list -> catalog_blob:string option -> unit
 (** Standby redo of one shipped committed transaction: install the page

@@ -91,6 +91,8 @@ let create path =
       cksum = Array.make 64 0; known = Bytes.make 64 '\000' }
   in
   record_cksum t 0 (Lazy.force zero_page_crc);
+  (* the file's directory entry itself must survive a crash *)
+  Sysutil.fsync_dir (Filename.dirname path);
   t
 
 let open_existing path =
@@ -109,6 +111,37 @@ let open_existing path =
   t
 
 let page_count t = t.page_count
+let path t = t.path
+
+let stored_cksum t pid =
+  if pid >= 0 && pid < t.page_count
+     && pid < Bytes.length t.known && Bytes.get t.known pid = '\001'
+  then Some t.cksum.(pid)
+  else None
+
+(* Authoritative CRC check for the scrubber's confirm step: re-read the
+   page through the store's own descriptor and compare against the
+   sidecar, without adopting and without raising.  Must be called under
+   the engine lock (the shared fd's seek+read is not thread-safe and
+   the sidecar may be mid-update otherwise). *)
+let verify_page t pid =
+  if pid < 0 || pid >= t.page_count then `Unknown
+  else begin
+    let buf = Bytes.create Page.page_size in
+    ignore (Unix.lseek t.fd (pid * Page.page_size) Unix.SEEK_SET);
+    let rec fill off =
+      if off >= Page.page_size then true
+      else
+        let n = Unix.read t.fd buf off (Page.page_size - off) in
+        if n = 0 then false else fill (off + n)
+    in
+    if not (fill 0) then `Unknown
+    else
+      match stored_cksum t pid with
+      | None -> `Unknown
+      | Some crc ->
+        if Bytes_util.crc32 ~len:Page.page_size buf = crc then `Ok else `Corrupt
+  end
 
 let read_page t pid (dst : Bytes.t) =
   if pid < 0 || pid >= t.page_count then

@@ -12,6 +12,20 @@ val open_existing : string -> t
 val page_count : t -> int
 (** Pages ever allocated, master included; freed pages still count. *)
 
+val path : t -> string
+(** Filesystem path of the data file (the scrubber opens its own
+    read-only descriptor on it to scan without disturbing the store). *)
+
+val stored_cksum : t -> int -> int option
+(** Recorded sidecar CRC-32 for a page; [None] if out of range or not
+    yet known (pre-checksum file before first read). *)
+
+val verify_page : t -> int -> [ `Ok | `Corrupt | `Unknown ]
+(** Re-read the page from disk and compare against the sidecar CRC.
+    Never adopts and never raises [Corrupt_page] — this is the
+    scrubber's authoritative confirm step.  Call under the engine
+    lock. *)
+
 val read_page : t -> int -> Bytes.t -> unit
 (** Fill the buffer with page content.  Raises [Page_out_of_bounds]
     beyond {!page_count}. *)

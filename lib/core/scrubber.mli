@@ -1,0 +1,49 @@
+(** Online storage scrubber: background CRC verification of every data
+    page at a bounded rate, with online repair of confirmed-corrupt
+    pages — from a clean resident frame, the latest committed WAL
+    after-image, or a standby's copy (via the injected [fetch] hook),
+    in that priority order.  A dirty resident frame defers the repair:
+    its flush rewrites the on-disk page anyway.
+
+    The scan reads through the scrubber's own file descriptor (never
+    the buffer pool, so the hot set is untouched) and is lock-free;
+    every mismatch is re-confirmed under the engine lock before being
+    counted or repaired, so a page mid-write by a group commit is never
+    a false positive. *)
+
+type t
+
+type stats = {
+  mutable checked : int;
+  mutable corrupt : int;
+  mutable repaired_pool : int;
+  mutable repaired_wal : int;
+  mutable repaired_standby : int;
+  mutable deferred : int;
+  mutable failed : int;
+}
+
+val create :
+  ?pages_per_sec:int ->
+  ?fetch:(int -> Bytes.t option) ->
+  ?lock:((unit -> unit) -> unit) ->
+  Database.t ->
+  t
+(** [pages_per_sec] throttles the scan (0 = unthrottled, the default).
+    [fetch pid] should return a known-good page image from a peer
+    (wired to [Wire.Page_request] by the replication layer), already
+    epoch-checked.  [lock f] must run [f] under the engine lock;
+    the default runs [f] inline (single-threaded embedding only). *)
+
+val run_pass : t -> stats
+(** One synchronous full pass over the data file.  Lets
+    [Fault.Injected_fault]/[Injected_crash] escape (for the crash
+    harness). *)
+
+val start : t -> unit
+(** Start the background thread: repeated passes with a small idle gap,
+    transient errors logged and survived. *)
+
+val stop : t -> unit
+(** Stop and join the background thread (also interrupts an in-flight
+    pass at its next page). *)

@@ -64,6 +64,8 @@ let write_epoch path n = Sysutil.write_file_durable (epoch_path path) (string_of
 
 let create path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (* the log file's directory entry itself must survive a crash *)
+  Sysutil.fsync_dir (Filename.dirname path);
   let epoch = read_epoch path + 1 in
   write_epoch path epoch;
   { fd; path; size = 0; epoch; marks = []; mu = Mutex.create () }

@@ -1,0 +1,104 @@
+(* Resource watchdog: a free-space poller that flips the database into
+   degraded read-only mode when the disk under the database directory
+   stops accepting writes, and clears it with hysteresis once writes
+   succeed again.
+
+   There is no statvfs binding in this tree, so the probe *is* a write:
+   create, fill, fsync and unlink a small probe file in the database
+   directory.  That is also more honest than a free-space number — it
+   fails on quota (EDQUOT) and fd exhaustion (EMFILE) too, and it goes
+   through a fault site ([store.enospc]) so the harnesses can inject
+   disk-full deterministically. *)
+
+open Sedna_util
+
+let enospc_site = Fault.site "store.enospc"
+
+let probe_name = ".sedna.probe"
+
+(* One probe write.  Raises the underlying error on failure (callers
+   classify with [Sysutil.is_resource_exhaustion]); [Injected_fault] /
+   [Injected_crash] from the site escape untouched for the harness. *)
+let probe_dir ?(bytes = 8192) dir =
+  Fault.check enospc_site;
+  let path = Filename.concat dir probe_name in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let buf = Bytes.make bytes '\000' in
+      let rec drain off =
+        if off < bytes then drain (off + Unix.write fd buf off (bytes - off))
+      in
+      drain 0;
+      Unix.fsync fd)
+
+type t = {
+  dir : string;
+  get_db : unit -> Database.t option;
+  interval_s : float;
+  recover_after : int; (* consecutive healthy probes before clearing *)
+  bytes : int;
+  mutable healthy_streak : int;
+  mutable stop_flag : bool;
+  mutable thread : Thread.t option;
+}
+
+let tick t =
+  match probe_dir ~bytes:t.bytes t.dir with
+  | () -> (
+    t.healthy_streak <- t.healthy_streak + 1;
+    match t.get_db () with
+    | Some db
+      when Database.is_degraded db && t.healthy_streak >= t.recover_after ->
+      Database.exit_degraded db
+    | _ -> ())
+  | exception e when Sysutil.is_resource_exhaustion e ->
+    t.healthy_streak <- 0;
+    Counters.bump Counters.resource_errors;
+    (match t.get_db () with
+     | Some db -> Database.enter_degraded db (Printexc.to_string e)
+     | None -> ())
+  | exception Fault.Injected_crash _ ->
+    (* simulated process death only makes sense under the crash
+       harness, which probes synchronously; the background thread just
+       stops *)
+    t.stop_flag <- true
+  | exception _ ->
+    (* transient (permissions, injected Fail, ...): not evidence either
+       way, but break the healthy streak *)
+    t.healthy_streak <- 0
+
+let rec bg_loop t =
+  if not t.stop_flag then begin
+    tick t;
+    (* sleep in short slices so [stop] is prompt *)
+    let rec nap left =
+      if left > 0.0 && not t.stop_flag then begin
+        let d = Float.min 0.05 left in
+        Thread.delay d;
+        nap (left -. d)
+      end
+    in
+    nap t.interval_s;
+    bg_loop t
+  end
+
+let start ?(interval_s = 1.0) ?(recover_after = 2) ?(bytes = 8192) ~dir ~get_db
+    () =
+  let t =
+    { dir; get_db; interval_s; recover_after; bytes; healthy_streak = 0;
+      stop_flag = false; thread = None }
+  in
+  t.thread <- Some (Thread.create bg_loop t);
+  t
+
+let stop t =
+  t.stop_flag <- true;
+  match t.thread with
+  | None -> ()
+  | Some th ->
+    t.thread <- None;
+    Thread.join th

@@ -1,0 +1,27 @@
+(** Resource watchdog: periodic write-probes of the database directory
+    (there is no statvfs binding, so writing is the probe) that flip
+    the database into degraded read-only mode on ENOSPC/EDQUOT/EMFILE
+    and clear it with hysteresis — [recover_after] consecutive healthy
+    probes — once the resource returns.  The probe passes through the
+    [store.enospc] fault site so disk-full is injectable. *)
+
+type t
+
+val probe_dir : ?bytes:int -> string -> unit
+(** One synchronous probe write (create + fill + fsync + unlink).
+    Raises the underlying [Unix.Unix_error] on failure — classify with
+    {!Sedna_util.Sysutil.is_resource_exhaustion}.  Hits the
+    [store.enospc] fault site first. *)
+
+val start :
+  ?interval_s:float ->
+  ?recover_after:int ->
+  ?bytes:int ->
+  dir:string ->
+  get_db:(unit -> Database.t option) ->
+  unit ->
+  t
+(** Start the poller thread.  [get_db] is consulted at each tick (the
+    governor can swap the live database under a server). *)
+
+val stop : t -> unit

@@ -103,7 +103,75 @@ let run_spec ?(ops = 12) ?(checkpoint_every = 4) ?(backup_at = 8)
     | () -> ()
     | exception Fault.Injected_crash _ -> reopen ~injected:true
     | exception Fault.Injected_fault _ -> fired := true
+    | exception Error.Sedna_error (Error.Degraded, _) ->
+      (* an [enospc] policy fired on a write path and the database
+         entered degraded mode; clear it (the harness plays the role of
+         the resource coming back) so the rest of the run proceeds *)
+      fired := true;
+      Database.exit_degraded !db
+    | exception e when Sysutil.is_resource_exhaustion e ->
+      fired := true;
+      Database.exit_degraded !db
     | exception e -> fail "%s failed: %s" label (Printexc.to_string e)
+  in
+  (* one write-probe per iteration keeps the [store.enospc] site hot;
+     on (injected) exhaustion it mirrors the watchdog — enter degraded —
+     then immediately recovers so the workload continues *)
+  let resource_probe () =
+    match Watchdog.probe_dir ~bytes:512 dir with
+    | () -> ()
+    | exception e when Sysutil.is_resource_exhaustion e ->
+      fired := true;
+      Database.enter_degraded !db "probe: resource exhaustion";
+      Database.exit_degraded !db
+  in
+  (* Corrupt the on-disk copy of one committed page, run a scrub pass,
+     and check it came back clean.  The XOR flip is undone in a finally
+     whenever the repair did not land (armed fault aborted the pass, or
+     the page was dirty-resident and repair deferred to the flush) so a
+     later reopen never runs recovery over bytes we broke ourselves. *)
+  let corrupt_and_scrub () =
+    let last_committed_pid () =
+      let records = Wal.read_all (Filename.concat dir "wal.sdb") in
+      let committed = Hashtbl.create 16 in
+      List.iter
+        (function
+          | Wal.Commit (t, _) -> Hashtbl.replace committed t true
+          | Wal.Abort t -> Hashtbl.remove committed t
+          | _ -> ())
+        records;
+      List.fold_left
+        (fun acc r ->
+          match r with
+          | Wal.Image (t, pid, _) when Hashtbl.mem committed t -> Some pid
+          | _ -> acc)
+        None records
+    in
+    match last_committed_pid () with
+    | None -> ()
+    | Some pid ->
+      let path = Filename.concat dir "data.sdb" in
+      let off = (pid * Page.page_size) + 100 in
+      let flip () =
+        let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            let b = Bytes.create 1 in
+            ignore (Unix.read fd b 0 1);
+            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            ignore (Unix.write fd b 0 1))
+      in
+      let still_corrupt () =
+        File_store.verify_page (Buffer_mgr.store (Database.buffer !db)) pid
+        = `Corrupt
+      in
+      flip ();
+      Fun.protect
+        ~finally:(fun () -> if still_corrupt () then flip ())
+        (fun () -> ignore (Scrubber.run_pass (Scrubber.create !db)))
   in
   Fault.arm_spec spec;
   (try
@@ -124,6 +192,8 @@ let run_spec ?(ops = 12) ?(checkpoint_every = 4) ?(backup_at = 8)
        guarded "scan" (fun () ->
            let s = Session.connect !db in
            ignore (Session.execute_string s {|count(doc("log")/log/entry)|}));
+       guarded "resource probe" resource_probe;
+       if i mod checkpoint_every = 2 then guarded "scrub" corrupt_and_scrub;
        if i mod checkpoint_every = 0 then
          guarded "checkpoint" (fun () -> Database.checkpoint !db);
        if i = backup_at then
@@ -183,8 +253,10 @@ let run_spec ?(ops = 12) ?(checkpoint_every = 4) ?(backup_at = 8)
 (* The matrix: every registered site crossed with the default policy
    set.  [crash@2] dies on the second hit (so the first hit's code path
    has completed once), [torn@2] dies mid-write leaving a torn
-   page/frame/copy, [fail@1] turns the first hit into a clean abort. *)
-let default_policies = [ "crash@2"; "torn@2"; "fail@1" ]
+   page/frame/copy, [fail@1] turns the first hit into a clean abort,
+   and [enospc@1] turns it into a real ENOSPC — the run must shed the
+   write cleanly (degraded mode, no false ack) and carry on. *)
+let default_policies = [ "crash@2"; "torn@2"; "fail@1"; "enospc@1" ]
 
 let sanitize s =
   String.map (fun c -> match c with 'a' .. 'z' | '0' .. '9' -> c | _ -> '-')

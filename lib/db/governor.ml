@@ -244,6 +244,22 @@ let observability_report t =
     (Counters.get Counters.recovery_skip)
     (Counters.get Counters.wal_truncated_bytes)
     (Counters.get Counters.lock_retry);
+  line "self-healing:";
+  line "  scrub: %d passes, %d pages checked, %d corrupt; repaired %d pool / %d wal / %d standby; %d deferred, %d failed"
+    (Counters.get Counters.scrub_passes)
+    (Counters.get Counters.scrub_pages_checked)
+    (Counters.get Counters.scrub_corrupt)
+    (Counters.get Counters.scrub_repaired_pool)
+    (Counters.get Counters.scrub_repaired_wal)
+    (Counters.get Counters.scrub_repaired_standby)
+    (Counters.get Counters.scrub_deferred)
+    (Counters.get Counters.scrub_repair_failed);
+  line "  degraded: %s; entered %d, recovered %d; %d writes rejected, %d resource errors"
+    (if Counters.get Counters.degraded_state > 0 then "YES" else "no")
+    (Counters.get Counters.degraded_entered)
+    (Counters.get Counters.degraded_recovered)
+    (Counters.get Counters.degraded_rejected_writes)
+    (Counters.get Counters.resource_errors);
   line "replication:";
   line "  shipped: %d bytes, %d records; %d heartbeats"
     (Counters.get Counters.repl_bytes_shipped)

@@ -382,9 +382,14 @@ let aborts_transaction = function
         (* a fired statement deadline may have left partial update
            effects behind: only the owning transaction dies, its locks
            and before-images are released like any other abort *)
-        | Error.Query_timeout ),
+        | Error.Query_timeout
+        (* resource exhaustion mid-transaction: the node just entered
+           degraded mode and this transaction's writes can no longer be
+           made durable — abort it rather than leave it half-applied *)
+        | Error.Degraded ),
         _ ) ->
     true
+  | e when Sedna_util.Sysutil.is_resource_exhaustion e -> true
   | _ -> false
 
 let statement_kind = function

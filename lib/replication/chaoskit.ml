@@ -153,6 +153,36 @@ let run_spec ?(clients = 4) ?(ops = 24) ?(seed = 1) ~dir cell : outcome =
   let epoch0 = Wal.epoch (Database.wal db) and pos0 = Wal.size (Database.wal db) in
   if not (Repl_receiver.wait_caught_up recv ~epoch:epoch0 ~pos:pos0) then
     fail "standby never finished the initial seed";
+  (* ---- self-healing under chaos ------------------------------------ *)
+  (* Corrupt the on-disk copy of one flushed page (checkpoint first so
+     it is clean-resident: reads keep hitting the pool frame and never
+     the broken disk bytes) and let the background scrubber repair it
+     while the clients hammer away.  The cell's existing invariants
+     then double as the self-healing check: zero client-visible
+     Corrupt_page, and the page verifies clean at teardown. *)
+  Database.checkpoint db;
+  let scrub_pid =
+    let fs = Buffer_mgr.store (Database.buffer db) in
+    let pid = File_store.page_count fs - 1 in
+    if pid >= 0 then begin
+      let fd = Unix.openfile (File_store.path fs) [ Unix.O_RDWR ] 0 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let off = (pid * Page.page_size) + 64 in
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          let b = Bytes.create 1 in
+          ignore (Unix.read fd b 0 1);
+          Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          ignore (Unix.write fd b 0 1))
+    end;
+    pid
+  in
+  let scrubber =
+    Scrubber.create ~pages_per_sec:500 ~lock:(Governor.with_engine gov_p) db
+  in
+  Scrubber.start scrubber;
   (* ---- chaos on, clients in ---------------------------------------- *)
   (try Netfault.arm_spec spec with e -> fail "bad spec %s: %s" spec (Printexc.to_string e));
   let endpoints = [ ("127.0.0.1", p_port); ("127.0.0.1", s_port) ] in
@@ -309,7 +339,24 @@ let run_spec ?(clients = 4) ?(ops = 24) ?(seed = 1) ~dir cell : outcome =
        | [] -> ()
        | es -> List.iter (fail "deposed primary integrity: %s") es);
   let fenced = Database.is_fenced db in
+  (* the page corrupted at the start must have been repaired online *)
+  (if scrub_pid >= 0 then begin
+     let clean () =
+       Governor.with_engine gov_p (fun () ->
+           File_store.verify_page
+             (Buffer_mgr.store (Database.buffer db))
+             scrub_pid
+           <> `Corrupt)
+     in
+     let d = Unix.gettimeofday () +. 5. in
+     while (not (clean ())) && Unix.gettimeofday () < d do
+       Unix.sleepf 0.02
+     done;
+     if not (clean ()) then
+       fail "scrubber never repaired corrupted page %d" scrub_pid
+   end);
   (* ---- teardown ----------------------------------------------------- *)
+  Scrubber.stop scrubber;
   Server.stop ~shutdown_governor:false srv_p;
   Server.stop ~shutdown_governor:false srv_s;
   Repl_receiver.stop recv;

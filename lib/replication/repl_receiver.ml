@@ -209,7 +209,7 @@ let seed t fd =
     | Wire.Seed_file { name; data } -> recv ((name, data) :: files)
     | Wire.Seed_done { cluster; epoch; pos } -> (List.rev files, cluster, epoch, pos)
     | Wire.Fenced _ -> raise (Wire.Disconnected "seeding primary is fenced")
-    | Wire.Batch _ | Wire.Heartbeat _ | Wire.Hole _ ->
+    | Wire.Batch _ | Wire.Heartbeat _ | Wire.Hole _ | Wire.Page_reply _ ->
       raise (Wire.Protocol_error "unexpected response during seed")
   in
   let files, cluster, epoch, pos = recv [] in
@@ -407,7 +407,7 @@ let pull_loop t fd =
     | Wire.Heartbeat { cluster; epoch = _; pos = _ } ->
       note_cluster t cluster;
       if not t.stopping then Unix.sleepf t.poll_s
-    | Wire.Seed_file _ | Wire.Seed_done _ ->
+    | Wire.Seed_file _ | Wire.Seed_done _ | Wire.Page_reply _ ->
       raise (Wire.Protocol_error "unsolicited seed frame")
   done
 

@@ -35,7 +35,9 @@ let heartbeat_site = Fault.site "repl.heartbeat"
 
 type t = {
   gov : Governor.t;
-  db : Database.t;
+  (* resolved per request: a CLI standby only has a database once its
+     seed completes, yet must accept page-repair connections from boot *)
+  source : unit -> Database.t option;
   listen_fd : Unix.file_descr;
   bound_port : int;
   mutable stopping : bool;
@@ -72,14 +74,14 @@ let read_file path =
    the shipped log does not, so it is never pulled and never applied.
    A checkpoint truncating the log mid-copy invalidates the captured
    position; the epoch re-check catches that and retries. *)
-let serve_seed t conn_id fd =
+let serve_seed t db conn_id fd =
   Trace.emit (Trace.Repl_state { role = "primary"; state = "seeding" });
-  let tmp = Database.directory t.db ^ Printf.sprintf ".seed%d" conn_id in
+  let tmp = Database.directory db ^ Printf.sprintf ".seed%d" conn_id in
   let rec consistent_backup attempts =
     rm_rf tmp;
-    let epoch, pos = Wal.stable_tip (Database.wal t.db) in
-    Governor.with_engine t.gov (fun () -> Backup.full t.db ~dest:tmp);
-    if Wal.epoch (Database.wal t.db) = epoch then (epoch, pos)
+    let epoch, pos = Wal.stable_tip (Database.wal db) in
+    Governor.with_engine t.gov (fun () -> Backup.full db ~dest:tmp);
+    if Wal.epoch (Database.wal db) = epoch then (epoch, pos)
     else if attempts <= 1 then
       Error.raise_error Error.Recovery_failure
         "seed backup kept racing checkpoint log truncations; giving up"
@@ -96,22 +98,22 @@ let serve_seed t conn_id fd =
             Wire.write_repl_response fd (Wire.Seed_file { name; data = read_file p }))
         [ "data.sdb"; "wal.sdb"; "catalog.sdb" ];
       Wire.write_repl_response fd
-        (Wire.Seed_done { cluster = Database.cluster_epoch t.db; epoch; pos }))
+        (Wire.Seed_done { cluster = Database.cluster_epoch db; epoch; pos }))
 
-let serve_pull t fd ~cluster ~epoch ~pos ~max_bytes =
+let serve_pull db fd ~cluster ~epoch ~pos ~max_bytes =
   (* Fencing gate: a pull carrying a higher cluster epoch means the
      standby (or whoever re-seeded it) was promoted past us.  Demote
      before serving anything, and tell the puller the link is dead —
      a deposed primary must never ship WAL as if it were current. *)
-  Database.observe_epoch t.db cluster;
-  if cluster > 0 && Database.is_fenced t.db then begin
+  Database.observe_epoch db cluster;
+  if cluster > 0 && Database.is_fenced db then begin
     Counters.bump Counters.fence_rejected_pulls;
     Wire.write_repl_response fd
-      (Wire.Fenced { cluster = Database.cluster_epoch t.db })
+      (Wire.Fenced { cluster = Database.cluster_epoch db })
   end
   else begin
-  let my_cluster = Database.cluster_epoch t.db in
-  let wal = Database.wal t.db in
+  let my_cluster = Database.cluster_epoch db in
+  let wal = Database.wal db in
   let cur_epoch = Wal.epoch wal in
   if epoch <> cur_epoch || pos > Wal.size wal then
     Wire.write_repl_response fd
@@ -152,13 +154,46 @@ let serve_pull t fd ~cluster ~epoch ~pos ~max_bytes =
   end
   end
 
+(* Serve one page to a peer's scrubber.  Same fencing gate as pulls: a
+   deposed node must never hand out pages as if it were current.  The
+   image is read under the engine lock from the pool (hitting the
+   buffer here is fine — the serving node is a standby or an idle
+   primary, and one page per repair is not a hot-set threat). *)
+let serve_page t db fd ~cluster ~pid =
+  Database.observe_epoch db cluster;
+  let my_cluster = Database.cluster_epoch db in
+  if cluster > 0 && (not (Database.is_standby db)) && Database.is_fenced db
+  then begin
+    Counters.bump Counters.fence_rejected_pulls;
+    Wire.write_repl_response fd (Wire.Fenced { cluster = my_cluster })
+  end
+  else begin
+    let page =
+      try
+        Governor.with_engine t.gov (fun () ->
+            let bm = Database.buffer db in
+            if pid >= 0 && pid < File_store.page_count (Buffer_mgr.store bm)
+            then Some (Bytes.to_string (Buffer_mgr.page_image bm pid))
+            else None)
+      with _ -> None (* corrupt here too, or out of range: can't help *)
+    in
+    if page <> None then Counters.bump Counters.repl_pages_served;
+    Wire.write_repl_response fd (Wire.Page_reply { cluster = my_cluster; pid; page })
+  end
+
 let serve_conn t conn_id fd =
   let rec loop () =
     if not t.stopping then begin
-      (match Wire.read_repl_request fd with
-       | Wire.Pull { cluster; epoch; pos; max_bytes } ->
-         serve_pull t fd ~cluster ~epoch ~pos ~max_bytes
-       | Wire.Seed_request -> serve_seed t conn_id fd);
+      (match (Wire.read_repl_request fd, t.source ()) with
+       | _, None ->
+         (* no database yet (standby waiting on its seed): nothing to
+            serve on this connection *)
+         raise End_of_file
+       | Wire.Pull { cluster; epoch; pos; max_bytes }, Some db ->
+         serve_pull db fd ~cluster ~epoch ~pos ~max_bytes
+       | Wire.Seed_request, Some db -> serve_seed t db conn_id fd
+       | Wire.Page_request { cluster; pid }, Some db ->
+         serve_page t db fd ~cluster ~pid);
       loop ()
     end
   in
@@ -199,7 +234,8 @@ let listener_main t () =
   in
   loop ()
 
-let start ?(host = "127.0.0.1") ?(port = 0) ~gov (db : Database.t) : t =
+let start_source ?(host = "127.0.0.1") ?(port = 0) ~gov
+    (source : unit -> Database.t option) : t =
   (* a standby tearing down mid-stream must surface as EPIPE on our
      write, not as a process-killing signal; the TCP server does the
      same, but replication can run without one (embedded, tests) *)
@@ -218,7 +254,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ~gov (db : Database.t) : t =
   let t =
     {
       gov;
-      db;
+      source;
       listen_fd;
       bound_port;
       stopping = false;
@@ -232,6 +268,9 @@ let start ?(host = "127.0.0.1") ?(port = 0) ~gov (db : Database.t) : t =
   t.listener <- Some (Thread.create (listener_main t) ());
   Logs.info (fun m -> m "replication sender listening on %s:%d" host bound_port);
   t
+
+let start ?host ?port ~gov (db : Database.t) : t =
+  start_source ?host ?port ~gov (fun () -> Some db)
 
 let standby_count t =
   Mutex.lock t.mu;

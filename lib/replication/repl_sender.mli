@@ -18,8 +18,20 @@ val start :
   Sedna_core.Database.t ->
   t
 (** Bind the replication port (0 = ephemeral) and start serving.  The
-    governor's engine lock is taken only while cutting a seed backup —
-    streaming reads the WAL file without it. *)
+    governor's engine lock is taken only while cutting a seed backup or
+    reading a page image for a repair fetch — streaming reads the WAL
+    file without it. *)
+
+val start_source :
+  ?host:string ->
+  ?port:int ->
+  gov:Sedna_db.Governor.t ->
+  (unit -> Sedna_core.Database.t option) ->
+  t
+(** Like {!start} but resolving the database per request: a standby can
+    accept page-repair connections before its seed has produced a
+    database (requests are refused until the source returns one), and
+    keeps serving the *current* database across re-seeds. *)
 
 val port : t -> int
 val standby_count : t -> int

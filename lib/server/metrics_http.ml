@@ -6,8 +6,9 @@
                     embedding process supplies (buffer-pool occupancy,
                     active sessions, WAL size, replication lag, ...)
      GET /health    readiness probe: 200 with the role ("ok primary" /
-                    "ok standby") while serving, 503 while draining or
+                    "ok standby") while serving, 503 while draining,
                     fenced (a deposed primary must drop out of the LB)
+                    or degraded (resource exhaustion: shedding writes)
 
    One accept thread, one request per connection (Connection: close) —
    a scrape every few seconds is the design load, so no pool.  The
@@ -52,7 +53,12 @@ let prom_float f =
    an alert on a fencing event compares epochs across nodes and must
    not find the series missing on a node that was never promoted. *)
 let gauge_counters =
-  [ Counters.repl_lag_bytes; Counters.repl_acked_pos; Counters.cluster_epoch ]
+  [ Counters.repl_lag_bytes; Counters.repl_acked_pos; Counters.cluster_epoch;
+    (* self-healing: scrub progress/pass-size move both ways, and the
+       degraded flag must exist from the first scrape so the alert rule
+       never finds the series missing *)
+    Counters.scrub_progress; Counters.scrub_last_pass_pages;
+    Counters.degraded_state ]
 
 let render_metrics gauges =
   let b = Buffer.create 4096 in
@@ -170,7 +176,7 @@ let handle t fd =
        if the embedder's closure forgot to flip the bool — an LB
        routing writes to a fenced ex-primary is exactly the split-brain
        the fence exists to stop *)
-    let ready = ready && role <> "draining" && role <> "fenced" in
+    let ready = ready && role <> "draining" && role <> "fenced" && role <> "degraded" in
     if ready then
       http_respond fd ~status:"200 OK" ~content_type:"text/plain" ("ok " ^ role ^ "\n")
     else

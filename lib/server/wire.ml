@@ -80,6 +80,7 @@ type response =
 type repl_request =
   | Pull of { cluster : int; epoch : int; pos : int; max_bytes : int }
   | Seed_request
+  | Page_request of { cluster : int; pid : int }
 
 (* commit position, trace id, parent span id — see the 'B' frame *)
 type trace_mark = { mk_pos : int; mk_trace : string; mk_span : int }
@@ -97,6 +98,7 @@ type repl_response =
   | Seed_file of { name : string; data : string }
   | Seed_done of { cluster : int; epoch : int; pos : int }
   | Fenced of { cluster : int }
+  | Page_reply of { cluster : int; pid : int; page : string option }
 
 (* Frames larger than this are a protocol violation, not a payload:
    reject before allocating. *)
@@ -175,6 +177,8 @@ let add_u32 b n =
   Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
   Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
   Buffer.add_char b (Char.chr (n land 0xff))
+
+let add_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
 
 let add_str b s =
   add_u32 b (String.length s);
@@ -394,7 +398,11 @@ let write_repl_request fd (req : repl_request) =
      add_u32 b epoch;
      add_u32 b pos;
      add_u32 b max_bytes
-   | Seed_request -> Buffer.add_char b 'S');
+   | Seed_request -> Buffer.add_char b 'S'
+   | Page_request { cluster; pid } ->
+     Buffer.add_char b 'G';
+     add_u32 b cluster;
+     add_u32 b pid);
   write_frame fd b
 
 let read_repl_request fd : repl_request =
@@ -406,6 +414,9 @@ let read_repl_request fd : repl_request =
     let pos = get_u32 r in
     Pull { cluster; epoch; pos; max_bytes = get_u32 r }
   | 'S' -> Seed_request
+  | 'G' ->
+    let cluster = get_u32 r in
+    Page_request { cluster; pid = get_u32 r }
   | c -> perror "unknown replication request opcode %C" c
 
 let write_repl_response fd (resp : repl_response) =
@@ -444,7 +455,16 @@ let write_repl_response fd (resp : repl_response) =
      add_u32 b pos
    | Fenced { cluster } ->
      Buffer.add_char b 'x';
-     add_u32 b cluster);
+     add_u32 b cluster
+   | Page_reply { cluster; pid; page } ->
+     Buffer.add_char b 'g';
+     add_u32 b cluster;
+     add_u32 b pid;
+     (match page with
+      | None -> add_u8 b 0
+      | Some p ->
+        add_u8 b 1;
+        add_str b p));
   write_frame fd b
 
 let read_repl_response fd : repl_response =
@@ -479,4 +499,9 @@ let read_repl_response fd : repl_response =
     let epoch = get_u32 r in
     Seed_done { cluster; epoch; pos = get_u32 r }
   | 'x' -> Fenced { cluster = get_u32 r }
+  | 'g' ->
+    let cluster = get_u32 r in
+    let pid = get_u32 r in
+    let page = if get_u8 r = 1 then Some (get_str r) else None in
+    Page_reply { cluster; pid; page }
   | c -> perror "unknown replication response opcode %C" c

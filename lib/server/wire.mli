@@ -29,6 +29,10 @@ type repl_request =
       (** [cluster] is the standby's fencing epoch: a deposed primary
           learns of its deposition from the very next pull *)
   | Seed_request  (** ship a full backup (the standby must re-seed) *)
+  | Page_request of { cluster : int; pid : int }
+      (** single-page repair fetch for the scrubber; [cluster] is the
+          requester's fencing epoch, checked on both ends so a fenced
+          node never serves (or installs) repairs across a promotion *)
 
 type trace_mark = { mk_pos : int; mk_trace : string; mk_span : int }
 (** A traced commit inside a batch: WAL position right after the
@@ -55,6 +59,9 @@ type repl_response =
   | Fenced of { cluster : int }
       (** the pull carried a higher cluster epoch than the sender held:
           the sender has demoted itself; this link is dead *)
+  | Page_reply of { cluster : int; pid : int; page : string option }
+      (** answer to {!repl_request.Page_request}; [None] when the page
+          is out of range or unreadable on the serving side *)
 
 val max_frame : int
 

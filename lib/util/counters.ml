@@ -124,6 +124,22 @@ let fence_demotions = "fence.demotions"
 let fence_rejected_writes = "fence.rejected_writes"
 let fence_rejected_pulls = "fence.rejected_pulls"
 let cluster_epoch = "cluster.epoch"
+let scrub_passes = "scrub.passes"
+let scrub_pages_checked = "scrub.pages_checked"
+let scrub_corrupt = "scrub.corrupt"
+let scrub_repaired_pool = "scrub.repaired_pool"
+let scrub_repaired_wal = "scrub.repaired_wal"
+let scrub_repaired_standby = "scrub.repaired_standby"
+let scrub_deferred = "scrub.deferred"
+let scrub_repair_failed = "scrub.repair_failed"
+let scrub_progress = "scrub.progress"
+let scrub_last_pass_pages = "scrub.last_pass_pages"
+let degraded_state = "degraded.state"
+let degraded_entered = "degraded.entered"
+let degraded_recovered = "degraded.recovered"
+let degraded_rejected_writes = "degraded.rejected_writes"
+let resource_errors = "store.resource_errors"
+let repl_pages_served = "repl.pages_served"
 
 (* Pre-resolved cells for the hot-path counters: incrementing these is
    a plain [incr], so instrumentation does not distort the pointer-

@@ -178,6 +178,55 @@ val fence_rejected_pulls : string
 val cluster_epoch : string
 (** Gauge: this node's current cluster (fencing) epoch. *)
 
+val scrub_passes : string
+(** Completed full scrub passes over the data file. *)
+
+val scrub_pages_checked : string
+(** Pages whose on-disk CRC the scrubber verified. *)
+
+val scrub_corrupt : string
+(** Pages the scrubber confirmed corrupt (under the engine lock). *)
+
+val scrub_repaired_pool : string
+(** Corrupt pages rewritten from a clean resident buffer-pool frame. *)
+
+val scrub_repaired_wal : string
+(** Corrupt pages rewritten from a committed WAL after-image. *)
+
+val scrub_repaired_standby : string
+(** Corrupt pages rewritten from a page fetched off a standby. *)
+
+val scrub_deferred : string
+(** Corrupt-on-disk pages left alone because a dirty resident frame
+    will overwrite them at the next flush anyway. *)
+
+val scrub_repair_failed : string
+(** Confirmed-corrupt pages with no repair source available. *)
+
+val scrub_progress : string
+(** Gauge: page id the in-flight scrub pass has reached (0 when idle). *)
+
+val scrub_last_pass_pages : string
+(** Gauge: pages checked by the last completed full pass. *)
+
+val degraded_state : string
+(** Gauge: 1 while the node is in degraded read-only mode. *)
+
+val degraded_entered : string
+(** Transitions into degraded mode (resource exhaustion observed). *)
+
+val degraded_recovered : string
+(** Transitions out of degraded mode (resource recovered). *)
+
+val degraded_rejected_writes : string
+(** Write transactions refused with SE-DEGRADED. *)
+
+val resource_errors : string
+(** ENOSPC/EDQUOT/EMFILE-class errors observed at storage call sites. *)
+
+val repl_pages_served : string
+(** Single-page repair fetches served to peers ({!Wire} Page_request). *)
+
 (** {1 Pre-resolved hot-path cells (same storage as the names above)} *)
 
 val vas_fast_hit_cell : int ref

@@ -31,6 +31,7 @@ type code =
   | Standby_read_only
   | Failover
   | Fenced
+  | Degraded
 
 let code_name = function
   | Storage_corruption -> "SE-STORAGE-CORRUPTION"
@@ -61,6 +62,7 @@ let code_name = function
   | Standby_read_only -> "SE-READ-ONLY"
   | Failover -> "SE-FAILOVER"
   | Fenced -> "SE-FENCED"
+  | Degraded -> "SE-DEGRADED"
 
 exception Sedna_error of code * string
 

@@ -36,6 +36,10 @@ type code =
   | Fenced
       (** SE-FENCED: this node observed a higher cluster epoch (another
           node was promoted) and refuses writes until re-seeded *)
+  | Degraded
+      (** SE-DEGRADED: resource exhaustion (disk full, fd limit) put the
+          node in degraded read-only mode; writes are shed until the
+          watchdog observes the resource recovering *)
 
 exception Sedna_error of code * string
 

@@ -18,7 +18,7 @@
 exception Injected_fault of string
 exception Injected_crash of string
 
-type action = Fail | Crash | Torn
+type action = Fail | Crash | Torn | Enospc
 
 (* The trigger half of the policy grammar is shared with the network
    chaos layer ({!Netfault}): same suffix syntax, same deterministic
@@ -121,7 +121,11 @@ let find name = Hashtbl.find_opt registry name
 let site_hits s = !(s.hits)
 let site_armed s = s.armed
 
-let action_name = function Fail -> "fail" | Crash -> "crash" | Torn -> "torn"
+let action_name = function
+  | Fail -> "fail"
+  | Crash -> "crash"
+  | Torn -> "torn"
+  | Enospc -> "enospc"
 
 let policy_to_string p = action_name p.action ^ Trigger.to_string p.trigger
 
@@ -189,6 +193,11 @@ let hit ?len s : verdict =
       | Torn, _ ->
         record_fired s Crash;
         crash s
+      | Enospc, _ ->
+        (* a real errno, not [Injected_fault]: disk-full must flow
+           through the same classification path as the genuine error *)
+        record_fired s Enospc;
+        raise (Unix.Unix_error (Unix.ENOSPC, "write", s.name))
     end
 
 (* [check] for sites with nothing to tear. *)
@@ -209,6 +218,7 @@ let parse_policy spec =
     if take "fail" then (Fail, String.sub spec 4 (String.length spec - 4))
     else if take "crash" then (Crash, String.sub spec 5 (String.length spec - 5))
     else if take "torn" then (Torn, String.sub spec 4 (String.length spec - 4))
+    else if take "enospc" then (Enospc, String.sub spec 6 (String.length spec - 6))
     else invalid_arg (Printf.sprintf "Fault.parse_policy: bad action in %S" spec)
   in
   { action; trigger = Trigger.parse rest }

@@ -16,7 +16,13 @@ exception Injected_crash of string
 (** Simulated process death.  Must escape to the harness untouched: the
     session layer must not try to abort or otherwise write after it. *)
 
-type action = Fail | Crash | Torn
+type action =
+  | Fail
+  | Crash
+  | Torn
+  | Enospc
+      (** raises a genuine [Unix.Unix_error (ENOSPC, ...)] so disk-full
+          takes the same classification path as the real thing *)
 
 (** The trigger half of the policy grammar, shared with {!Netfault}:
     same [@N]/[@N+]/[%P/SEED] suffix syntax, same deterministic LCG. *)
@@ -83,8 +89,8 @@ val with_armed : string -> policy -> (unit -> 'a) -> 'a
 (** Arm for the duration of a closure, disarming on the way out. *)
 
 val parse_policy : string -> policy
-(** [fail | crash | torn] followed by [@N] (Nth), [@N+] (every Nth) or
-    [%P[/SEED]] (probability with deterministic seed). *)
+(** [fail | crash | torn | enospc] followed by [@N] (Nth), [@N+] (every
+    Nth) or [%P[/SEED]] (probability with deterministic seed). *)
 
 val parse_spec : string -> string * policy
 (** ["<site>:<policy>"], the [SEDNA_FAULT] form. *)

@@ -44,6 +44,14 @@ let fsync_dir dir =
     (try Unix.fsync fd with Unix.Unix_error _ -> ());
     (try Unix.close fd with Unix.Unix_error _ -> ())
 
+(* Resource-exhaustion classification, shared by every write/sync call
+   site instead of per-site errno matching.  EDQUOT has no constructor
+   in [Unix.error]; on Linux it surfaces as [EUNKNOWNERR 122]. *)
+let is_resource_exhaustion = function
+  | Unix.Unix_error ((Unix.ENOSPC | Unix.EMFILE | Unix.ENFILE), _, _) -> true
+  | Unix.Unix_error (Unix.EUNKNOWNERR e, _, _) -> e = 122 (* EDQUOT *)
+  | _ -> false
+
 (* Write [data] to [path] atomically-ish: tmp file, fsync, rename,
    fsync the directory.  A crash leaves either the old file or the new
    one, never a torn mix. *)

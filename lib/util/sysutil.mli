@@ -12,6 +12,13 @@ val fsync_dir : string -> unit
     crash.  Errors (filesystems that refuse directory fsync) are
     swallowed. *)
 
+val is_resource_exhaustion : exn -> bool
+(** [true] for the errno family meaning "the machine ran out of a
+    storage resource" — ENOSPC, EDQUOT (Linux errno 122, which OCaml
+    reports as [EUNKNOWNERR]), EMFILE, ENFILE.  These are the errors
+    that flip a node into degraded read-only mode rather than aborting
+    a single transaction. *)
+
 val write_file_durable : string -> string -> unit
 (** Write a file via tmp + fsync + rename + directory fsync, so a crash
     leaves either the old content or the new, never a torn mix. *)

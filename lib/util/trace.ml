@@ -51,6 +51,8 @@ type event =
   | Repl_apply of { txn : int; pages : int }
   | Repl_reseed of { epoch : int }
   | Repl_promote of { epoch : int }
+  | Scrub_repair of { pid : int; source : string }
+  | Degraded_mode of { entered : bool; reason : string }
 
 type entry = { seq : int; at : float; event : event }
 
@@ -127,6 +129,8 @@ let event_name = function
   | Repl_apply _ -> "repl.apply"
   | Repl_reseed _ -> "repl.reseed"
   | Repl_promote _ -> "repl.promote"
+  | Scrub_repair _ -> "scrub.repair"
+  | Degraded_mode _ -> "degraded.mode"
 
 let event_fields : event -> (string * Metrics.json) list =
   let open Metrics in
@@ -175,6 +179,9 @@ let event_fields : event -> (string * Metrics.json) list =
   | Repl_apply { txn; pages } -> [ ("txn", Int txn); ("pages", Int pages) ]
   | Repl_reseed { epoch } -> [ ("epoch", Int epoch) ]
   | Repl_promote { epoch } -> [ ("epoch", Int epoch) ]
+  | Scrub_repair { pid; source } -> [ ("pid", Int pid); ("source", Str source) ]
+  | Degraded_mode { entered; reason } ->
+    [ ("entered", Bool entered); ("reason", Str reason) ]
 
 let entry_to_json e =
   Metrics.Obj

@@ -61,6 +61,11 @@ type event =
           because the primary's WAL epoch changed *)
   | Repl_promote of { epoch : int }
       (** standby promoted to primary; [epoch] is its new WAL epoch *)
+  | Scrub_repair of { pid : int; source : string }
+      (** the scrubber repaired a corrupt page; [source] is
+          "pool" | "wal" | "standby" *)
+  | Degraded_mode of { entered : bool; reason : string }
+      (** the node entered (or left) degraded read-only mode *)
 
 type entry = { seq : int; at : float; event : event }
 

@@ -26,6 +26,7 @@ let () =
       ("replication", Test_replication.suite);
       ("tracing", Test_tracing.suite);
       ("netchaos", Test_netchaos.suite);
+      ("scrub", Test_scrub.suite);
       ("regex", Test_rx.suite);
       ("tools", Test_tools.suite);
     ]
